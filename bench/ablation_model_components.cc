@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Ablation study (extension beyond the paper): which RPPM ingredients
+ * buy the accuracy?
+ *
+ * The paper motivates RPPM by what the naive extensions *lack*:
+ * "(1) it does not model contention in shared resources, (2) it does not
+ * model cache coherence effects, and (3) it does not model
+ * synchronization overhead" (Sec. I). This bench turns each mechanism
+ * off individually and measures the resulting prediction error across a
+ * representative slice of the suite:
+ *
+ *   full        the complete model
+ *   -coherence  write invalidations not recorded (no coherence misses)
+ *   -interfer.  shared LLC predicted from per-thread reuse distances
+ *   -MLP        long-latency loads fully serialized (MLP = 1)
+ *   -branch     perfect branch prediction assumed
+ *   -ILP        Deff = front-end width (no window model)
+ *   -sync       no Algorithm 2 (equivalent to the CRIT baseline)
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "pipeline.hh"
+#include "profile/profiler.hh"
+#include "rppm/baselines.hh"
+#include "rppm/predictor.hh"
+
+int
+main()
+{
+    using namespace rppm;
+    using namespace rppm::bench;
+
+    const MulticoreConfig cfg = baseConfig();
+
+    // A slice covering the suite's behaviour space: coherence-heavy,
+    // barrier-storm, pointer-chasing, compute-bound, condvar-heavy,
+    // bandwidth-bound and branchy workloads...
+    std::vector<WorkloadSpec> specs;
+    for (const char *name : {"backprop", "bfs", "hotspot", "myocyte",
+                             "particlefilter", "Canneal", "Fluidanimate",
+                             "Streamcluster", "Vips"}) {
+        specs.push_back(findBenchmark(name)->spec);
+    }
+    // ...plus two purpose-built stressors so the coherence and branch
+    // columns have something to lose. coh-stress ping-pongs writes over
+    // a small shared region (every reuse is a coherence miss); br-stress
+    // is L1-resident compute with near-random branches.
+    {
+        WorkloadSpec s = barrierLoopSpec(4, 30, 8000);
+        s.name = "coh-stress";
+        s.kernel.privateBytes = 16 << 10;
+        s.kernel.sharedBytes = 256 << 10;
+        s.kernel.sharedFrac = 0.6;
+        s.kernel.sharedWriteFrac = 0.5;
+        s.kernel.reuseFrac = 0.6;
+        s.kernel.hotLines = 48;
+        s.kernel.randomFrac = 0.4;
+        specs.push_back(s);
+    }
+    {
+        WorkloadSpec s = barrierLoopSpec(4, 30, 8000);
+        s.name = "br-stress";
+        s.kernel.privateBytes = 16 << 10;
+        s.kernel.reuseFrac = 0.8;
+        s.kernel.fracLoad = 0.1;
+        s.kernel.fracStore = 0.05;
+        s.kernel.fracBranch = 0.2;
+        s.kernel.branchEntropy = 0.35;
+        s.kernel.chainFrac = 0.1;
+        s.kernel.depMean = 30.0;
+        specs.push_back(s);
+    }
+
+    struct Variant
+    {
+        const char *label;
+        RppmOptions opts;
+        bool strip_coherence = false;
+        bool crit_only = false;
+    };
+    std::vector<Variant> variants;
+    variants.push_back({"full", {}, false, false});
+    {
+        Variant v{"-coherence", {}, true, false};
+        variants.push_back(v);
+    }
+    {
+        Variant v{"-interfer.", {}, false, false};
+        v.opts.eq1.llcUsesGlobalRd = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"-MLP", {}, false, false};
+        v.opts.eq1.mlpOverlap = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"-branch", {}, false, false};
+        v.opts.eq1.branch = false;
+        variants.push_back(v);
+    }
+    {
+        Variant v{"-ILP", {}, false, false};
+        v.opts.eq1.ilpReplay = false;
+        variants.push_back(v);
+    }
+    variants.push_back({"-sync", {}, false, true});
+
+    std::printf("==============================================================\n");
+    std::printf("Ablation: mean absolute prediction error when removing one\n");
+    std::printf("model ingredient at a time (Base config, 11 workloads).\n");
+    std::printf("==============================================================\n\n");
+
+    std::vector<std::string> headers = {"Benchmark"};
+    for (const Variant &v : variants)
+        headers.push_back(v.label);
+    TablePrinter table(headers);
+
+    std::vector<std::vector<double>> errors(variants.size());
+    for (const WorkloadSpec &spec : specs) {
+        const WorkloadTrace trace = generateWorkload(spec);
+        const WorkloadProfile profile = profileWorkload(trace);
+        ProfilerOptions stripped_opts;
+        stripped_opts.detectInvalidation = false;
+        const WorkloadProfile stripped =
+            profileWorkload(trace, stripped_opts);
+        const SimResult sim = simulate(trace, cfg);
+
+        std::vector<std::string> row = {spec.name};
+        for (size_t v = 0; v < variants.size(); ++v) {
+            const Variant &variant = variants[v];
+            const WorkloadProfile &prof =
+                variant.strip_coherence ? stripped : profile;
+            double predicted;
+            if (variant.crit_only)
+                predicted = predictCrit(prof, cfg);
+            else
+                predicted = predict(prof, cfg, variant.opts).totalCycles;
+            const double err =
+                absRelativeError(predicted, sim.totalCycles);
+            errors[v].push_back(err);
+            row.push_back(fmtPct(err));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    {
+        std::vector<std::string> row = {"average"};
+        for (const auto &errs : errors)
+            row.push_back(fmtPct(mean(errs)));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Reading: each column removes one mechanism. Degradation\n"
+                "relative to 'full' quantifies that mechanism's value; the\n"
+                "dominant contributors should be the ILP window model, the\n"
+                "MLP overlap and the synchronization model, matching the\n"
+                "paper's motivation for mechanistic multicore modeling.\n");
+    return 0;
+}

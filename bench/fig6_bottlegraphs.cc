@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Figure 6 of the paper: bottlegraphs for the Parsec
+ * benchmarks — simulation on one side, RPPM's prediction on the other —
+ * visualizing each thread's criticality share (box height) and
+ * parallelism (box width).
+ *
+ * The paper's three groups should be recognizable: (1) well balanced
+ * pools of four workers with an idle main thread, (2) main working
+ * alongside the workers (facesim slightly main-heavy, freqmine clearly
+ * main-bound), and (3) highly imbalanced main + three workers.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "pipeline.hh"
+#include "sim/bottlegraph.hh"
+
+int
+main()
+{
+    using namespace rppm;
+    using namespace rppm::bench;
+
+    const MulticoreConfig cfg = baseConfig();
+
+    std::printf("==============================================================\n");
+    std::printf("Figure 6: bottlegraphs for the Parsec benchmarks. For each\n");
+    std::printf("benchmark: simulated graph, RPPM-predicted graph, and the\n");
+    std::printf("similarity of their normalized criticality shares.\n");
+    std::printf("==============================================================\n\n");
+
+    std::vector<double> similarities;
+    for (const SuiteEntry &entry : parsecSuite()) {
+        const PipelineResult r = runPipeline(entry, cfg);
+        const Bottlegraph sim_graph = buildBottlegraph(r.sim);
+        const Bottlegraph rppm_graph = r.rppm.bottlegraph();
+        const double similarity =
+            bottlegraphSimilarity(sim_graph, rppm_graph);
+        similarities.push_back(similarity);
+
+        std::printf("---- %s (similarity %s) ----\n", r.name.c_str(),
+                    fmtPct(similarity).c_str());
+        std::printf("%s", sim_graph.render("  simulation").c_str());
+        std::printf("%s\n", rppm_graph.render("  RPPM").c_str());
+        std::fflush(stdout);
+    }
+    std::printf("Average bottlegraph similarity: %s (1 = identical "
+                "criticality shares).\n",
+                fmtPct(mean(similarities)).c_str());
+    std::printf("Paper take-away: RPPM accurately predicts the simulated\n"
+                "bottlegraph, distinguishing balanced pools, main-heavy\n"
+                "workloads (Freqmine) and 3-wide imbalanced groups.\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+#include "pipeline.hh"
+
+#include <algorithm>
+
+#include "common/stats.hh"
+#include "profile/profiler.hh"
+#include "rppm/baselines.hh"
+
+namespace rppm::bench {
+
+double
+PipelineResult::rppmError() const
+{
+    return absRelativeError(rppm.totalCycles, sim.totalCycles);
+}
+
+double
+PipelineResult::mainError() const
+{
+    return absRelativeError(mainPrediction, sim.totalCycles);
+}
+
+double
+PipelineResult::critError() const
+{
+    return absRelativeError(critPrediction, sim.totalCycles);
+}
+
+PipelineResult
+runPipeline(const SuiteEntry &entry, const MulticoreConfig &cfg)
+{
+    const WorkloadTrace trace = generateWorkload(entry.spec);
+    const WorkloadProfile profile = profileWorkload(trace);
+
+    PipelineResult result;
+    result.name = entry.spec.name;
+    result.sim = simulate(trace, cfg);
+    result.rppm = predict(profile, cfg);
+    result.mainPrediction = predictMain(profile, cfg);
+    result.critPrediction = predictCrit(profile, cfg);
+    return result;
+}
+
+WorkloadSpec
+scaleSpec(WorkloadSpec spec, double scale)
+{
+    auto mul = [scale](uint64_t v) {
+        return std::max<uint64_t>(1, static_cast<uint64_t>(
+            static_cast<double>(v) * scale));
+    };
+    spec.opsPerEpoch = mul(spec.opsPerEpoch);
+    spec.initOps = mul(spec.initOps);
+    spec.finalOps = mul(spec.finalOps);
+    spec.itemOps = mul(spec.itemOps);
+    return spec;
+}
+
+} // namespace rppm::bench

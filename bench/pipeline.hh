@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Shared driver for the bench harnesses: runs the full RPPM pipeline
+ * (generate -> simulate -> profile -> predict + baselines) for one
+ * benchmark of the suite, on one or more configurations.
+ */
+
+#ifndef RPPM_BENCH_PIPELINE_HH
+#define RPPM_BENCH_PIPELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+#include "rppm/predictor.hh"
+#include "sim/simulator.hh"
+#include "workload/suite.hh"
+
+namespace rppm::bench {
+
+/** Everything the table/figure harnesses need for one benchmark. */
+struct PipelineResult
+{
+    std::string name;
+    SimResult sim;
+    RppmPrediction rppm;
+    double mainPrediction = 0.0; ///< MAIN baseline (cycles)
+    double critPrediction = 0.0; ///< CRIT baseline (cycles)
+
+    double rppmError() const;
+    double mainError() const;
+    double critError() const;
+};
+
+/** Run the full pipeline for @p entry on @p cfg. */
+PipelineResult runPipeline(const SuiteEntry &entry,
+                           const MulticoreConfig &cfg);
+
+/** Scale factor applied to suite workloads (1 = full size). */
+WorkloadSpec scaleSpec(WorkloadSpec spec, double scale);
+
+} // namespace rppm::bench
+
+#endif // RPPM_BENCH_PIPELINE_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Speed benchmarks backing the paper's "Rapid" claim: profiling is a
+ * one-time cost (paper Sec. VII: at least an order of magnitude faster
+ * than simulation per evaluated configuration), and evaluating the
+ * analytical model for one more design point costs far less than one
+ * more simulation — which is what makes design-space exploration cheap.
+ *
+ * Uses google-benchmark. The workload is a mid-size suite entry scaled
+ * down so each iteration stays in the millisecond range.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "pipeline.hh"
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+#include "sim/simulator.hh"
+
+namespace {
+
+using namespace rppm;
+using namespace rppm::bench;
+
+const SuiteEntry &
+benchEntry()
+{
+    static const SuiteEntry entry = [] {
+        SuiteEntry e = *findBenchmark("hotspot");
+        e.spec = scaleSpec(e.spec, 0.25);
+        return e;
+    }();
+    return entry;
+}
+
+const WorkloadTrace &
+benchTrace()
+{
+    static const WorkloadTrace trace = generateWorkload(benchEntry().spec);
+    return trace;
+}
+
+const WorkloadProfile &
+benchProfile()
+{
+    static const WorkloadProfile profile = profileWorkload(benchTrace());
+    return profile;
+}
+
+void
+BM_GenerateWorkload(benchmark::State &state)
+{
+    for (auto _ : state) {
+        const WorkloadTrace trace = generateWorkload(benchEntry().spec);
+        benchmark::DoNotOptimize(trace.totalOps());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(benchTrace().totalOps()));
+}
+
+void
+BM_Simulate(benchmark::State &state)
+{
+    const WorkloadTrace &trace = benchTrace();
+    const MulticoreConfig cfg = baseConfig();
+    for (auto _ : state) {
+        const SimResult res = simulate(trace, cfg);
+        benchmark::DoNotOptimize(res.totalCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(trace.totalOps()));
+}
+
+void
+BM_ProfileOnce(benchmark::State &state)
+{
+    const WorkloadTrace &trace = benchTrace();
+    for (auto _ : state) {
+        const WorkloadProfile prof = profileWorkload(trace);
+        benchmark::DoNotOptimize(prof.totalOps());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(trace.totalOps()));
+}
+
+void
+BM_PredictOneConfig(benchmark::State &state)
+{
+    const WorkloadProfile &prof = benchProfile();
+    const MulticoreConfig cfg = baseConfig();
+    for (auto _ : state) {
+        const RppmPrediction pred = predict(prof, cfg);
+        benchmark::DoNotOptimize(pred.totalCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(benchTrace().totalOps()));
+}
+
+void
+BM_PredictOneConfigFast(benchmark::State &state)
+{
+    // Fast path: skip the CPI-stack decomposition (same predicted total,
+    // one window replay instead of five).
+    const WorkloadProfile &prof = benchProfile();
+    const MulticoreConfig cfg = baseConfig();
+    RppmOptions opts;
+    opts.eq1.decompose = false;
+    for (auto _ : state) {
+        const RppmPrediction pred = predict(prof, cfg, opts);
+        benchmark::DoNotOptimize(pred.totalCycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(benchTrace().totalOps()));
+}
+
+void
+BM_PredictDesignSpace(benchmark::State &state)
+{
+    // The amortization story: five design points from one profile.
+    const WorkloadProfile &prof = benchProfile();
+    const auto configs = tableIvConfigs();
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (const auto &cfg : configs)
+            sum += predict(prof, cfg).totalSeconds;
+        benchmark::DoNotOptimize(sum);
+    }
+}
+
+void
+BM_SimulateDesignSpace(benchmark::State &state)
+{
+    const WorkloadTrace &trace = benchTrace();
+    const auto configs = tableIvConfigs();
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (const auto &cfg : configs)
+            sum += simulate(trace, cfg).totalSeconds;
+        benchmark::DoNotOptimize(sum);
+    }
+}
+
+BENCHMARK(BM_GenerateWorkload)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Simulate)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ProfileOnce)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictOneConfig)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictOneConfigFast)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PredictDesignSpace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimulateDesignSpace)->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Regenerates Table I of the paper: accumulating prediction errors in
+ * barrier-synchronized applications.
+ *
+ * The micro-benchmark is the one the paper describes (Sec. II-A): a loop
+ * of one million iterations, each iteration taking the same time,
+ * parallelized over n threads with a barrier per iteration. The
+ * "analytical model" is 100% accurate on average but each per-thread
+ * inter-barrier prediction carries a uniform random error within a bound.
+ * Because each inter-barrier epoch is timed by the *slowest* thread, the
+ * overall prediction error accumulates: E[max_n(1+e)] - 1 = b(n-1)/(n+1)
+ * for uniform errors in [-b, +b] — which the Monte-Carlo rows below
+ * reproduce and the closed-form column confirms.
+ */
+
+#include <cstdio>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+
+namespace {
+
+double
+accumulatedError(uint32_t threads, double bound, uint32_t barriers,
+                 rppm::Rng &rng)
+{
+    double predicted_total = 0.0;
+    for (uint32_t b = 0; b < barriers; ++b) {
+        double predicted_max = 0.0;
+        for (uint32_t t = 0; t < threads; ++t) {
+            predicted_max = std::max(
+                predicted_max, 1.0 + rng.nextUniform(-bound, bound));
+        }
+        predicted_total += predicted_max;
+    }
+    return predicted_total / static_cast<double>(barriers) - 1.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using rppm::fmtPct;
+
+    std::printf("==============================================================\n");
+    std::printf("Table I: Accumulating prediction errors in barrier-\n");
+    std::printf("synchronized applications (1M-iteration barrier loop).\n");
+    std::printf("Overall prediction error vs thread count and inter-barrier\n");
+    std::printf("error bound. Paper: 0/0.33/0.60/0.78/0.88%% at 1%% bound.\n");
+    std::printf("==============================================================\n\n");
+
+    constexpr uint32_t kIterations = 1000000; // as in the paper
+    const double bounds[] = {0.01, 0.05, 0.10};
+    const uint32_t thread_counts[] = {1, 2, 4, 8, 16};
+
+    rppm::TablePrinter table(
+        {"#Threads", "1%", "5%", "10%", "closed form (5%)"});
+    rppm::Rng rng(0x7ab1e1);
+    for (uint32_t n : thread_counts) {
+        std::vector<std::string> row;
+        row.push_back(std::to_string(n));
+        for (double b : bounds)
+            row.push_back(fmtPct(accumulatedError(n, b, kIterations, rng),
+                                 2));
+        const double closed =
+            n == 1 ? 0.0 : 0.05 * (n - 1) / static_cast<double>(n + 1);
+        row.push_back(fmtPct(closed, 2));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Reading: with a single thread, over- and under-estimations\n"
+                "cancel; with more threads, the slowest thread defines each\n"
+                "inter-barrier epoch, so errors accumulate and grow with\n"
+                "thread count — motivating accurate per-epoch prediction.\n");
+    return 0;
+}

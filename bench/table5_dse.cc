@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Regenerates Table V of the paper (and echoes Table IV): the design
+ * space exploration case study.
+ *
+ * One profile per Rodinia benchmark predicts all five Table-IV design
+ * points (iso peak throughput: width x frequency = 10 Gops/s). For each
+ * bound x in {0%, 1%, 3%, 5%}, RPPM selects the design points whose
+ * predicted time is within x of the predicted optimum; simulation then
+ * picks the best of that candidate set. The table reports the deficiency
+ * (slowdown of the selection versus the true simulated optimum) and the
+ * number of candidates, exactly like the paper's rows.
+ */
+
+#include <cstdio>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "pipeline.hh"
+#include "profile/profiler.hh"
+#include "rppm/dse.hh"
+
+int
+main()
+{
+    using namespace rppm;
+    using namespace rppm::bench;
+
+    const std::vector<MulticoreConfig> configs = tableIvConfigs();
+
+    std::printf("==============================================================\n");
+    std::printf("Table IV: simulated architecture configurations (all deliver\n");
+    std::printf("the same peak performance of ~10 Gops/s per core).\n");
+    std::printf("==============================================================\n\n");
+    {
+        TablePrinter t({"", "Smallest", "Small", "Base", "Big", "Biggest"});
+        auto row = [&](const char *name, auto get) {
+            std::vector<std::string> cells = {name};
+            for (const auto &cfg : configs)
+                cells.push_back(get(cfg));
+            t.addRow(cells);
+        };
+        row("frequency [GHz]", [](const MulticoreConfig &c) {
+            return fmt(c.core.frequencyGHz, 2);
+        });
+        row("dispatch width", [](const MulticoreConfig &c) {
+            return std::to_string(c.core.dispatchWidth);
+        });
+        row("ROB size", [](const MulticoreConfig &c) {
+            return std::to_string(c.core.robSize);
+        });
+        row("issue queue size", [](const MulticoreConfig &c) {
+            return std::to_string(c.core.issueQueueSize);
+        });
+        std::printf("%s\n", t.render().c_str());
+    }
+
+    std::printf("==============================================================\n");
+    std::printf("Table V: predicting the optimum design point. Cells show\n");
+    std::printf("deficiency vs the true optimum and #candidate points at each\n");
+    std::printf("bound. Paper: avg deficiency 1.95%% at 0%%, 0.12%% at 5%%.\n");
+    std::printf("==============================================================\n\n");
+
+    const double bounds[] = {0.0, 0.01, 0.03, 0.05};
+    TablePrinter table({"Benchmark", "0%", "<1%", "<3%", "<5%"});
+    std::vector<std::vector<double>> deficiencies(4);
+
+    for (const SuiteEntry &entry : rodiniaSuite()) {
+        const WorkloadTrace trace = generateWorkload(entry.spec);
+        const WorkloadProfile profile = profileWorkload(trace);
+        std::vector<double> sim_seconds;
+        for (const MulticoreConfig &cfg : configs)
+            sim_seconds.push_back(simulate(trace, cfg).totalSeconds);
+        const DseResult res =
+            exploreDesignSpace(profile, configs, sim_seconds);
+
+        std::vector<std::string> row = {entry.spec.name};
+        for (size_t b = 0; b < 4; ++b) {
+            const double d = res.deficiency(bounds[b]);
+            deficiencies[b].push_back(d);
+            row.push_back(fmtPct(d, 2) + " " +
+                          std::to_string(res.candidates(bounds[b]).size()));
+        }
+        table.addRow(row);
+        std::fflush(stdout);
+    }
+    {
+        std::vector<std::string> row = {"average"};
+        for (size_t b = 0; b < 4; ++b)
+            row.push_back(fmtPct(mean(deficiencies[b]), 2));
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Reading: at a 0%% bound RPPM commits to a single design\n"
+                "point; relaxing the bound lets simulation arbitrate among a\n"
+                "few near-optimal candidates, driving deficiency toward 0.\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parallel performance analysis with bottlegraphs (paper Sec. VI-B).
+ *
+ * Builds bottlegraphs — per-thread criticality share x parallelism —
+ * from RPPM's symbolic execution for three Parsec benchmarks with very
+ * different balance characters, and compares each against the simulated
+ * bottlegraph:
+ *
+ *   - Blackscholes: balanced pool of four workers, idle main thread.
+ *   - Freqmine: the main thread is the scalability bottleneck.
+ *   - Vips: imbalanced producer-consumer pipeline, parallelism ~3.
+ *
+ * Build & run:  ./build/examples/bottlegraph_analysis
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+#include "sim/bottlegraph.hh"
+#include "sim/simulator.hh"
+#include "workload/suite.hh"
+
+int
+main()
+{
+    using namespace rppm;
+
+    const MulticoreConfig cfg = baseConfig();
+    for (const char *name : {"Blackscholes", "Freqmine", "Vips"}) {
+        const SuiteEntry benchmark = *findBenchmark(name);
+        const WorkloadTrace trace = generateWorkload(benchmark.spec);
+        const WorkloadProfile profile = profileWorkload(trace);
+
+        const SimResult sim = simulate(trace, cfg);
+        const RppmPrediction pred = predict(profile, cfg);
+
+        const Bottlegraph sim_graph = buildBottlegraph(sim);
+        const Bottlegraph pred_graph = pred.bottlegraph();
+
+        std::printf("==== %s ====\n", name);
+        std::printf("%s", sim_graph.render("simulated").c_str());
+        std::printf("%s", pred_graph.render("RPPM-predicted").c_str());
+        std::printf("criticality-share similarity: %s\n\n",
+                    fmtPct(bottlegraphSimilarity(sim_graph,
+                                                 pred_graph)).c_str());
+    }
+    std::printf("Reading the graphs: the tallest box is the bottleneck\n"
+                "thread; its width is how many threads run in parallel\n"
+                "while it is active. A perfectly balanced 4-thread app has\n"
+                "four boxes of height 25%% and width 4.\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Frequency-scaling (DVFS) analysis with one profile.
+ *
+ * A classic use of performance models (cf. DEP+BURST, which the paper
+ * cites as frequency-only related work): how does a workload's execution
+ * time respond to clock frequency when DRAM latency is fixed in
+ * nanoseconds? Compute-bound code scales ~linearly with frequency;
+ * memory-bound code saturates. RPPM answers this from a single profile —
+ * and, unlike DEP+BURST, can vary the microarchitecture at the same time.
+ *
+ * Build & run:  ./build/examples/frequency_scaling
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+#include "sim/simulator.hh"
+#include "workload/suite.hh"
+
+namespace {
+
+using namespace rppm;
+
+/** Base config at @p ghz with DRAM latency fixed at 80 ns. */
+MulticoreConfig
+atFrequency(double ghz)
+{
+    MulticoreConfig cfg = baseConfig();
+    cfg.name = "base@" + fmt(ghz, 2) + "GHz";
+    cfg.core.frequencyGHz = ghz;
+    cfg.memLatency = static_cast<uint32_t>(80.0 * ghz + 0.5);
+    return cfg;
+}
+
+void
+sweep(const char *name)
+{
+    const SuiteEntry benchmark = *findBenchmark(name);
+    const WorkloadTrace trace = generateWorkload(benchmark.spec);
+    const WorkloadProfile profile = profileWorkload(trace);
+
+    const MulticoreConfig ref = atFrequency(1.0);
+    const double t_ref = predict(profile, ref).totalSeconds;
+
+    std::printf("---- %s ----\n", name);
+    TablePrinter table({"frequency", "predicted ms", "speedup vs 1 GHz",
+                        "perfect scaling"});
+    for (double ghz : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0}) {
+        const RppmPrediction pred =
+            predict(profile, atFrequency(ghz));
+        table.addRow({fmt(ghz, 2) + " GHz",
+                      fmt(pred.totalSeconds * 1e3, 3),
+                      fmt(t_ref / pred.totalSeconds, 2) + "x",
+                      fmt(ghz, 2) + "x"});
+    }
+    std::printf("%s", table.render().c_str());
+
+    // Validate the end points against the golden simulator.
+    for (double ghz : {1.0, 5.0}) {
+        const MulticoreConfig cfg = atFrequency(ghz);
+        const double sim_ms = simulate(trace, cfg).totalSeconds * 1e3;
+        const double pred_ms =
+            predict(profile, cfg).totalSeconds * 1e3;
+        std::printf("  check @%.1f GHz: sim %.3f ms, RPPM %.3f ms (%s)\n",
+                    ghz, sim_ms, pred_ms,
+                    fmtPct((pred_ms - sim_ms) / sim_ms).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    // lavaMD's working set is mostly cache-resident: frequency keeps
+    // paying off across the sweep. nn streams far beyond the LLC: the
+    // fixed DRAM time dominates and the speedup saturates early. Both
+    // end points are validated against the golden simulator.
+    sweep("lavaMD");
+    sweep("nn");
+    std::printf("Take-away: one profile answers DVFS questions for both\n"
+                "workload classes; no re-profiling, no simulation sweep.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Profiles as durable artifacts: profile once, save to disk, and let a
+ * later session (or another machine) run the predictions.
+ *
+ * This mirrors the intended RPPM workflow: profiling is the expensive
+ * one-time step; the saved profile then amortizes across every design
+ * point anyone ever wants to evaluate.
+ *
+ * Build & run:  ./build/examples/profile_cache
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "profile/profiler.hh"
+#include "profile/serialize.hh"
+#include "rppm/predictor.hh"
+#include "workload/suite.hh"
+
+int
+main()
+{
+    using namespace rppm;
+
+    const std::string path = "/tmp/rppm_srad.profile";
+
+    // --- Session 1: profile and save. ---
+    {
+        const SuiteEntry benchmark = *findBenchmark("srad");
+        const WorkloadTrace trace = generateWorkload(benchmark.spec);
+        const WorkloadProfile profile = profileWorkload(trace);
+        saveProfileToFile(profile, path);
+        std::printf("profiled '%s' (%llu uops) and saved to %s\n",
+                    profile.name.c_str(),
+                    static_cast<unsigned long long>(profile.totalOps()),
+                    path.c_str());
+    }
+
+    // --- Session 2: load and sweep the whole Table-IV design space. ---
+    {
+        const WorkloadProfile profile = loadProfileFromFile(path);
+        std::printf("reloaded profile '%s'; predicting 5 design points:\n\n",
+                    profile.name.c_str());
+        TablePrinter table({"config", "freq", "width", "predicted ms"});
+        for (const MulticoreConfig &cfg : tableIvConfigs()) {
+            const RppmPrediction pred = predict(profile, cfg);
+            table.addRow({cfg.name, fmt(cfg.core.frequencyGHz, 2) + " GHz",
+                          std::to_string(cfg.core.dispatchWidth),
+                          fmt(pred.totalSeconds * 1e3, 3)});
+        }
+        std::printf("%s\n", table.render().c_str());
+        std::printf("no simulation, no re-profiling — just the model.\n");
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Quickstart: the full RPPM workflow in ~50 lines.
+ *
+ *   1. Pick a benchmark from the synthetic suite (or author your own
+ *      WorkloadSpec) and generate its multi-threaded trace.
+ *   2. Profile it ONCE: the profile contains only microarchitecture-
+ *      independent statistics.
+ *   3. Predict execution time on any multicore configuration.
+ *   4. (Optional) validate against the cycle-level simulator.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+#include "sim/simulator.hh"
+#include "workload/suite.hh"
+
+int
+main()
+{
+    using namespace rppm;
+
+    // 1. A Rodinia-like benchmark: hotspot (stencil, barrier phases).
+    const SuiteEntry benchmark = *findBenchmark("hotspot");
+    const WorkloadTrace trace = generateWorkload(benchmark.spec);
+    std::printf("workload '%s': %llu micro-ops over %zu threads\n",
+                trace.name.c_str(),
+                static_cast<unsigned long long>(trace.totalOps()),
+                trace.numThreads());
+
+    // 2. Profile once (microarchitecture-independent).
+    const WorkloadProfile profile = profileWorkload(trace);
+    std::printf("profiled %zu threads; %llu barriers, %llu critical "
+                "sections, %llu condvar events\n",
+                profile.threads.size(),
+                static_cast<unsigned long long>(
+                    profile.syncCounts.barriers),
+                static_cast<unsigned long long>(
+                    profile.syncCounts.criticalSections),
+                static_cast<unsigned long long>(
+                    profile.syncCounts.condVars));
+
+    // 3. Predict on the paper's Base quad-core.
+    const MulticoreConfig cfg = baseConfig();
+    const RppmPrediction pred = predict(profile, cfg);
+    std::printf("RPPM predicts %.2f Mcycles (%.3f ms at %.2f GHz)\n",
+                pred.totalCycles / 1e6, pred.totalSeconds * 1e3,
+                cfg.core.frequencyGHz);
+
+    // 4. Validate against the golden-reference simulator.
+    const SimResult sim = simulate(trace, cfg);
+    std::printf("simulator says    %.2f Mcycles -> prediction error %s\n",
+                sim.totalCycles / 1e6,
+                fmtPct((pred.totalCycles - sim.totalCycles) /
+                       sim.totalCycles).c_str());
+
+    // Bonus: the predicted per-thread CPI stack.
+    const CpiStack stack = pred.averageCpiStack();
+    std::printf("\npredicted average CPI stack (cycles per instruction):\n");
+    for (size_t c = 0; c < kNumCpiComponents; ++c) {
+        std::printf("  %-8s %6.3f\n",
+                    cpiComponentName(static_cast<CpiComponent>(c)),
+                    stack.cycles[c]);
+    }
+    return 0;
+}

@@ -1,0 +1,110 @@
+#include "arch/config.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+std::array<FuConfig, kNumOpClasses>
+CoreConfig::defaultFus()
+{
+    std::array<FuConfig, kNumOpClasses> fus{};
+    fus[static_cast<size_t>(OpClass::IntAlu)] = {1, 4, 1};
+    fus[static_cast<size_t>(OpClass::IntMul)] = {3, 1, 1};
+    fus[static_cast<size_t>(OpClass::IntDiv)] = {20, 1, 12};
+    fus[static_cast<size_t>(OpClass::FpAdd)] = {3, 2, 1};
+    fus[static_cast<size_t>(OpClass::FpMul)] = {5, 2, 1};
+    fus[static_cast<size_t>(OpClass::FpDiv)] = {18, 1, 10};
+    fus[static_cast<size_t>(OpClass::Load)] = {1, 2, 1};  // + cache latency
+    fus[static_cast<size_t>(OpClass::Store)] = {1, 2, 1};
+    fus[static_cast<size_t>(OpClass::Branch)] = {1, 2, 1};
+    return fus;
+}
+
+void
+MulticoreConfig::validate() const
+{
+    RPPM_REQUIRE(numCores >= 1, "need at least one core");
+    RPPM_REQUIRE(core.dispatchWidth >= 1, "dispatch width must be >= 1");
+    RPPM_REQUIRE(core.robSize >= core.dispatchWidth,
+                 "ROB must hold at least one dispatch group");
+    RPPM_REQUIRE(core.issueQueueSize >= 1, "issue queue must be >= 1");
+    RPPM_REQUIRE(core.frequencyGHz > 0.0, "frequency must be positive");
+    for (const CacheConfig *c : {&l1i, &l1d, &l2, &llc}) {
+        RPPM_REQUIRE(c->lineBytes > 0 && c->assoc > 0 && c->sizeBytes > 0,
+                     "cache parameters must be positive");
+        RPPM_REQUIRE(c->sizeBytes % (c->assoc * c->lineBytes) == 0,
+                     "cache size must be a whole number of sets");
+    }
+    RPPM_REQUIRE(l1i.lineBytes == l1d.lineBytes &&
+                 l1d.lineBytes == l2.lineBytes &&
+                 l2.lineBytes == llc.lineBytes,
+                 "all cache levels must share one line size");
+}
+
+MulticoreConfig
+baseConfig()
+{
+    MulticoreConfig cfg;
+    cfg.name = "Base";
+    cfg.numCores = 4;
+    cfg.core.frequencyGHz = 2.5;
+    cfg.core.dispatchWidth = 4;
+    cfg.core.robSize = 128;
+    cfg.core.issueQueueSize = 64;
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<MulticoreConfig>
+tableIvConfigs()
+{
+    // Table IV: same peak ops/s across all five design points.
+    struct Row
+    {
+        const char *name;
+        double freq;
+        uint32_t width;
+        uint32_t rob;
+        uint32_t iq;
+    };
+    static const Row rows[] = {
+        {"Smallest", 5.00, 2, 32, 16},
+        {"Small", 3.33, 3, 72, 36},
+        {"Base", 2.50, 4, 128, 64},
+        {"Big", 2.00, 5, 200, 100},
+        {"Biggest", 1.66, 6, 288, 144},
+    };
+
+    std::vector<MulticoreConfig> configs;
+    for (const Row &row : rows) {
+        MulticoreConfig cfg;
+        cfg.name = row.name;
+        cfg.numCores = 4;
+        cfg.core.frequencyGHz = row.freq;
+        cfg.core.dispatchWidth = row.width;
+        cfg.core.robSize = row.rob;
+        cfg.core.issueQueueSize = row.iq;
+        // Off-chip DRAM latency is constant in wall-clock time (80 ns,
+        // i.e. 200 cycles at the 2.5 GHz Base), so high-frequency design
+        // points pay more core cycles per miss. On-chip cache latencies
+        // stay constant in cycles (SRAM pipelines track the clock).
+        cfg.memLatency = static_cast<uint32_t>(80.0 * row.freq + 0.5);
+        // Execution resources scale with width so every design point can
+        // actually sustain its peak dispatch rate (the iso-throughput
+        // premise of the case study).
+        cfg.core.fus[static_cast<size_t>(OpClass::IntAlu)].count =
+            row.width;
+        const uint32_t half = std::max<uint32_t>(2, (row.width + 1) / 2);
+        for (OpClass cls : {OpClass::FpAdd, OpClass::FpMul, OpClass::Load,
+                            OpClass::Store, OpClass::Branch}) {
+            cfg.core.fus[static_cast<size_t>(cls)].count = half;
+        }
+        cfg.validate();
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+} // namespace rppm

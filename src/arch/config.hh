@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Multicore architecture configuration.
+ *
+ * Mirrors the parameters the paper varies (Table IV): clock frequency,
+ * dispatch width, ROB and issue-queue sizes, the cache hierarchy and the
+ * branch predictor. Both the golden-reference simulator and the RPPM
+ * analytical model consume the same MulticoreConfig, so a single profile
+ * can be evaluated against any configuration ("profile once, predict many").
+ */
+
+#ifndef RPPM_ARCH_CONFIG_HH
+#define RPPM_ARCH_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace rppm {
+
+/** Per-op-class execution latency / unit count / issue throughput. */
+struct FuConfig
+{
+    uint32_t latency = 1;    ///< execution latency in cycles
+    uint32_t count = 1;      ///< number of units
+    uint32_t interval = 1;   ///< issue interval per unit (1 = pipelined)
+};
+
+/** One cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint32_t sizeBytes = 32 * 1024;
+    uint32_t assoc = 4;
+    uint32_t lineBytes = 64;
+    uint32_t latency = 3;    ///< access (hit) latency in cycles
+
+    uint32_t numSets() const { return sizeBytes / (assoc * lineBytes); }
+    uint32_t numLines() const { return sizeBytes / lineBytes; }
+};
+
+/** Branch predictor configuration (tournament, as in Table IV). */
+struct BranchPredictorConfig
+{
+    uint32_t totalBytes = 4 * 1024;  ///< total predictor storage budget
+    uint32_t historyBits = 12;       ///< gshare global history length
+
+    /** 2-bit counters per table; budget split across three tables. */
+    uint32_t tableEntries() const { return totalBytes * 8 / 2 / 3; }
+};
+
+/** Out-of-order core configuration. */
+struct CoreConfig
+{
+    double frequencyGHz = 2.5;
+    uint32_t dispatchWidth = 4;
+    uint32_t robSize = 128;
+    uint32_t issueQueueSize = 64;
+    uint32_t frontendDepth = 5;     ///< pipeline refill depth (cycles)
+    uint32_t mshrs = 16;            ///< max outstanding L1D misses
+    std::array<FuConfig, kNumOpClasses> fus = defaultFus();
+
+    BranchPredictorConfig branch;
+
+    /** Default functional-unit latencies (Skylake-like integers). */
+    static std::array<FuConfig, kNumOpClasses> defaultFus();
+};
+
+/** Whole multicore: identical cores, private L1I/L1D/L2, shared LLC. */
+struct MulticoreConfig
+{
+    std::string name = "base";
+    uint32_t numCores = 4;
+    CoreConfig core;
+    CacheConfig l1i{"L1I", 32 * 1024, 4, 64, 1};
+    CacheConfig l1d{"L1D", 32 * 1024, 4, 64, 3};
+    CacheConfig l2{"L2", 256 * 1024, 8, 64, 10};
+    CacheConfig llc{"LLC", 8 * 1024 * 1024, 16, 64, 30};
+    uint32_t memLatency = 200;      ///< DRAM access latency in cycles
+
+    /**
+     * Cycles the shared memory bus is occupied per DRAM transfer;
+     * concurrent misses from different cores queue behind each other.
+     * 0 disables bus contention (infinite bandwidth), which matches the
+     * paper's simulation setup; set >0 to study bandwidth interference.
+     */
+    uint32_t memBusCycles = 0;
+
+    /** Throws if internally inconsistent. */
+    void validate() const;
+
+    /** Convert a cycle count on this config to nanoseconds. */
+    double cyclesToNs(double cycles) const
+    {
+        return cycles / core.frequencyGHz;
+    }
+};
+
+/**
+ * The five design points of Table IV. All five deliver the same peak
+ * throughput (width x frequency = 10 Gops/s); ROB and issue queue scale
+ * with width.
+ */
+std::vector<MulticoreConfig> tableIvConfigs();
+
+/** The paper's Base configuration (middle column of Table IV). */
+MulticoreConfig baseConfig();
+
+} // namespace rppm
+
+#endif // RPPM_ARCH_CONFIG_HH

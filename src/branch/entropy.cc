@@ -1,0 +1,111 @@
+#include "branch/entropy.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "branch/tournament.hh"
+#include "common/assert.hh"
+#include "common/rng.hh"
+
+namespace rppm {
+
+void
+BranchEntropyProfile::record(uint64_t pc, bool taken)
+{
+    Counts &c = counts_[pc];
+    ++c.total;
+    if (taken)
+        ++c.taken;
+    ++total_;
+}
+
+void
+BranchEntropyProfile::addCounts(uint64_t pc, uint64_t taken, uint64_t total)
+{
+    Counts &c = counts_[pc];
+    c.taken += taken;
+    c.total += total;
+    total_ += total;
+}
+
+void
+BranchEntropyProfile::merge(const BranchEntropyProfile &other)
+{
+    for (const auto &[pc, c] : other.counts_) {
+        Counts &mine = counts_[pc];
+        mine.taken += c.taken;
+        mine.total += c.total;
+    }
+    total_ += other.total_;
+}
+
+double
+BranchEntropyProfile::averageLinearEntropy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    double weighted = 0.0;
+    for (const auto &[pc, c] : counts_) {
+        const double p =
+            static_cast<double>(c.taken) / static_cast<double>(c.total);
+        weighted += 2.0 * p * (1.0 - p) * static_cast<double>(c.total);
+    }
+    return weighted / static_cast<double>(total_);
+}
+
+EntropyMissRateModel::EntropyMissRateModel(const BranchPredictorConfig &cfg)
+{
+    // Calibrate: for a grid of taken probabilities, stream Bernoulli
+    // branches from a moderate number of static PCs through the real
+    // predictor and record (linear entropy, measured miss rate). Using
+    // multiple PCs exercises aliasing the way a real workload would.
+    constexpr int kStaticBranches = 64;
+    constexpr int kStreamLength = 200000;
+    Rng rng(0xb7a9c8e5f1d2433ULL);
+
+    std::vector<std::pair<double, double>> raw;
+    for (double p : {0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85,
+                     0.9, 0.94, 0.97, 0.99, 1.0}) {
+        TournamentPredictor pred(cfg);
+        Rng stream = rng.fork(static_cast<uint64_t>(p * 1000));
+        for (int i = 0; i < kStreamLength; ++i) {
+            const uint64_t pc =
+                0x400000 + 4 * stream.nextBounded(kStaticBranches);
+            pred.predictAndUpdate(pc, stream.nextBool(p));
+        }
+        const double entropy = 2.0 * p * (1.0 - p);
+        raw.emplace_back(entropy, pred.stats().missRate());
+    }
+
+    std::sort(raw.begin(), raw.end());
+    // Enforce monotonicity (measurement noise can produce tiny dips).
+    double running_max = 0.0;
+    for (auto &[e, m] : raw) {
+        running_max = std::max(running_max, m);
+        m = running_max;
+    }
+    knots_ = std::move(raw);
+    RPPM_ASSERT(!knots_.empty());
+}
+
+double
+EntropyMissRateModel::missRate(double e) const
+{
+    e = std::clamp(e, 0.0, 0.5);
+    if (e <= knots_.front().first)
+        return knots_.front().second * (knots_.front().first > 0.0 ?
+            e / knots_.front().first : 1.0);
+    if (e >= knots_.back().first)
+        return knots_.back().second;
+    for (size_t i = 1; i < knots_.size(); ++i) {
+        if (e <= knots_[i].first) {
+            const auto &[e0, m0] = knots_[i - 1];
+            const auto &[e1, m1] = knots_[i];
+            const double t = (e - e0) / (e1 - e0);
+            return m0 + t * (m1 - m0);
+        }
+    }
+    return knots_.back().second;
+}
+
+} // namespace rppm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Microarchitecture-independent branch behaviour characterization.
+ *
+ * Follows the approach of De Pestel et al. (ISPASS 2015), which the paper
+ * relies on for its branch component: the profiler measures each static
+ * branch's *linear entropy* — a purely workload-dependent number — and a
+ * one-time per-predictor calibration maps entropy to a miss rate for a
+ * concrete predictor configuration. The calibration drives synthetic
+ * Bernoulli branch streams through the real TournamentPredictor once per
+ * predictor config and caches the resulting monotone entropy->missrate map.
+ */
+
+#ifndef RPPM_BRANCH_ENTROPY_HH
+#define RPPM_BRANCH_ENTROPY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace rppm {
+
+/**
+ * Accumulates per-static-branch outcome counts and reports the
+ * taken-count-weighted average linear entropy of the branch stream.
+ *
+ * Linear entropy of a branch with taken probability p is 2*p*(1-p): 0 for
+ * perfectly biased branches, 1/2 for coin flips. It is linear in the
+ * mispredict probability of an idealized predictor that always guesses the
+ * majority outcome, which makes the entropy->missrate map close to linear
+ * and easy to calibrate.
+ */
+class BranchEntropyProfile
+{
+  public:
+    /** Record one dynamic branch outcome. */
+    void record(uint64_t pc, bool taken);
+
+    /** Merge another profile (same PC space). */
+    void merge(const BranchEntropyProfile &other);
+
+    /** Total dynamic branches observed. */
+    uint64_t dynamicBranches() const { return total_; }
+
+    /**
+     * Dynamic-count-weighted average linear entropy in [0, 0.5].
+     * Branches seen only once contribute zero entropy.
+     */
+    double averageLinearEntropy() const;
+
+    /** Number of distinct static branches. */
+    size_t staticBranches() const { return counts_.size(); }
+
+    /** Bulk-insert per-branch counts (deserialization). */
+    void addCounts(uint64_t pc, uint64_t taken, uint64_t total);
+
+    /** Visit every static branch as (pc, taken, total). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const auto &[pc, c] : counts_)
+            fn(pc, c.taken, c.total);
+    }
+
+  private:
+    struct Counts
+    {
+        uint64_t taken = 0;
+        uint64_t total = 0;
+    };
+    std::unordered_map<uint64_t, Counts> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Entropy -> miss-rate map for one predictor configuration.
+ *
+ * Built once per BranchPredictorConfig by measuring the real tournament
+ * predictor on synthetic branch streams spanning the entropy range, then
+ * evaluated by monotone piecewise-linear interpolation. This keeps the
+ * profile microarchitecture-independent while the map itself is a
+ * workload-independent property of the predictor — the same split the
+ * paper uses.
+ */
+class EntropyMissRateModel
+{
+  public:
+    explicit EntropyMissRateModel(const BranchPredictorConfig &cfg);
+
+    /** Predicted miss rate for a stream of average linear entropy @p e. */
+    double missRate(double e) const;
+
+    /** The calibration knots (entropy, missRate), for inspection/tests. */
+    const std::vector<std::pair<double, double>> &knots() const
+    {
+        return knots_;
+    }
+
+  private:
+    std::vector<std::pair<double, double>> knots_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_BRANCH_ENTROPY_HH

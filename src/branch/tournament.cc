@@ -1,0 +1,65 @@
+#include "branch/tournament.hh"
+
+#include <bit>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+TournamentPredictor::TournamentPredictor(const BranchPredictorConfig &cfg)
+{
+    // Round the per-table entry count down to a power of two so simple
+    // mask indexing works.
+    uint32_t entries = cfg.tableEntries();
+    RPPM_REQUIRE(entries >= 4, "branch predictor budget too small");
+    entries = uint32_t{1} << (31 - std::countl_zero(entries));
+    entries_ = entries;
+    mask_ = entries_ - 1;
+    historyMask_ = (uint32_t{1} << cfg.historyBits) - 1;
+    bimodal_.assign(entries_, 1);  // weakly not-taken
+    gshare_.assign(entries_, 1);
+    meta_.assign(entries_, 1);     // weakly prefer bimodal
+}
+
+void
+TournamentPredictor::update2Bit(uint8_t &counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+bool
+TournamentPredictor::predictAndUpdate(uint64_t pc, bool taken)
+{
+    // Hash the PC down to an index; drop the low bits that are constant
+    // for aligned instructions.
+    const uint32_t pc_idx = static_cast<uint32_t>(pc >> 2) & mask_;
+    const uint32_t gs_idx =
+        (static_cast<uint32_t>(pc >> 2) ^ (history_ & historyMask_)) & mask_;
+
+    const bool bimodal_pred = bimodal_[pc_idx] >= 2;
+    const bool gshare_pred = gshare_[gs_idx] >= 2;
+    const bool use_gshare = meta_[pc_idx] >= 2;
+    const bool prediction = use_gshare ? gshare_pred : bimodal_pred;
+
+    ++stats_.lookups;
+    const bool correct = prediction == taken;
+    if (!correct)
+        ++stats_.mispredicts;
+
+    // Meta table trains toward whichever component was right (only when
+    // they disagree).
+    if (bimodal_pred != gshare_pred)
+        update2Bit(meta_[pc_idx], gshare_pred == taken);
+    update2Bit(bimodal_[pc_idx], taken);
+    update2Bit(gshare_[gs_idx], taken);
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & historyMask_;
+    return correct;
+}
+
+} // namespace rppm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tournament branch predictor (bimodal + gshare + meta chooser).
+ *
+ * This is the real predictor the golden-reference simulator drives with
+ * the dynamic branch stream. The RPPM model never sees it directly: the
+ * model predicts its miss rate from the workload's branch entropy via a
+ * one-time calibration (see branch/entropy.hh), mirroring the paper's
+ * microarchitecture-independent branch modeling [10].
+ */
+
+#ifndef RPPM_BRANCH_TOURNAMENT_HH
+#define RPPM_BRANCH_TOURNAMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace rppm {
+
+/** Statistics of one predictor instance. */
+struct BranchStats
+{
+    uint64_t lookups = 0;
+    uint64_t mispredicts = 0;
+
+    double missRate() const
+    {
+        return lookups ? static_cast<double>(mispredicts) /
+            static_cast<double>(lookups) : 0.0;
+    }
+};
+
+/**
+ * Classic Alpha-21264-style tournament predictor.
+ *
+ * Three tables of 2-bit saturating counters sharing the configured storage
+ * budget: a PC-indexed bimodal table, a global-history-xor-PC (gshare)
+ * table, and a meta table choosing between them per PC.
+ */
+class TournamentPredictor
+{
+  public:
+    explicit TournamentPredictor(const BranchPredictorConfig &cfg);
+
+    /**
+     * Predict, then update with the actual outcome.
+     * @return true if the prediction was correct
+     */
+    bool predictAndUpdate(uint64_t pc, bool taken);
+
+    const BranchStats &stats() const { return stats_; }
+    void resetStats() { stats_ = BranchStats{}; }
+
+  private:
+    static void update2Bit(uint8_t &counter, bool taken);
+
+    uint32_t entries_;       ///< entries per table (power of two)
+    uint32_t mask_;
+    uint32_t historyMask_;
+    uint32_t history_ = 0;
+    std::vector<uint8_t> bimodal_;
+    std::vector<uint8_t> gshare_;
+    std::vector<uint8_t> meta_;   ///< >=2 selects gshare
+    BranchStats stats_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_BRANCH_TOURNAMENT_HH

@@ -1,0 +1,86 @@
+#include "cache/cache.hh"
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+Cache::Cache(const CacheConfig &cfg)
+    : cfg_(cfg), numSets_(cfg.numSets())
+{
+    RPPM_REQUIRE(numSets_ > 0, "cache must have at least one set");
+    ways_.resize(numSets_ * cfg_.assoc);
+}
+
+bool
+Cache::access(uint64_t addr, bool is_write)
+{
+    ++stats_.accesses;
+    const uint64_t line = lineOf(addr);
+    const uint64_t tag = line / numSets_;
+    Way *set = &ways_[setIndex(line) * cfg_.assoc];
+
+    Way *victim = &set[0];
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        Way &way = set[w];
+        if (way.valid && way.tag == tag) {
+            way.lru = ++lruClock_;
+            way.dirty |= is_write;
+            return true;
+        }
+        // Prefer an invalid way as the victim; otherwise the LRU one.
+        if (!way.valid) {
+            if (victim->valid)
+                victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+
+    ++stats_.misses;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = ++lruClock_;
+    victim->dirty = is_write;
+    return false;
+}
+
+bool
+Cache::contains(uint64_t addr) const
+{
+    const uint64_t line = lineOf(addr);
+    const uint64_t tag = line / numSets_;
+    const Way *set = &ways_[setIndex(line) * cfg_.assoc];
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::invalidate(uint64_t addr)
+{
+    const uint64_t line = lineOf(addr);
+    const uint64_t tag = line / numSets_;
+    Way *set = &ways_[setIndex(line) * cfg_.assoc];
+    for (uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (set[w].valid && set[w].tag == tag) {
+            set[w].valid = false;
+            set[w].dirty = false;
+            ++stats_.invalidations;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Cache::flush()
+{
+    for (Way &way : ways_) {
+        way.valid = false;
+        way.dirty = false;
+    }
+}
+
+} // namespace rppm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Set-associative LRU cache used by the golden-reference simulator.
+ *
+ * This is a functional+timing cache: it tracks tag state exactly (sets,
+ * ways, true LRU) and reports hit/miss so the simulator can charge real
+ * latencies. Coherence state is kept one level up in CacheHierarchy via a
+ * directory; the cache itself supports targeted invalidation.
+ */
+
+#ifndef RPPM_CACHE_CACHE_HH
+#define RPPM_CACHE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+
+namespace rppm {
+
+/** Statistics for one cache instance. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;   ///< lines invalidated by coherence
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) /
+            static_cast<double>(accesses) : 0.0;
+    }
+};
+
+/**
+ * A single set-associative cache with true-LRU replacement.
+ *
+ * Addresses are byte addresses; the cache works internally on line
+ * numbers. No data is stored — only tags and a dirty bit.
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p addr; on miss, allocate the line (evicting LRU).
+     *
+     * @param addr byte address
+     * @param is_write marks the line dirty on hit or fill
+     * @return true on hit
+     */
+    bool access(uint64_t addr, bool is_write);
+
+    /** Probe without side effects. */
+    bool contains(uint64_t addr) const;
+
+    /**
+     * Invalidate the line holding @p addr if present.
+     * @return true if a line was invalidated
+     */
+    bool invalidate(uint64_t addr);
+
+    /** Invalidate everything (used between independent runs). */
+    void flush();
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Line number for a byte address under this config. */
+    uint64_t lineOf(uint64_t addr) const { return addr / cfg_.lineBytes; }
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lru = 0;       ///< higher = more recently used
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    size_t setIndex(uint64_t line) const
+    {
+        return static_cast<size_t>(line % numSets_);
+    }
+
+    CacheConfig cfg_;
+    size_t numSets_;
+    std::vector<Way> ways_;     ///< numSets x assoc, row-major
+    uint64_t lruClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_CACHE_CACHE_HH

@@ -1,0 +1,131 @@
+#include "cache/hierarchy.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+CacheHierarchy::CacheHierarchy(const MulticoreConfig &cfg)
+    : cfg_(cfg), stats_(cfg.numCores)
+{
+    cfg_.validate();
+    for (uint32_t c = 0; c < cfg_.numCores; ++c) {
+        l1i_.push_back(std::make_unique<Cache>(cfg_.l1i));
+        l1d_.push_back(std::make_unique<Cache>(cfg_.l1d));
+        l2_.push_back(std::make_unique<Cache>(cfg_.l2));
+    }
+    llc_ = std::make_unique<Cache>(cfg_.llc);
+}
+
+bool
+CacheHierarchy::invalidateRemote(uint32_t writer, uint64_t addr)
+{
+    bool any = false;
+    for (uint32_t c = 0; c < cfg_.numCores; ++c) {
+        if (c == writer)
+            continue;
+        bool inv = l1d_[c]->invalidate(addr);
+        inv |= l2_[c]->invalidate(addr);
+        if (inv) {
+            ++stats_[c].invalidationsReceived;
+            any = true;
+        }
+    }
+    return any;
+}
+
+AccessResult
+CacheHierarchy::dataAccess(uint32_t core, uint64_t addr, bool is_write,
+                           double now)
+{
+    RPPM_ASSERT(core < cfg_.numCores);
+    CoreMemStats &st = stats_[core];
+    AccessResult result;
+    const uint64_t line = addr / cfg_.l1d.lineBytes;
+
+    // A write must invalidate every remote private copy before this core
+    // can own the line — do this regardless of local hit/miss so the tag
+    // state stays coherent.
+    if (is_write)
+        invalidateRemote(core, addr);
+
+    ++st.l1dAccesses;
+    if (l1d_[core]->access(addr, is_write)) {
+        result.level = HitLevel::L1;
+        result.latency = cfg_.l1d.latency;
+        if (is_write)
+            lastWriter_[line] = core + 1;
+        return result;
+    }
+    ++st.l1dMisses;
+
+    // Classify before we touch lower levels: if another core wrote this
+    // line since our last access, the private-cache miss is a coherence
+    // miss (the copy we once had was invalidated).
+    auto writer_it = lastWriter_.find(line);
+    const bool remote_written =
+        writer_it != lastWriter_.end() && writer_it->second != core + 1;
+
+    ++st.l2Accesses;
+    if (l2_[core]->access(addr, is_write)) {
+        result.level = HitLevel::L2;
+        result.latency = cfg_.l1d.latency + cfg_.l2.latency;
+        if (is_write)
+            lastWriter_[line] = core + 1;
+        return result;
+    }
+    ++st.l2Misses;
+
+    ++st.llcAccesses;
+    if (llc_->access(addr, is_write)) {
+        result.level = HitLevel::LLC;
+        result.latency =
+            cfg_.l1d.latency + cfg_.l2.latency + cfg_.llc.latency;
+        result.coherenceMiss = remote_written;
+    } else {
+        ++st.llcMisses;
+        result.level = HitLevel::Memory;
+        result.latency = cfg_.l1d.latency + cfg_.l2.latency +
+            cfg_.llc.latency + cfg_.memLatency;
+        result.coherenceMiss = remote_written;
+        // Shared memory bus: concurrent DRAM transfers from different
+        // cores serialize on the bus; the queueing delay adds to the
+        // miss latency (negative bandwidth interference). The backlog
+        // drains as observed time advances and grows by one service
+        // time per transfer.
+        if (cfg_.memBusCycles > 0) {
+            if (now > busLastNow_) {
+                busBacklog_ = std::max(0.0, busBacklog_ -
+                                       (now - busLastNow_));
+                busLastNow_ = now;
+            }
+            result.latency += static_cast<uint32_t>(busBacklog_);
+            busBacklog_ += static_cast<double>(cfg_.memBusCycles);
+        }
+    }
+    if (result.coherenceMiss)
+        ++st.coherenceMisses;
+    if (is_write)
+        lastWriter_[line] = core + 1;
+    return result;
+}
+
+uint32_t
+CacheHierarchy::instrFetch(uint32_t core, uint64_t pc)
+{
+    RPPM_ASSERT(core < cfg_.numCores);
+    CoreMemStats &st = stats_[core];
+    ++st.l1iAccesses;
+    if (l1i_[core]->access(pc, false))
+        return 0;
+    ++st.l1iMisses;
+    // Instruction misses are served by the unified L2 / LLC path.
+    if (l2_[core]->access(pc, false))
+        return cfg_.l2.latency;
+    if (llc_->access(pc, false))
+        return cfg_.l2.latency + cfg_.llc.latency;
+    return cfg_.l2.latency + cfg_.llc.latency + cfg_.memLatency;
+}
+
+} // namespace rppm

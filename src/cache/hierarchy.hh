@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Multi-level cache hierarchy with a directory for write invalidation.
+ *
+ * Layout matches the paper's simulated machine: per-core private L1I, L1D
+ * and L2, plus one shared LLC. A sharer directory at the LLC implements
+ * MESI-style write invalidation: a write by one core removes the line from
+ * every other core's private caches, so the next access by those cores is
+ * a coherence miss — the behaviour RPPM's profiler detects as an infinite
+ * per-thread reuse distance.
+ */
+
+#ifndef RPPM_CACHE_HIERARCHY_HH
+#define RPPM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.hh"
+#include "cache/cache.hh"
+
+namespace rppm {
+
+/** Which level serviced an access. */
+enum class HitLevel : uint8_t
+{
+    L1,
+    L2,
+    LLC,
+    Memory,
+};
+
+/** Outcome of a data access through the hierarchy. */
+struct AccessResult
+{
+    HitLevel level = HitLevel::L1;
+    uint32_t latency = 0;        ///< total load-to-use latency in cycles
+    bool coherenceMiss = false;  ///< miss caused by a remote write
+};
+
+/** Per-core, per-level miss statistics. */
+struct CoreMemStats
+{
+    uint64_t l1iAccesses = 0, l1iMisses = 0;
+    uint64_t l1dAccesses = 0, l1dMisses = 0;
+    uint64_t l2Accesses = 0, l2Misses = 0;
+    uint64_t llcAccesses = 0, llcMisses = 0;
+    uint64_t coherenceMisses = 0;
+    uint64_t invalidationsReceived = 0;
+};
+
+/**
+ * The full memory hierarchy for one multicore.
+ *
+ * All timing is expressed in core clock cycles of the owning config.
+ * Instruction fetches go through dataless L1I lookups; data accesses walk
+ * L1D -> L2 -> LLC -> memory, filling on the way back.
+ */
+class CacheHierarchy
+{
+  public:
+    explicit CacheHierarchy(const MulticoreConfig &cfg);
+
+    /**
+     * Perform a data access by @p core at byte address @p addr.
+     * Handles coherence: writes invalidate remote private copies.
+     *
+     * @param now issue time in cycles; used for shared-bus queueing when
+     *        memBusCycles > 0 (accesses must arrive in roughly global
+     *        time order, which the simulator's scheduler guarantees)
+     */
+    AccessResult dataAccess(uint32_t core, uint64_t addr, bool is_write,
+                            double now = 0.0);
+
+    /**
+     * Instruction fetch by @p core at PC byte address @p pc.
+     * @return extra front-end stall cycles (0 on L1I hit)
+     */
+    uint32_t instrFetch(uint32_t core, uint64_t pc);
+
+    const CoreMemStats &coreStats(uint32_t core) const
+    {
+        return stats_[core];
+    }
+
+    const Cache &llcCache() const { return *llc_; }
+    const MulticoreConfig &config() const { return cfg_; }
+
+  private:
+    /** Invalidate @p addr in every private cache except @p writer's. */
+    bool invalidateRemote(uint32_t writer, uint64_t addr);
+
+    MulticoreConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1i_, l1d_, l2_;
+    std::unique_ptr<Cache> llc_;
+    std::vector<CoreMemStats> stats_;
+    /**
+     * Shared-bus state as a backlog (queued service time). Using a
+     * backlog that drains with observed time instead of an absolute
+     * next-free timestamp keeps the model robust to the scheduler's
+     * slightly out-of-order access timestamps across cores.
+     */
+    double busBacklog_ = 0.0;
+    double busLastNow_ = 0.0;
+
+    /**
+     * Last writer per line (line -> core+1; 0 = never written). Used to
+     * classify coherence misses: if a core misses on a line last written
+     * by another core, the miss is a coherence miss.
+     */
+    std::unordered_map<uint64_t, uint32_t> lastWriter_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_CACHE_HIERARCHY_HH

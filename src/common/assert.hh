@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal().
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts the process.
+ * fatal()  — the caller supplied an impossible configuration or input;
+ *            throws std::invalid_argument so callers/tests can recover.
+ */
+
+#ifndef RPPM_COMMON_ASSERT_HH
+#define RPPM_COMMON_ASSERT_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rppm {
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s:%d: %s\n", file, line, msg.c_str());
+    std::abort();
+}
+
+/** Throw std::invalid_argument; use for invalid user configuration. */
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream os;
+    os << "fatal: " << file << ":" << line << ": " << msg;
+    throw std::invalid_argument(os.str());
+}
+
+} // namespace rppm
+
+#define RPPM_PANIC(msg) ::rppm::panicImpl(__FILE__, __LINE__, (msg))
+#define RPPM_FATAL(msg) ::rppm::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Check an internal invariant; aborts on failure. */
+#define RPPM_ASSERT(cond)                                                    \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            RPPM_PANIC(std::string("assertion failed: ") + #cond);           \
+    } while (0)
+
+/** Validate user-provided configuration; throws on failure. */
+#define RPPM_REQUIRE(cond, msg)                                              \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            RPPM_FATAL(std::string(msg) + " (" + #cond + ")");               \
+    } while (0)
+
+#endif // RPPM_COMMON_ASSERT_HH

@@ -1,0 +1,105 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+namespace {
+
+/** splitmix64 step, used for seed expansion. */
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitmix64(s);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    RPPM_ASSERT(bound > 0);
+    // Lemire-style rejection-free reduction is overkill here; the modulo
+    // bias is negligible for the bounds used in workload synthesis, but we
+    // still mask first to keep the bias below 2^-32 for small bounds.
+    return next() % bound;
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextUniform(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+uint64_t
+Rng::nextGeometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    const double p = 1.0 / mean;
+    const double u = nextDouble();
+    // Inverse-CDF sampling of a geometric distribution on {1, 2, ...}.
+    const double v = std::log1p(-u) / std::log1p(-p);
+    uint64_t draw = static_cast<uint64_t>(v) + 1;
+    return draw == 0 ? 1 : draw;
+}
+
+Rng
+Rng::fork(uint64_t salt)
+{
+    // Mix the parent's next output with the salt through splitmix64 so
+    // children with different salts are decorrelated.
+    uint64_t s = next() ^ (salt * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+    return Rng(splitmix64(s));
+}
+
+} // namespace rppm

@@ -1,0 +1,73 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rppm {
+
+void
+RunningStats::add(double sample)
+{
+    if (count_ == 0) {
+        min_ = sample;
+        max_ = sample;
+    } else {
+        min_ = std::min(min_, sample);
+        max_ = std::max(max_, sample);
+    }
+    ++count_;
+    sum_ += sample;
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double
+RunningStats::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+RunningStats::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+relativeError(double predicted, double actual)
+{
+    if (actual == 0.0)
+        return predicted == 0.0 ? 0.0 : 1.0;
+    return (predicted - actual) / actual;
+}
+
+double
+absRelativeError(double predicted, double actual)
+{
+    return std::fabs(relativeError(predicted, actual));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+maxOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    return *std::max_element(values.begin(), values.end());
+}
+
+} // namespace rppm

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Small numeric helpers shared by the simulator, profiler and model:
+ * running means, absolute/relative error, and geometric utilities used in
+ * the evaluation harnesses.
+ */
+
+#ifndef RPPM_COMMON_STATS_HH
+#define RPPM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace rppm {
+
+/** Incrementally maintained mean / min / max over double samples. */
+class RunningStats
+{
+  public:
+    void add(double sample);
+
+    uint64_t count() const { return count_; }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/** Signed relative error of @p predicted w.r.t. @p actual (0 if both 0). */
+double relativeError(double predicted, double actual);
+
+/** |relativeError| */
+double absRelativeError(double predicted, double actual);
+
+/** Arithmetic mean of a vector (0 for empty input). */
+double mean(const std::vector<double> &values);
+
+/** Maximum of a vector (0 for empty input). */
+double maxOf(const std::vector<double> &values);
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_STATS_HH

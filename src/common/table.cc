@@ -1,0 +1,116 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> row)
+{
+    RPPM_REQUIRE(row.size() == headers_.size(),
+                 "table row arity mismatch");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit_row(headers_);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+std::string
+fmt(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+fmtPct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+AsciiBarChart::AsciiBarChart(std::vector<std::string> series_names, int width)
+    : seriesNames_(std::move(series_names)), width_(width)
+{
+    RPPM_REQUIRE(width_ > 0, "chart width must be positive");
+}
+
+void
+AsciiBarChart::addGroup(const std::string &label, std::vector<double> values)
+{
+    RPPM_REQUIRE(values.size() == seriesNames_.size(),
+                 "chart group arity mismatch");
+    groups_.push_back({label, std::move(values)});
+}
+
+std::string
+AsciiBarChart::render() const
+{
+    double max_value = 0.0;
+    for (const auto &g : groups_)
+        for (double v : g.values)
+            max_value = std::max(max_value, v);
+    if (max_value <= 0.0)
+        max_value = 1.0;
+
+    size_t label_w = 0;
+    for (const auto &g : groups_)
+        label_w = std::max(label_w, g.label.size());
+    for (const auto &s : seriesNames_)
+        label_w = std::max(label_w, s.size() + 2);
+
+    std::ostringstream os;
+    for (const auto &g : groups_) {
+        os << g.label << '\n';
+        for (size_t s = 0; s < seriesNames_.size(); ++s) {
+            const double v = g.values[s];
+            const int len = static_cast<int>(
+                v / max_value * static_cast<double>(width_) + 0.5);
+            os << "  " << seriesNames_[s]
+               << std::string(label_w - seriesNames_[s].size() - 2 + 2, ' ')
+               << '|' << std::string(static_cast<size_t>(len), '#')
+               << ' ' << fmt(v, 3) << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace rppm

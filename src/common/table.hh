@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ASCII table and bar-chart rendering for the benchmark harnesses.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures and
+ * prints it in a format close to the published layout. TablePrinter handles
+ * column alignment; AsciiBarChart renders Figure-style grouped bars.
+ */
+
+#ifndef RPPM_COMMON_TABLE_HH
+#define RPPM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace rppm {
+
+/** Simple right-padded column-aligned table. */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render to a string with aligned columns and a separator rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double value, int precision = 2);
+
+/** Format a percentage, e.g. fmtPct(0.112) == "11.2%". */
+std::string fmtPct(double fraction, int precision = 1);
+
+/**
+ * Horizontal ASCII bar chart: one group per label, one bar per series.
+ * Used to render Figure 4/5-style comparisons in the bench output.
+ */
+class AsciiBarChart
+{
+  public:
+    /** @p series_names one entry per bar within each group. */
+    explicit AsciiBarChart(std::vector<std::string> series_names,
+                           int width = 50);
+
+    /** Add a group (e.g. one benchmark) with one value per series. */
+    void addGroup(const std::string &label, std::vector<double> values);
+
+    /** Render; bars are scaled to the global maximum. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> seriesNames_;
+    int width_;
+    struct Group
+    {
+        std::string label;
+        std::vector<double> values;
+    };
+    std::vector<Group> groups_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_TABLE_HH

@@ -1,0 +1,31 @@
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+double
+EpochProfile::meanLoadGap() const
+{
+    if (loadGap.total() == 0)
+        return static_cast<double>(numOps == 0 ? 1 : numOps);
+    return loadGap.meanFinite();
+}
+
+uint64_t
+ThreadProfile::totalOps() const
+{
+    uint64_t n = 0;
+    for (const auto &epoch : epochs)
+        n += epoch.numOps;
+    return n;
+}
+
+uint64_t
+WorkloadProfile::totalOps() const
+{
+    uint64_t n = 0;
+    for (const auto &thread : threads)
+        n += thread.totalOps();
+    return n;
+}
+
+} // namespace rppm

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Profile serialization.
+ *
+ * The whole point of RPPM is that the profile is collected once and
+ * reused for every subsequent prediction; that only pays off if profiles
+ * are durable artifacts. This module writes a WorkloadProfile to a
+ * line-oriented text format ("RPPMPROF 1") and reads it back, preserving
+ * everything the model consumes: per-epoch counters, instruction mix,
+ * all reuse-distance histograms, per-static-branch outcome counts,
+ * micro-traces and the synchronization structure.
+ *
+ * Round-tripping is exact with respect to predictions: predict(load(save
+ * (p))) == predict(p) for every configuration.
+ */
+
+#ifndef RPPM_PROFILE_SERIALIZE_HH
+#define RPPM_PROFILE_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+/** Write @p profile to @p os; throws std::runtime_error on I/O error. */
+void saveProfile(const WorkloadProfile &profile, std::ostream &os);
+
+/** Parse a profile from @p is; throws std::invalid_argument on bad
+ *  input (wrong magic, truncated stream, malformed records). */
+WorkloadProfile loadProfile(std::istream &is);
+
+/** Convenience wrappers over file paths. */
+void saveProfileToFile(const WorkloadProfile &profile,
+                       const std::string &path);
+WorkloadProfile loadProfileFromFile(const std::string &path);
+
+} // namespace rppm
+
+#endif // RPPM_PROFILE_SERIALIZE_HH

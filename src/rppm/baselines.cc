@@ -1,0 +1,30 @@
+#include "rppm/baselines.hh"
+
+#include <algorithm>
+
+#include "common/assert.hh"
+#include "rppm/thread_model.hh"
+
+namespace rppm {
+
+double
+predictMain(const WorkloadProfile &profile, const MulticoreConfig &cfg)
+{
+    RPPM_REQUIRE(!profile.threads.empty(), "profile has no threads");
+    // Thread 0 is the thread initiated at program start.
+    return predictThread(profile.threads[0], cfg).activeCycles;
+}
+
+double
+predictCrit(const WorkloadProfile &profile, const MulticoreConfig &cfg)
+{
+    RPPM_REQUIRE(!profile.threads.empty(), "profile has no threads");
+    double worst = 0.0;
+    for (const ThreadProfile &thread : profile.threads) {
+        worst = std::max(worst,
+                         predictThread(thread, cfg).activeCycles);
+    }
+    return worst;
+}
+
+} // namespace rppm

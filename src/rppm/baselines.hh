@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The paper's naive baseline predictors (Sec. II-C), used as comparison
+ * points in the Fig. 4 evaluation:
+ *
+ *  - MAIN: profile only the main thread, apply the single-threaded model,
+ *    and use the main thread's predicted time as the application's
+ *    execution time.
+ *  - CRIT: predict every thread independently with the single-threaded
+ *    model and use the slowest (critical) thread's time.
+ *
+ * Neither models synchronization, shared-resource interference beyond
+ * what the profile's reuse distances capture, nor idle time.
+ */
+
+#ifndef RPPM_RPPM_BASELINES_HH
+#define RPPM_RPPM_BASELINES_HH
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+/** MAIN baseline: predicted cycles of the main thread only. */
+double predictMain(const WorkloadProfile &profile,
+                   const MulticoreConfig &cfg);
+
+/** CRIT baseline: predicted cycles of the slowest thread. */
+double predictCrit(const WorkloadProfile &profile,
+                   const MulticoreConfig &cfg);
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_BASELINES_HH

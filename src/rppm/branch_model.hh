@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Branch component of Eq. 1: mbpred x (cres + cfr).
+ *
+ * The misprediction count mbpred comes from the workload's linear branch
+ * entropy (microarchitecture-independent) mapped through the calibrated
+ * per-predictor EntropyMissRateModel. The resolution time cres is the
+ * average dispatch-to-execute delay of branches, obtained from the ILP
+ * replay; the refill time cfr is the front-end depth.
+ */
+
+#ifndef RPPM_RPPM_BRANCH_MODEL_HH
+#define RPPM_RPPM_BRANCH_MODEL_HH
+
+#include <map>
+#include <memory>
+
+#include "arch/config.hh"
+#include "branch/entropy.hh"
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+/**
+ * Caches EntropyMissRateModel calibrations per predictor configuration so
+ * design-space sweeps pay the calibration cost once per predictor.
+ */
+class BranchModelCache
+{
+  public:
+    /** The calibrated map for @p cfg (built on first use). */
+    const EntropyMissRateModel &get(const BranchPredictorConfig &cfg);
+
+    /** Process-wide instance. */
+    static BranchModelCache &instance();
+
+  private:
+    std::map<std::pair<uint32_t, uint32_t>,
+             std::unique_ptr<EntropyMissRateModel>> models_;
+};
+
+/** Predicted branch-component cycles for one epoch. */
+struct BranchComponent
+{
+    double mispredicts = 0.0;
+    double cycles = 0.0;
+};
+
+/** Entropy-predicted misprediction probability of @p epoch on @p core. */
+double epochBranchMissRate(const EpochProfile &epoch,
+                           const CoreConfig &core);
+
+/**
+ * Evaluate the branch component of @p epoch on @p core.
+ *
+ * @param penalty_per_mispredict effective front-end redirect cost of one
+ *        misprediction (resolution + refill beyond back-end slack), from
+ *        the epoch's ILP replay
+ */
+BranchComponent branchComponent(const EpochProfile &epoch,
+                                const CoreConfig &core,
+                                double penalty_per_mispredict);
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_BRANCH_MODEL_HH

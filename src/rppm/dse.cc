@@ -1,0 +1,76 @@
+#include "rppm/dse.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hh"
+#include "rppm/predictor.hh"
+
+namespace rppm {
+
+size_t
+DseResult::predictedBest() const
+{
+    RPPM_ASSERT(!predictedSeconds.empty());
+    return static_cast<size_t>(
+        std::min_element(predictedSeconds.begin(), predictedSeconds.end()) -
+        predictedSeconds.begin());
+}
+
+size_t
+DseResult::trueBest() const
+{
+    RPPM_ASSERT(!simulatedSeconds.empty());
+    return static_cast<size_t>(
+        std::min_element(simulatedSeconds.begin(), simulatedSeconds.end()) -
+        simulatedSeconds.begin());
+}
+
+std::vector<size_t>
+DseResult::candidates(double bound) const
+{
+    const double best = predictedSeconds[predictedBest()];
+    std::vector<size_t> result;
+    for (size_t i = 0; i < predictedSeconds.size(); ++i) {
+        if (predictedSeconds[i] <= best * (1.0 + bound))
+            result.push_back(i);
+    }
+    return result;
+}
+
+double
+DseResult::deficiency(double bound) const
+{
+    // Among the predicted candidates, simulation identifies the best one;
+    // the deficiency is its slowdown versus the true optimum.
+    const std::vector<size_t> cands = candidates(bound);
+    double best_cand = std::numeric_limits<double>::infinity();
+    for (size_t idx : cands)
+        best_cand = std::min(best_cand, simulatedSeconds[idx]);
+    const double optimum = simulatedSeconds[trueBest()];
+    if (optimum <= 0.0)
+        return 0.0;
+    return best_cand / optimum - 1.0;
+}
+
+DseResult
+exploreDesignSpace(const WorkloadProfile &profile,
+                   const std::vector<MulticoreConfig> &configs,
+                   const std::vector<double> &simulated_seconds)
+{
+    RPPM_REQUIRE(configs.size() == simulated_seconds.size(),
+                 "one simulated time required per design point");
+    RPPM_REQUIRE(!configs.empty(), "empty design space");
+
+    DseResult result;
+    result.workload = profile.name;
+    result.simulatedSeconds = simulated_seconds;
+    for (const MulticoreConfig &cfg : configs) {
+        // Key property: the same profile serves every design point.
+        result.predictedSeconds.push_back(
+            predict(profile, cfg).totalSeconds);
+    }
+    return result;
+}
+
+} // namespace rppm

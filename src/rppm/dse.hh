@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Design-space exploration driver (paper Sec. VI-A, Table V).
+ *
+ * Given one profile and a set of candidate configurations, RPPM predicts
+ * the execution time of each candidate and selects every design point
+ * whose predicted time is within a bound of the predicted optimum. The
+ * harness then scores the selection against exhaustive simulation: the
+ * deficiency is how much slower the best *selected* point is than the
+ * true (simulated) optimum.
+ */
+
+#ifndef RPPM_RPPM_DSE_HH
+#define RPPM_RPPM_DSE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+/** Outcome of exploring one workload over a design space. */
+struct DseResult
+{
+    std::string workload;
+    std::vector<double> predictedSeconds; ///< per design point
+    std::vector<double> simulatedSeconds; ///< per design point (oracle)
+
+    /** Index of the predicted-optimal design point. */
+    size_t predictedBest() const;
+
+    /** Index of the simulated (true) optimal design point. */
+    size_t trueBest() const;
+
+    /** Design points within @p bound of the predicted optimum. */
+    std::vector<size_t> candidates(double bound) const;
+
+    /**
+     * Deficiency at @p bound: simulated time of the best candidate
+     * (by simulation) relative to the true optimum, minus one. Zero when
+     * the candidate set contains the true optimum.
+     */
+    double deficiency(double bound) const;
+};
+
+/**
+ * Predict @p profile on every configuration in @p configs.
+ * @p simulated_seconds must hold the matching golden-reference times.
+ */
+DseResult exploreDesignSpace(const WorkloadProfile &profile,
+                             const std::vector<MulticoreConfig> &configs,
+                             const std::vector<double> &simulated_seconds);
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_DSE_HH

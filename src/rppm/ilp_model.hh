@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ILP / base-component model (Eq. 1, term N/Deff).
+ *
+ * Following Van den Steen et al. [37], the effective dispatch rate Deff
+ * is a function of the front-end width, the application's inherent ILP
+ * and functional-unit contention. The profiler captures ILP at fine grain
+ * in sampled 1000-uop micro-traces (op classes + dependence distances +
+ * per-access reuse distances). The model replays each micro-trace through
+ * an idealized window model — no branch mispredictions, no I-cache
+ * misses, loads at their *expected* hit latency from the statistical
+ * cache model — and reports the achieved IPC, which becomes Deff for the
+ * surrounding epoch.
+ */
+
+#ifndef RPPM_RPPM_ILP_MODEL_HH
+#define RPPM_RPPM_ILP_MODEL_HH
+
+#include <functional>
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+/**
+ * Returns the expected latency (cycles) of a memory micro-op given its
+ * profiled reuse distances. Bound to the statistical cache model by the
+ * caller; kept abstract so the ILP model is testable in isolation.
+ */
+using LoadLatencyFn =
+    std::function<double(const MicroTraceOp &op)>;
+
+/** Result of replaying one micro-trace. */
+struct IlpResult
+{
+    double ipc = 1.0;              ///< effective dispatch rate Deff
+    double branchResolution = 0.0; ///< mean dispatch->execute of branches
+    /**
+     * Mean front-end redirect cost of a misprediction: resolution plus
+     * refill, minus the back-end slack already stalling dispatch (a
+     * flush hiding behind a DRAM miss at the ROB head costs nothing
+     * extra). This is what one misprediction adds to execution time.
+     */
+    double branchPenalty = 0.0;
+};
+
+/**
+ * Replay @p mt through the idealized window model of @p core.
+ *
+ * @param mem_latency expected latency of each memory op (L1 hit latency
+ *        at minimum; DRAM misses are modeled separately via the MLP
+ *        term, so implementations typically cap at the LLC hit latency)
+ * @param fetch_stall_per_op expected front-end stall per fetched op from
+ *        the I-cache model; the in-order front end makes the smeared
+ *        expectation throughput-exact, and the replay naturally overlaps
+ *        it with back-end stalls
+ * @param branch_miss_rate predicted misprediction probability from the
+ *        entropy model; the replay emulates a front-end flush on every
+ *        (1/rate)-th branch, capturing both the redirect latency and the
+ *        window ramp-up that follows it
+ */
+IlpResult replayMicroTrace(const MicroTrace &mt, const CoreConfig &core,
+                           const LoadLatencyFn &mem_latency,
+                           double fetch_stall_per_op = 0.0,
+                           double branch_miss_rate = 0.0);
+
+/**
+ * Effective dispatch rate of an epoch: micro-op-weighted average over the
+ * epoch's micro-traces. Falls back to a mix/width heuristic when the
+ * epoch carries no samples (only possible for empty epochs).
+ */
+IlpResult epochIlp(const EpochProfile &epoch, const CoreConfig &core,
+                   const LoadLatencyFn &mem_latency,
+                   double fetch_stall_per_op = 0.0,
+                   double branch_miss_rate = 0.0);
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_ILP_MODEL_HH

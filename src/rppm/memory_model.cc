@@ -1,0 +1,107 @@
+#include "rppm/memory_model.hh"
+
+#include <algorithm>
+
+namespace rppm {
+
+EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
+                                   const MulticoreConfig &cfg,
+                                   bool llc_uses_global_rd)
+    : epoch_(epoch), cfg_(cfg),
+      localStack_(epoch.localRd),
+      globalStack_(llc_uses_global_rd ? epoch.globalRd : epoch.localRd),
+      loadLocalStack_(epoch.loadLocalRd),
+      loadGlobalStack_(llc_uses_global_rd ? epoch.loadGlobalRd
+                                          : epoch.loadLocalRd),
+      llcUsesGlobalRd_(llc_uses_global_rd),
+      l1Lines_(cfg.l1d.numLines()),
+      l2Lines_(cfg.l2.numLines()),
+      llcLines_(cfg.llc.numLines())
+{
+    // Private levels from the per-thread distribution; shared LLC from
+    // the global interleaved distribution.
+    l1dMiss_ = localStack_.missRate(l1Lines_);
+    l2Miss_ = localStack_.missRate(l2Lines_);
+    llcMiss_ = globalStack_.missRate(llcLines_);
+
+    // A load only reaches the LLC when it missed the private levels, so
+    // mLLC is bounded by the private L2 load miss rate.
+    const double load_l2_miss = loadLocalStack_.missRate(l2Lines_);
+    const double load_llc_miss = loadGlobalStack_.missRate(llcLines_);
+    llcLoadMissRate_ = std::min(load_l2_miss, load_llc_miss);
+    llcLoadMisses_ =
+        llcLoadMissRate_ * static_cast<double>(epoch.numLoads);
+
+    // I-cache component: sum over levels of miss rate x next-level
+    // latency (Eq. 1). The I-stream is private, so the per-thread
+    // instruction reuse distances drive all levels.
+    if (epoch.numOps > 0 && epoch.instrRd.total() > 0) {
+        StatStack istack(epoch.instrRd);
+        const double l1i_miss = istack.missRate(cfg.l1i.numLines());
+        const double l2i_miss = istack.missRate(l2Lines_);
+        const double llci_miss = istack.missRate(llcLines_);
+        const double per_fetch =
+            l1i_miss * static_cast<double>(cfg.l2.latency) +
+            l2i_miss * static_cast<double>(cfg.llc.latency) +
+            llci_miss * static_cast<double>(cfg.memLatency);
+        icacheCycles_ = per_fetch * static_cast<double>(epoch.numOps);
+    }
+}
+
+uint64_t
+EpochMemoryModel::llcRd(const MicroTraceOp &op) const
+{
+    return llcUsesGlobalRd_ ? op.globalRd : op.localRd;
+}
+
+double
+EpochMemoryModel::expectedLatency(const MicroTraceOp &op) const
+{
+    // Walk the hierarchy with per-access hit/miss decisions derived from
+    // the access's own reuse distances. DRAM latency is excluded: the
+    // long-latency load stall is Eq. 1's separate D-component.
+    const double l1 = static_cast<double>(cfg_.l1d.latency);
+    if (op.op == OpClass::Store)
+        return static_cast<double>(
+            cfg_.core.fus[static_cast<size_t>(OpClass::Store)].latency);
+
+    const double sd_local = localStack_.stackDistance(op.localRd);
+    const double sd_global = globalStack_.stackDistance(llcRd(op));
+    double latency = l1;
+    if (sd_local >= static_cast<double>(l1Lines_)) {
+        latency += static_cast<double>(cfg_.l2.latency);
+        if (sd_local >= static_cast<double>(l2Lines_)) {
+            latency += static_cast<double>(cfg_.llc.latency);
+            (void)sd_global; // DRAM handled in expectedLatencyFull()
+        }
+    }
+    return latency;
+}
+
+double
+EpochMemoryModel::expectedLatencyFull(const MicroTraceOp &op) const
+{
+    double latency = expectedLatency(op);
+    if (op.op == OpClass::Load) {
+        const double sd_local = localStack_.stackDistance(op.localRd);
+        const double sd_global = globalStack_.stackDistance(llcRd(op));
+        // A DRAM access requires missing the private levels and the
+        // shared LLC (its interleaved reuse must exceed the LLC reach).
+        if (sd_local >= static_cast<double>(l2Lines_) &&
+            sd_global >= static_cast<double>(llcLines_)) {
+            latency += static_cast<double>(cfg_.memLatency);
+        }
+    }
+    return latency;
+}
+
+double
+EpochMemoryModel::expectedLatencyL1Only(const MicroTraceOp &op) const
+{
+    if (op.op == OpClass::Store)
+        return static_cast<double>(
+            cfg_.core.fus[static_cast<size_t>(OpClass::Store)].latency);
+    return static_cast<double>(cfg_.l1d.latency);
+}
+
+} // namespace rppm

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Statistical memory-hierarchy model (paper Sec. III-A "Memory Behavior"
+ * and III-B "Per-epoch active execution time").
+ *
+ * Per epoch, StatStack instances built from the per-thread reuse-distance
+ * distribution predict the private L1D and L2 miss rates, and the global
+ * (interleaved) distribution predicts the shared-LLC miss rate — thereby
+ * capturing positive interference (sharing), negative interference
+ * (capacity contention) and coherence (write-invalidation) effects. The
+ * instruction-stream distribution predicts the I-cache component.
+ */
+
+#ifndef RPPM_RPPM_MEMORY_MODEL_HH
+#define RPPM_RPPM_MEMORY_MODEL_HH
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+#include "statstack/statstack.hh"
+
+namespace rppm {
+
+/** Predicted cache behaviour of one epoch on one configuration. */
+struct EpochMemoryModel
+{
+    /**
+     * Build the statistical cache model for @p epoch on @p cfg.
+     * Holds references to the epoch's histograms; the epoch must outlive
+     * the model.
+     *
+     * @param llc_uses_global_rd predict the shared LLC from the global
+     *        interleaved reuse distances (full model); false falls back
+     *        to the per-thread distances (ablation: no interference)
+     */
+    EpochMemoryModel(const EpochProfile &epoch, const MulticoreConfig &cfg,
+                     bool llc_uses_global_rd = true);
+
+    /** Miss rates (per access) at each level. */
+    double l1dMissRate() const { return l1dMiss_; }
+    double l2MissRate() const { return l2Miss_; }   ///< of all accesses
+    double llcMissRate() const { return llcMiss_; } ///< of all accesses
+
+    /** Load-specific LLC miss count for the D-component (mLLC). */
+    double llcLoadMisses() const { return llcLoadMisses_; }
+
+    /** Load-specific LLC miss rate (per load). */
+    double llcLoadMissRate() const { return llcLoadMissRate_; }
+
+    /** Predicted DRAM transfers (loads + stores) in this epoch; drives
+     *  the shared-bus contention model. */
+    double dramTransfers() const
+    {
+        return llcMiss_ *
+            static_cast<double>(epoch_.numLoads + epoch_.numStores);
+    }
+
+    /**
+     * Expected latency of one memory micro-op given its profiled reuse
+     * distances, capped at the LLC hit latency (the hit path only).
+     */
+    double expectedLatency(const MicroTraceOp &op) const;
+
+    /**
+     * Expected latency including the DRAM penalty for accesses whose
+     * global reuse distance exceeds the LLC reach. Used by the
+     * D-component replay, where the window model turns these per-access
+     * latencies into overlapped (MLP-limited) stall time.
+     */
+    double expectedLatencyFull(const MicroTraceOp &op) const;
+
+    /** Same access, but every level treated as an L1 hit; used to split
+     *  the base component for CPI-stack reporting. */
+    double expectedLatencyL1Only(const MicroTraceOp &op) const;
+
+    /** Predicted I-cache component cycles for the whole epoch (additive
+     *  Eq. 1 form; the replay-based path uses icachePerFetch instead). */
+    double icacheCycles() const { return icacheCycles_; }
+
+    /** Expected front-end stall per fetched micro-op. */
+    double icachePerFetch() const
+    {
+        return epoch_.numOps > 0 ?
+            icacheCycles_ / static_cast<double>(epoch_.numOps) : 0.0;
+    }
+
+  private:
+    /** The reuse distance driving shared-LLC decisions for one op. */
+    uint64_t llcRd(const MicroTraceOp &op) const;
+
+    const EpochProfile &epoch_;
+    const MulticoreConfig &cfg_;
+    StatStack localStack_;
+    StatStack globalStack_;
+    StatStack loadLocalStack_;
+    StatStack loadGlobalStack_;
+    bool llcUsesGlobalRd_;
+
+    uint64_t l1Lines_, l2Lines_, llcLines_;
+    double l1dMiss_ = 0.0;
+    double l2Miss_ = 0.0;
+    double llcMiss_ = 0.0;
+    double llcLoadMisses_ = 0.0;
+    double llcLoadMissRate_ = 0.0;
+    double icacheCycles_ = 0.0;
+};
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_MEMORY_MODEL_HH

@@ -1,0 +1,37 @@
+#include "rppm/mlp_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rppm {
+
+double
+epochMlp(const EpochProfile &epoch, const CoreConfig &core,
+         double llc_load_miss_rate)
+{
+    if (epoch.numLoads == 0 || llc_load_miss_rate <= 0.0)
+        return 1.0;
+
+    // Loads the ROB window can expose simultaneously: window size divided
+    // by the mean micro-op spacing between loads.
+    const double gap = std::max(1.0, epoch.meanLoadGap() + 1.0);
+    const double loads_in_window =
+        static_cast<double>(core.robSize) / gap;
+
+    // Expected number of simultaneously outstanding misses: misses among
+    // the exposed loads...
+    double mlp = loads_in_window * llc_load_miss_rate;
+
+    // ...minus the ones that cannot overlap because they are serialized
+    // behind an earlier load (pointer chasing).
+    const double serial_frac = static_cast<double>(
+        epoch.loadsDependingOnLoad) /
+        static_cast<double>(epoch.numLoads);
+    mlp *= 1.0 - serial_frac;
+
+    // MLP is "outstanding misses given at least one", so it cannot drop
+    // below 1; the L1 MSHRs cap it from above.
+    return std::clamp(mlp, 1.0, static_cast<double>(core.mshrs));
+}
+
+} // namespace rppm

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Memory-level-parallelism model (Eq. 1 D-component divisor), in the
+ * spirit of Van den Steen & Eeckhout, CAL 2018 [36].
+ *
+ * MLP is the average number of outstanding long-latency load misses when
+ * at least one is outstanding. Microarchitecture-independent inputs: the
+ * spacing of loads in the micro-op stream (loadGap) and the fraction of
+ * loads serialized behind earlier loads (pointer chasing). Architecture
+ * inputs: ROB size (how many micro-ops the window can expose) and MSHR
+ * count (how many misses the L1 can track).
+ */
+
+#ifndef RPPM_RPPM_MLP_MODEL_HH
+#define RPPM_RPPM_MLP_MODEL_HH
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+
+namespace rppm {
+
+/**
+ * Predicted MLP of @p epoch on @p core.
+ *
+ * @param llc_load_miss_rate per-load LLC miss probability from the
+ *        statistical cache model
+ * @return MLP in [1, mshrs]
+ */
+double epochMlp(const EpochProfile &epoch, const CoreConfig &core,
+                double llc_load_miss_rate);
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_MLP_MODEL_HH

@@ -1,0 +1,54 @@
+#include "rppm/predictor.hh"
+
+namespace rppm {
+
+CpiStack
+RppmPrediction::averageCpiStack() const
+{
+    CpiStack avg;
+    uint32_t counted = 0;
+    for (size_t t = 0; t < threads.size(); ++t) {
+        if (threads[t].instructions == 0)
+            continue;
+        CpiStack stack = threads[t].stack;
+        stack[CpiComponent::Sync] += threadIdle[t];
+        stack.scale(1.0 / static_cast<double>(threads[t].instructions));
+        avg.add(stack);
+        ++counted;
+    }
+    if (counted > 0)
+        avg.scale(1.0 / static_cast<double>(counted));
+    return avg;
+}
+
+Bottlegraph
+RppmPrediction::bottlegraph() const
+{
+    return buildBottlegraph(activity, totalCycles);
+}
+
+RppmPrediction
+predict(const WorkloadProfile &profile, const MulticoreConfig &cfg,
+        const RppmOptions &opts)
+{
+    cfg.validate();
+    RppmPrediction pred;
+    pred.workload = profile.name;
+    pred.config = cfg.name;
+
+    // Phase 1: per-epoch active execution times for every thread.
+    pred.threads.reserve(profile.numThreads);
+    for (const ThreadProfile &thread : profile.threads)
+        pred.threads.push_back(predictThread(thread, cfg, opts.eq1));
+
+    // Phase 2: symbolic execution of the synchronization trace.
+    const SyncModelResult sync =
+        runSyncModel(profile, pred.threads, opts.sync);
+    pred.totalCycles = sync.totalCycles;
+    pred.totalSeconds = sync.totalCycles / (cfg.core.frequencyGHz * 1e9);
+    pred.threadIdle = sync.threadIdle;
+    pred.activity = sync.activity;
+    return pred;
+}
+
+} // namespace rppm

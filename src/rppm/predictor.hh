@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Top-level RPPM prediction API.
+ *
+ * Combines phase 1 (per-epoch active execution times via Eq. 1) with
+ * phase 2 (Algorithm-2 symbolic synchronization execution) to predict a
+ * multi-threaded workload's execution time, per-thread CPI stacks and
+ * bottlegraph on any MulticoreConfig — all from a single profile.
+ */
+
+#ifndef RPPM_RPPM_PREDICTOR_HH
+#define RPPM_RPPM_PREDICTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+#include "rppm/sync_model.hh"
+#include "rppm/thread_model.hh"
+#include "sim/bottlegraph.hh"
+
+namespace rppm {
+
+/** Full RPPM prediction for one configuration. */
+struct RppmPrediction
+{
+    std::string workload;
+    std::string config;
+    double totalCycles = 0.0;
+    double totalSeconds = 0.0;
+    std::vector<ThreadPrediction> threads; ///< phase-1 results
+    std::vector<double> threadIdle;        ///< phase-2 sync idle/thread
+    std::vector<std::vector<ActivityInterval>> activity;
+
+    /**
+     * Average per-thread CPI stack, normalized per instruction, with the
+     * Sync component included — directly comparable to
+     * SimResult::averageCpiStack() (paper Fig. 5).
+     */
+    CpiStack averageCpiStack() const;
+
+    /** Predicted bottlegraph (paper Fig. 6). */
+    Bottlegraph bottlegraph() const;
+};
+
+/** RPPM model tunables. */
+struct RppmOptions
+{
+    SyncModelOptions sync;
+    Eq1Options eq1;   ///< per-epoch model; defaults to the full model
+};
+
+/** Predict @p profile's execution on @p cfg. */
+RppmPrediction predict(const WorkloadProfile &profile,
+                       const MulticoreConfig &cfg,
+                       const RppmOptions &opts = {});
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_PREDICTOR_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synchronization-overhead model — Algorithm 2 of the paper (phase 2,
+ * Fig. 3c).
+ *
+ * Symbolic execution of the workload's synchronization structure: at each
+ * step, the unblocked thread with the smallest accumulated time advances
+ * to its next synchronization event (its next epoch boundary), with the
+ * epoch's duration taken from the phase-1 prediction. Barriers (classic
+ * and condvar-implemented, as recognized by the profiler), critical
+ * sections, producer-consumer condvars and thread create/join are modeled
+ * per the paper's descriptions. The slowest thread determines each
+ * synchronization event's timing; faster threads accumulate idle time.
+ */
+
+#ifndef RPPM_RPPM_SYNC_MODEL_HH
+#define RPPM_RPPM_SYNC_MODEL_HH
+
+#include <vector>
+
+#include "profile/epoch_profile.hh"
+#include "rppm/thread_model.hh"
+#include "sim/simulator.hh"
+
+namespace rppm {
+
+/** Options of the symbolic execution. */
+struct SyncModelOptions
+{
+    /** Cycle cost per synchronization operation (matches SimOptions). */
+    double syncOpCost = 40.0;
+};
+
+/** Result of the phase-2 symbolic execution. */
+struct SyncModelResult
+{
+    double totalCycles = 0.0;          ///< predicted execution time
+    std::vector<double> threadFinish;  ///< per-thread completion times
+    std::vector<double> threadIdle;    ///< per-thread sync idle cycles
+    /** Per-thread busy intervals, for predicted bottlegraphs. */
+    std::vector<std::vector<ActivityInterval>> activity;
+};
+
+/**
+ * Run Algorithm 2 over @p profile with per-epoch durations from
+ * @p threads (one ThreadPrediction per profiled thread).
+ */
+SyncModelResult runSyncModel(const WorkloadProfile &profile,
+                             const std::vector<ThreadPrediction> &threads,
+                             const SyncModelOptions &opts = {});
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_SYNC_MODEL_HH

@@ -1,0 +1,212 @@
+#include "rppm/thread_model.hh"
+
+#include <algorithm>
+
+#include "rppm/branch_model.hh"
+#include "rppm/ilp_model.hh"
+#include "rppm/memory_model.hh"
+#include "rppm/mlp_model.hh"
+
+namespace rppm {
+
+namespace {
+
+/**
+ * Shared-bus queueing inflation for the DRAM component. With
+ * memBusCycles > 0, every core's misses compete for one bus; assuming
+ * symmetric threads, the per-epoch DRAM stall grows by the expected
+ * M/D/1 waiting time per transfer.
+ *
+ * @param misses predicted DRAM transfers in this epoch
+ * @param cycles predicted epoch length (for the arrival rate)
+ */
+double
+busAdjustedDram(const MulticoreConfig &cfg, double misses, double cycles,
+                double dram_cycles)
+{
+    if (cfg.memBusCycles == 0 || misses <= 0.0 || cycles <= 0.0)
+        return dram_cycles;
+    const double service = static_cast<double>(cfg.memBusCycles);
+    const double cores = static_cast<double>(cfg.numCores);
+
+    // Light/moderate load: M/D/1 queueing delay per transfer.
+    const double rho = std::min(0.95, misses / cycles * cores * service);
+    const double wait = 0.5 * service * rho / (1.0 - rho);
+    const double inflated = dram_cycles *
+        (1.0 + wait / static_cast<double>(cfg.memLatency));
+
+    // Saturation: the bus serializes every core's transfers, so the
+    // epoch cannot drain its misses faster than the aggregate service
+    // time — a hard bandwidth lower bound.
+    const double bound = misses * service * cores;
+    return std::max(inflated, bound);
+}
+
+} // namespace
+
+EpochPrediction
+predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
+             const Eq1Options &opts)
+{
+    EpochPrediction pred;
+    if (epoch.numOps == 0)
+        return pred;
+
+    const double n = static_cast<double>(epoch.numOps);
+    EpochMemoryModel mem(epoch, cfg, opts.llcUsesGlobalRd);
+
+    if (!opts.ilpReplay) {
+        // Ablation: no ILP modeling. Dispatch at full front-end width and
+        // stack the miss components additively on top (the pre-interval-
+        // model view of processor performance).
+        const double width = static_cast<double>(cfg.core.dispatchWidth);
+        pred.deff = width;
+        pred.stack[CpiComponent::Base] = n / width;
+        const double mem_accesses =
+            static_cast<double>(epoch.numLoads + epoch.numStores);
+        pred.stack[CpiComponent::MemL2] = mem_accesses *
+            mem.l1dMissRate() * static_cast<double>(cfg.l2.latency);
+        pred.stack[CpiComponent::MemLLC] = mem_accesses *
+            mem.l2MissRate() * static_cast<double>(cfg.llc.latency);
+        const double mlp = opts.mlpOverlap ?
+            epochMlp(epoch, cfg.core, mem.llcLoadMissRate()) : 1.0;
+        pred.mlp = mlp;
+        pred.stack[CpiComponent::MemDram] = mem.llcLoadMisses() *
+            static_cast<double>(cfg.memLatency) / mlp;
+        pred.stack[CpiComponent::ICache] = mem.icacheCycles();
+        if (opts.branch) {
+            const BranchComponent branch = branchComponent(
+                epoch, cfg.core,
+                static_cast<double>(cfg.core.frontendDepth) + 10.0);
+            pred.stack[CpiComponent::Branch] = branch.cycles;
+        }
+        pred.cycles = pred.stack.total();
+        return pred;
+    }
+
+    // --- Base + memory components via three micro-trace replays of
+    // increasing memory realism. The L1-only replay gives the pure-ILP
+    // base (Eq. 1's N/Deff); the hit-path replay adds L2/LLC hit
+    // latencies; the full replay adds per-access DRAM penalties, from
+    // which the window model derives the overlapped (MLP-limited)
+    // long-latency stall — Eq. 1's mLLC x cmem / MLP term, with the MLP
+    // emerging from dependences, ROB occupancy and MSHR pressure.
+    const auto full_latency_fn = [&mem, &opts](const MicroTraceOp &op) {
+        return opts.mlpOverlap ? mem.expectedLatencyFull(op)
+                               : mem.expectedLatency(op);
+    };
+    const double miss_rate_pred =
+        opts.branch ? epochBranchMissRate(epoch, cfg.core) : 0.0;
+
+    if (!opts.decompose) {
+        // Fast path: only the final replay (full memory + I-cache
+        // stalls + branch flushes). Identical total to the decomposed
+        // path up to clamping; everything reported as Base.
+        const IlpResult ilp = epochIlp(epoch, cfg.core, full_latency_fn,
+                                       mem.icachePerFetch(),
+                                       miss_rate_pred);
+        pred.deff = ilp.ipc;
+        double cycles = n / ilp.ipc;
+        if (!opts.mlpOverlap)
+            cycles += mem.llcLoadMisses() *
+                static_cast<double>(cfg.memLatency);
+        // Bus contention: treat the whole epoch as the DRAM share for
+        // the fast path (slightly conservative under moderate load).
+        cycles = busAdjustedDram(cfg, mem.dramTransfers(), cycles, cycles);
+        pred.stack[CpiComponent::Base] = cycles;
+        pred.cycles = cycles;
+        pred.mlp = epochMlp(epoch, cfg.core, mem.llcLoadMissRate());
+        return pred;
+    }
+
+    const IlpResult ilp_l1 = epochIlp(
+        epoch, cfg.core,
+        [&mem](const MicroTraceOp &op) {
+            return mem.expectedLatencyL1Only(op);
+        });
+    const IlpResult ilp_hit = epochIlp(
+        epoch, cfg.core,
+        [&mem](const MicroTraceOp &op) { return mem.expectedLatency(op); });
+    const IlpResult ilp_full =
+        epochIlp(epoch, cfg.core, full_latency_fn);
+    // Fourth replay: add the expected I-cache front-end stalls on top of
+    // the full memory behaviour, so instruction misses only cost what
+    // the back end does not hide.
+    const IlpResult ilp_fetch =
+        epochIlp(epoch, cfg.core, full_latency_fn, mem.icachePerFetch());
+    // Fifth replay: emulate front-end flushes at the entropy-predicted
+    // misprediction rate, capturing redirect latency plus window ramp-up
+    // (Eq. 1's mbpred x (cres + cfr) term, evaluated mechanistically).
+    const IlpResult ilp_flush = epochIlp(
+        epoch, cfg.core, full_latency_fn, mem.icachePerFetch(),
+        miss_rate_pred);
+
+    const double base_cycles = n / ilp_l1.ipc;
+    const double hit_cycles = n / ilp_hit.ipc;
+    const double full_cycles = n / ilp_full.ipc;
+    const double fetch_cycles = n / ilp_fetch.ipc;
+    const double flush_cycles = n / ilp_flush.ipc;
+    const double near_mem_cycles = std::max(0.0, hit_cycles - base_cycles);
+    // With MLP overlap disabled (ablation), the full replay equals the
+    // hit replay and every DRAM access is charged serially: mLLC x cmem.
+    double dram_cycles = opts.mlpOverlap ?
+        std::max(0.0, full_cycles - hit_cycles) :
+        mem.llcLoadMisses() * static_cast<double>(cfg.memLatency);
+    // Shared-bus queueing (no-op unless memBusCycles > 0).
+    dram_cycles = busAdjustedDram(cfg, mem.dramTransfers(), flush_cycles,
+                                  dram_cycles);
+    pred.deff = ilp_full.ipc;
+
+    // Effective MLP implied by the window model, reported for analysis:
+    // raw miss latency over the overlapped stall it produced.
+    const double raw_dram =
+        mem.llcLoadMisses() * static_cast<double>(cfg.memLatency);
+    pred.mlp = dram_cycles > 0.0 ?
+        std::max(1.0, raw_dram / dram_cycles) :
+        epochMlp(epoch, cfg.core, mem.llcLoadMissRate());
+
+    // Split the near-memory cycles between L2 and LLC by their predicted
+    // extra-latency contributions.
+    const double l2_weight = mem.l1dMissRate() *
+        static_cast<double>(cfg.l2.latency);
+    const double llc_weight = mem.l2MissRate() *
+        static_cast<double>(cfg.llc.latency);
+    const double weight_sum = l2_weight + llc_weight;
+    const double l2_share =
+        weight_sum > 0.0 ? l2_weight / weight_sum : 1.0;
+
+    // --- Branch component: the flush-replay difference, i.e. the extra
+    // cycles mispredictions add on top of everything else the window is
+    // already paying for.
+    const double branch_cycles = std::max(0.0, flush_cycles - fetch_cycles);
+
+    // --- I-cache component: the replay difference (overlapped stalls).
+    const double icache_cycles = std::max(0.0, fetch_cycles - full_cycles);
+
+    pred.stack[CpiComponent::Base] = base_cycles;
+    pred.stack[CpiComponent::MemL2] = near_mem_cycles * l2_share;
+    pred.stack[CpiComponent::MemLLC] = near_mem_cycles * (1.0 - l2_share);
+    pred.stack[CpiComponent::Branch] = branch_cycles;
+    pred.stack[CpiComponent::ICache] = icache_cycles;
+    pred.stack[CpiComponent::MemDram] = dram_cycles;
+    pred.cycles = pred.stack.total();
+    return pred;
+}
+
+ThreadPrediction
+predictThread(const ThreadProfile &thread, const MulticoreConfig &cfg,
+              const Eq1Options &opts)
+{
+    ThreadPrediction result;
+    result.epochs.reserve(thread.epochs.size());
+    for (const EpochProfile &epoch : thread.epochs) {
+        EpochPrediction pred = predictEpoch(epoch, cfg, opts);
+        result.activeCycles += pred.cycles;
+        result.stack.add(pred.stack);
+        result.instructions += epoch.numOps;
+        result.epochs.push_back(std::move(pred));
+    }
+    return result;
+}
+
+} // namespace rppm

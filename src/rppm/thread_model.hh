@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-epoch active execution time model — Eq. 1 of the paper:
+ *
+ *   C = N/Deff                                   (base / ILP)
+ *     + mbpred x (cres + cfr)                    (branch)
+ *     + sum_i mILi x cL(i+1)                     (I-cache)
+ *     + mLLC x cmem / MLP                        (D-cache)
+ *
+ * evaluated entirely from the microarchitecture-independent epoch profile
+ * plus a target MulticoreConfig. This is phase 1 of the RPPM prediction
+ * (Fig. 3b): per-thread, per-epoch active times, before synchronization
+ * overhead is added in phase 2.
+ */
+
+#ifndef RPPM_RPPM_THREAD_MODEL_HH
+#define RPPM_RPPM_THREAD_MODEL_HH
+
+#include "arch/config.hh"
+#include "profile/epoch_profile.hh"
+#include "simcore/core_model.hh"
+
+namespace rppm {
+
+/**
+ * Ablation switches for Eq. 1. All default to the full model; each
+ * switch removes one mechanism so its contribution to accuracy can be
+ * quantified (see bench/ablation_model_components).
+ */
+struct Eq1Options
+{
+    /** Deff from micro-trace window replay; off = front-end width. */
+    bool ilpReplay = true;
+
+    /** Shared-LLC miss rates from the global interleaved reuse
+     *  distances; off = per-thread distances (no interference). */
+    bool llcUsesGlobalRd = true;
+
+    /** Overlap long-latency loads in the window (MLP); off = serialize
+     *  every DRAM access (MLP = 1). */
+    bool mlpOverlap = true;
+
+    /** Model branch mispredictions; off = perfect branch prediction. */
+    bool branch = true;
+
+    /**
+     * Decompose the prediction into CPI-stack components (five replays
+     * per epoch). The components telescope, so turning this off runs
+     * only the final replay: same total prediction, ~5x cheaper, but the
+     * stack collapses into Base. Use for large design-space sweeps where
+     * only execution times matter.
+     */
+    bool decompose = true;
+};
+
+/** Predicted timing of one epoch. */
+struct EpochPrediction
+{
+    double cycles = 0.0;   ///< predicted active execution time
+    CpiStack stack;        ///< component breakdown (absolute cycles)
+    double deff = 1.0;     ///< effective dispatch rate used
+    double mlp = 1.0;      ///< memory-level parallelism used
+};
+
+/** Evaluate Eq. 1 for @p epoch on @p cfg. */
+EpochPrediction predictEpoch(const EpochProfile &epoch,
+                             const MulticoreConfig &cfg,
+                             const Eq1Options &opts = {});
+
+/** Predicted per-thread results across all epochs. */
+struct ThreadPrediction
+{
+    std::vector<EpochPrediction> epochs;
+    double activeCycles = 0.0; ///< sum of epoch times (no sync)
+    CpiStack stack;
+    uint64_t instructions = 0;
+};
+
+/** Phase 1 for a whole thread: predict every epoch independently. */
+ThreadPrediction predictThread(const ThreadProfile &thread,
+                               const MulticoreConfig &cfg,
+                               const Eq1Options &opts = {});
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_THREAD_MODEL_HH

@@ -1,0 +1,142 @@
+#include "sim/bottlegraph.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/assert.hh"
+#include "common/table.hh"
+
+namespace rppm {
+
+double
+Bottlegraph::normalizedHeight(uint32_t thread) const
+{
+    if (totalCycles <= 0.0)
+        return 0.0;
+    for (const auto &box : boxes) {
+        if (box.thread == thread)
+            return box.height / totalCycles;
+    }
+    return 0.0;
+}
+
+Bottlegraph
+buildBottlegraph(const std::vector<std::vector<ActivityInterval>> &activity,
+                 double total_cycles)
+{
+    const size_t num_threads = activity.size();
+
+    // Sweep-line over interval endpoints: at every elementary interval,
+    // each active thread accrues dt / parallelism of height.
+    struct Edge
+    {
+        double time;
+        uint32_t thread;
+        int delta;
+    };
+    std::vector<Edge> edges;
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        for (const auto &iv : activity[t]) {
+            if (iv.end > iv.begin) {
+                edges.push_back({iv.begin, t, +1});
+                edges.push_back({iv.end, t, -1});
+            }
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge &a, const Edge &b) { return a.time < b.time; });
+
+    std::vector<double> height(num_threads, 0.0);
+    std::vector<double> active_time(num_threads, 0.0);
+    std::vector<int> active(num_threads, 0);
+    int parallelism = 0;
+    double prev = edges.empty() ? 0.0 : edges.front().time;
+
+    size_t i = 0;
+    while (i < edges.size()) {
+        const double now = edges[i].time;
+        const double dt = now - prev;
+        if (dt > 0.0 && parallelism > 0) {
+            const double share = dt / static_cast<double>(parallelism);
+            for (uint32_t t = 0; t < num_threads; ++t) {
+                if (active[t]) {
+                    height[t] += share;
+                    active_time[t] += dt;
+                }
+            }
+        }
+        while (i < edges.size() && edges[i].time == now) {
+            active[edges[i].thread] += edges[i].delta;
+            parallelism += edges[i].delta;
+            ++i;
+        }
+        prev = now;
+    }
+
+    Bottlegraph graph;
+    graph.totalCycles = total_cycles;
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        BottlegraphBox box;
+        box.thread = t;
+        box.height = height[t];
+        box.parallelism =
+            height[t] > 0.0 ? active_time[t] / height[t] : 1.0;
+        graph.boxes.push_back(box);
+    }
+    // Widest box at the bottom, as in the paper's rendering.
+    std::sort(graph.boxes.begin(), graph.boxes.end(),
+              [](const BottlegraphBox &a, const BottlegraphBox &b) {
+                  return a.parallelism > b.parallelism;
+              });
+    return graph;
+}
+
+Bottlegraph
+buildBottlegraph(const SimResult &result)
+{
+    std::vector<std::vector<ActivityInterval>> activity;
+    for (const auto &thread : result.threads)
+        activity.push_back(thread.activity);
+    return buildBottlegraph(activity, result.totalCycles);
+}
+
+std::string
+Bottlegraph::render(const std::string &title) const
+{
+    std::ostringstream os;
+    os << title << " (total " << fmt(totalCycles / 1e6, 2)
+       << " Mcycles)\n";
+    // Stack from bottom (widest) to top; print top-first like the figure.
+    for (auto it = boxes.rbegin(); it != boxes.rend(); ++it) {
+        const double share = totalCycles > 0.0 ?
+            it->height / totalCycles : 0.0;
+        const int half_width = static_cast<int>(it->parallelism * 4 + 0.5);
+        os << "  T" << it->thread << "  "
+           << std::string(static_cast<size_t>(half_width), '=')
+           << "  height " << fmtPct(share)
+           << ", parallelism " << fmt(it->parallelism, 2) << '\n';
+    }
+    return os.str();
+}
+
+double
+bottlegraphSimilarity(const Bottlegraph &a, const Bottlegraph &b)
+{
+    std::map<uint32_t, std::pair<double, double>> shares;
+    for (const auto &box : a.boxes) {
+        shares[box.thread].first =
+            a.totalCycles > 0.0 ? box.height / a.totalCycles : 0.0;
+    }
+    for (const auto &box : b.boxes) {
+        shares[box.thread].second =
+            b.totalCycles > 0.0 ? box.height / b.totalCycles : 0.0;
+    }
+    double l1 = 0.0;
+    for (const auto &[tid, pair] : shares)
+        l1 += std::fabs(pair.first - pair.second);
+    return 1.0 - 0.5 * l1;
+}
+
+} // namespace rppm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bottlegraph construction (Du Bois et al., OOPSLA 2013), used by the
+ * paper's second case study (Fig. 6).
+ *
+ * A bottlegraph represents each thread as a box whose height is the
+ * thread's share of total execution time — the integral of 1/parallelism
+ * over the intervals the thread is active — and whose width is the average
+ * parallelism while the thread runs. Heights of all threads sum to the
+ * total execution time; dividing by it gives the normalized criticality
+ * shares the paper plots.
+ */
+
+#ifndef RPPM_SIM_BOTTLEGRAPH_HH
+#define RPPM_SIM_BOTTLEGRAPH_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+
+namespace rppm {
+
+/** One thread's box in a bottlegraph. */
+struct BottlegraphBox
+{
+    uint32_t thread = 0;
+    double height = 0.0;       ///< criticality share in cycles
+    double parallelism = 1.0;  ///< average parallelism while active
+};
+
+/** A full bottlegraph. */
+struct Bottlegraph
+{
+    double totalCycles = 0.0;
+    std::vector<BottlegraphBox> boxes; ///< sorted widest-first (bottom-up)
+
+    /** Normalized height (share of execution time) of @p thread. */
+    double normalizedHeight(uint32_t thread) const;
+
+    /** Render as ASCII art mirroring the paper's Fig. 6 layout. */
+    std::string render(const std::string &title) const;
+};
+
+/**
+ * Build a bottlegraph from per-thread activity intervals.
+ *
+ * @param activity one interval list per thread (busy periods)
+ * @param total_cycles the workload's total execution time
+ */
+Bottlegraph
+buildBottlegraph(const std::vector<std::vector<ActivityInterval>> &activity,
+                 double total_cycles);
+
+/** Convenience: bottlegraph of a simulation result. */
+Bottlegraph buildBottlegraph(const SimResult &result);
+
+/**
+ * Similarity score in [0,1] between two bottlegraphs: 1 minus half the L1
+ * distance between their normalized per-thread height vectors. Used to
+ * quantify how well RPPM reproduces the simulated bottlegraph.
+ */
+double bottlegraphSimilarity(const Bottlegraph &a, const Bottlegraph &b);
+
+} // namespace rppm
+
+#endif // RPPM_SIM_BOTTLEGRAPH_HH

@@ -1,0 +1,213 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+CpiStack
+SimResult::averageCpiStack() const
+{
+    // Paper Fig. 5: compute each thread's CPI stack separately, then
+    // average the per-thread stacks (normalized per instruction).
+    CpiStack avg;
+    uint32_t counted = 0;
+    for (const ThreadResult &t : threads) {
+        if (t.instructions == 0)
+            continue;
+        CpiStack per_insn = t.cpi;
+        per_insn.scale(1.0 / static_cast<double>(t.instructions));
+        avg.add(per_insn);
+        ++counted;
+    }
+    if (counted > 0)
+        avg.scale(1.0 / static_cast<double>(counted));
+    return avg;
+}
+
+namespace {
+
+/** Binds a CacheHierarchy to one core for the CoreModel interface. */
+class CoreMemoryAdapter : public MemorySystemIf
+{
+  public:
+    CoreMemoryAdapter(CacheHierarchy &hier, uint32_t core)
+        : hier_(hier), core_(core)
+    {}
+
+    AccessResult
+    dataAccess(uint64_t addr, bool is_write, double now) override
+    {
+        return hier_.dataAccess(core_, addr, is_write, now);
+    }
+
+    uint32_t
+    instrFetch(uint64_t pc) override
+    {
+        return hier_.instrFetch(core_, pc);
+    }
+
+  private:
+    CacheHierarchy &hier_;
+    uint32_t core_;
+};
+
+/** Adapts TournamentPredictor to the CoreModel interface. */
+class BranchAdapter : public BranchPredictorIf
+{
+  public:
+    explicit BranchAdapter(TournamentPredictor &pred) : pred_(pred) {}
+
+    bool
+    predictAndUpdate(uint64_t pc, bool taken) override
+    {
+        return pred_.predictAndUpdate(pc, taken);
+    }
+
+  private:
+    TournamentPredictor &pred_;
+};
+
+/** Per-thread execution cursor. */
+struct ThreadCursor
+{
+    size_t next = 0;           ///< next record index
+    bool done = false;
+    double activeStart = 0.0;  ///< begin of the current active interval
+};
+
+} // namespace
+
+SimResult
+simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
+         const SimOptions &opts)
+{
+    trace.validate();
+    cfg.validate();
+    const uint32_t num_threads =
+        static_cast<uint32_t>(trace.numThreads());
+
+    // Each thread gets a private cache set; workloads may have more
+    // threads than cores (e.g. main + numCores workers) as long as the
+    // *concurrently active* thread count stays at numCores, which the
+    // paper's setups guarantee (the main thread blocks in join while the
+    // workers run).
+    MulticoreConfig hier_cfg = cfg;
+    hier_cfg.numCores = std::max(cfg.numCores, num_threads);
+    CacheHierarchy hierarchy(hier_cfg);
+    std::vector<std::unique_ptr<CoreMemoryAdapter>> mems;
+    std::vector<std::unique_ptr<TournamentPredictor>> preds;
+    std::vector<std::unique_ptr<BranchAdapter>> branch_adapters;
+    std::vector<std::unique_ptr<CoreModel>> cores;
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        mems.push_back(std::make_unique<CoreMemoryAdapter>(hierarchy, t));
+        preds.push_back(
+            std::make_unique<TournamentPredictor>(cfg.core.branch));
+        branch_adapters.push_back(std::make_unique<BranchAdapter>(*preds[t]));
+        cores.push_back(std::make_unique<CoreModel>(cfg.core, *mems[t],
+                                                    *branch_adapters[t]));
+    }
+
+    SyncState sync(num_threads, barrierPopulations(trace));
+    std::vector<ThreadCursor> cursors(num_threads);
+    SimResult result;
+    result.workload = trace.name;
+    result.config = cfg.name;
+    result.threads.resize(num_threads);
+
+    auto close_activity = [&](uint32_t tid, double at) {
+        ThreadResult &tr = result.threads[tid];
+        ThreadCursor &cur = cursors[tid];
+        if (at > cur.activeStart)
+            tr.activity.push_back({cur.activeStart, at});
+    };
+
+    auto handle_releases = [&](const SyncOutcome &out) {
+        for (const auto &[tid, when] : out.released) {
+            cores[tid]->idleUntil(when);
+            cursors[tid].activeStart = when;
+        }
+    };
+
+    // Main loop: advance the runnable thread with the smallest local time
+    // by a batch of records (up to its next sync event).
+    constexpr size_t kBatch = 64;
+    uint32_t live = num_threads;
+    while (live > 0) {
+        // Pick the unblocked, unfinished thread with the smallest clock.
+        uint32_t pick = num_threads;
+        double best = std::numeric_limits<double>::infinity();
+        for (uint32_t t = 0; t < num_threads; ++t) {
+            if (cursors[t].done || sync.blocked(t))
+                continue;
+            if (cores[t]->now() < best) {
+                best = cores[t]->now();
+                pick = t;
+            }
+        }
+        RPPM_REQUIRE(pick < num_threads,
+                     "deadlock: no runnable thread (malformed trace)");
+
+        ThreadCursor &cur = cursors[pick];
+        const auto &records = trace.threads[pick].records;
+        size_t steps = 0;
+        while (cur.next < records.size() && steps < kBatch) {
+            const TraceRecord &rec = records[cur.next];
+            if (rec.isSync()) {
+                // Sync ops cost real cycles (atomics, futex path) before
+                // their semantic effect happens.
+                if (rec.sync != SyncType::CondMarker)
+                    cores[pick]->syncOverhead(opts.syncOpCost);
+                const double now = cores[pick]->now();
+                // Close this thread's activity interval before applying
+                // the event: a release may advance its activeStart (last
+                // arrival at a barrier), which would drop the interval.
+                close_activity(pick, now);
+                cur.activeStart = now;
+                const SyncOutcome out = sync.apply(pick, rec, now);
+                ++cur.next;
+                handle_releases(out);
+                if (out.blocks)
+                    break;
+                // Re-enter the scheduler after any sync event so global
+                // time order is maintained around interactions.
+                ++steps;
+                break;
+            }
+            cores[pick]->execute(rec);
+            ++cur.next;
+            ++steps;
+        }
+
+        // A thread is only finished once it has exhausted its records AND
+        // is not blocked (its last record may be a blocking sync event;
+        // the release will reschedule it here with an up-to-date clock).
+        if (cur.next >= records.size() && !cur.done && !sync.blocked(pick)) {
+            cur.done = true;
+            --live;
+            const double now = cores[pick]->now();
+            close_activity(pick, now);
+            result.threads[pick].finishTime = now;
+            handle_releases(sync.finish(pick, now));
+        }
+    }
+
+    double total = 0.0;
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        ThreadResult &tr = result.threads[t];
+        tr.instructions = cores[t]->instructions();
+        tr.cpi = cores[t]->cpiStack();
+        tr.activeCycles = cores[t]->activeCycles();
+        tr.syncCycles = tr.cpi[CpiComponent::Sync];
+        total = std::max(total, tr.finishTime);
+        result.mem.push_back(hierarchy.coreStats(t));
+        result.branch.push_back(preds[t]->stats());
+    }
+    result.totalCycles = total;
+    result.totalSeconds = total / (cfg.core.frequencyGHz * 1e9);
+    return result;
+}
+
+} // namespace rppm

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Multicore golden-reference simulator.
+ *
+ * Interleaves the per-thread traces of a workload on a timestamp-ordered
+ * global clock: at each step the runnable thread with the smallest local
+ * time advances by one trace record through its CoreModel. Memory accesses
+ * therefore hit the shared hierarchy in (approximate) global time order,
+ * which is what makes cache sharing and coherence effects realistic.
+ * Synchronization records go through SyncState, giving them their dynamic
+ * (arrival-order-dependent) semantics.
+ *
+ * Plays the role Sniper plays in the paper: its execution times are the
+ * golden reference RPPM's predictions are scored against.
+ */
+
+#ifndef RPPM_SIM_SIMULATOR_HH
+#define RPPM_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "branch/tournament.hh"
+#include "cache/hierarchy.hh"
+#include "sim/sync_state.hh"
+#include "simcore/core_model.hh"
+#include "trace/trace.hh"
+
+namespace rppm {
+
+/** Active-interval record used for bottlegraphs. */
+struct ActivityInterval
+{
+    double begin = 0.0;
+    double end = 0.0;
+};
+
+/** Per-thread simulation results. */
+struct ThreadResult
+{
+    double finishTime = 0.0;       ///< cycle the thread exhausted its trace
+    double activeCycles = 0.0;     ///< busy (non-idle) cycles
+    double syncCycles = 0.0;       ///< idle cycles waiting on sync
+    uint64_t instructions = 0;
+    CpiStack cpi;                  ///< absolute cycle budget by component
+    std::vector<ActivityInterval> activity; ///< for bottlegraphs
+};
+
+/** Whole-workload simulation results. */
+struct SimResult
+{
+    std::string workload;
+    std::string config;
+    double totalCycles = 0.0;      ///< overall execution time (cycles)
+    double totalSeconds = 0.0;     ///< at the config's clock frequency
+    std::vector<ThreadResult> threads;
+    std::vector<CoreMemStats> mem; ///< per-core cache statistics
+    std::vector<BranchStats> branch;
+
+    /** Average per-thread CPI stack normalized per instruction. */
+    CpiStack averageCpiStack() const;
+};
+
+/** Tunables of the simulator that are not architecture parameters. */
+struct SimOptions
+{
+    /** Cycle cost charged for executing one sync operation. */
+    double syncOpCost = 40.0;
+};
+
+/**
+ * Execute @p trace on @p cfg and return the golden-reference timing.
+ *
+ * The simulation is deterministic: same trace + config => same result.
+ * Throws on deadlock (which indicates a malformed trace).
+ */
+SimResult simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
+                   const SimOptions &opts = {});
+
+} // namespace rppm
+
+#endif // RPPM_SIM_SIMULATOR_HH

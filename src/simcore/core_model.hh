@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Instruction-window-centric out-of-order core timing model.
+ *
+ * This is the per-core timing engine of the golden-reference simulator —
+ * the same model family as Sniper's hardware-validated core model the
+ * paper simulates against. Every micro-op flows through dispatch (width,
+ * ROB and issue-queue occupancy limits), issue (dependences, functional
+ * unit contention, MSHR limits) and in-order retirement. Branch
+ * mispredictions redirect the front end after the branch resolves plus a
+ * refill penalty; I-cache misses stall the front end; load latencies come
+ * from the real cache hierarchy, so memory-level parallelism emerges
+ * naturally from the window.
+ *
+ * The model also attributes retired cycles to CPI-stack components
+ * (base / branch / I-cache / memory levels) using interval-union
+ * accounting for overlapping load misses.
+ */
+
+#ifndef RPPM_SIMCORE_CORE_MODEL_HH
+#define RPPM_SIMCORE_CORE_MODEL_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.hh"
+#include "cache/hierarchy.hh"
+#include "trace/trace.hh"
+
+namespace rppm {
+
+/** CPI stack components used by both the simulator and the RPPM model. */
+enum class CpiComponent : uint8_t
+{
+    Base,
+    Branch,
+    ICache,
+    MemL2,     ///< load stall serviced by private L2
+    MemLLC,    ///< load stall serviced by shared LLC
+    MemDram,   ///< load stall serviced by main memory
+    Sync,      ///< idle waiting on synchronization
+    NumComponents,
+};
+
+constexpr size_t kNumCpiComponents =
+    static_cast<size_t>(CpiComponent::NumComponents);
+
+/** Human-readable CPI component name. */
+const char *cpiComponentName(CpiComponent comp);
+
+/** A cycle budget per CPI component. */
+struct CpiStack
+{
+    std::array<double, kNumCpiComponents> cycles{};
+
+    double &operator[](CpiComponent c)
+    {
+        return cycles[static_cast<size_t>(c)];
+    }
+    double operator[](CpiComponent c) const
+    {
+        return cycles[static_cast<size_t>(c)];
+    }
+
+    /** Sum of all components. */
+    double total() const;
+
+    /** Sum of the three memory components. */
+    double memTotal() const;
+
+    /** Element-wise accumulate. */
+    void add(const CpiStack &other);
+
+    /** Scale all components by @p f. */
+    void scale(double f);
+};
+
+/** Memory-system interface so cores can be unit-tested with stubs. */
+class MemorySystemIf
+{
+  public:
+    virtual ~MemorySystemIf() = default;
+
+    /** Data access at time @p now; returns level and total latency. */
+    virtual AccessResult dataAccess(uint64_t addr, bool is_write,
+                                    double now) = 0;
+
+    /** Instruction fetch; returns extra front-end stall cycles. */
+    virtual uint32_t instrFetch(uint64_t pc) = 0;
+};
+
+/** Branch predictor interface (stubbed in unit tests). */
+class BranchPredictorIf
+{
+  public:
+    virtual ~BranchPredictorIf() = default;
+
+    /** @return true when the prediction was correct. */
+    virtual bool predictAndUpdate(uint64_t pc, bool taken) = 0;
+};
+
+/**
+ * Timing model for a single hardware thread/core.
+ *
+ * Times are in core cycles, represented as double so the multicore
+ * scheduler can merge them with sync idle times; all intra-core schedule
+ * decisions happen on integral cycles.
+ */
+class CoreModel
+{
+  public:
+    CoreModel(const CoreConfig &cfg, MemorySystemIf &mem,
+              BranchPredictorIf &branch);
+
+    /** Execute one micro-op (must not be a sync record). */
+    void execute(const TraceRecord &rec);
+
+    /**
+     * Current thread-local time: the retire time of the newest op, i.e.
+     * the earliest cycle at which a subsequent sync event could happen.
+     */
+    double now() const { return lastRetire_; }
+
+    /**
+     * Jump the core's clocks forward to @p t (resuming after blocking
+     * synchronization) and account the skipped span to the Sync bucket.
+     */
+    void idleUntil(double t);
+
+    /**
+     * Charge @p cycles of synchronization-operation overhead (atomic RMW,
+     * futex syscall, ...) advancing time without executing ops.
+     */
+    void syncOverhead(double cycles);
+
+    /** Retired micro-op count. */
+    uint64_t instructions() const { return numOps_; }
+
+    /** CPI stack accumulated so far; Base is derived as the remainder. */
+    CpiStack cpiStack() const;
+
+    /** Cycles this core was busy (now() minus idle gaps). */
+    double activeCycles() const;
+
+  private:
+    double dispatchOne(double earliest);
+
+    const CoreConfig cfg_;
+    MemorySystemIf &mem_;
+    BranchPredictorIf &branch_;
+
+    // Ring buffers sized at construction.
+    std::vector<double> completion_;   ///< completion time by op index
+    std::vector<double> issue_;        ///< issue time by op index
+    std::vector<double> retire_;       ///< retire time by op index
+    std::vector<double> mshrFree_;     ///< completion of outstanding loads
+
+    uint64_t numOps_ = 0;
+    uint64_t numLoads_ = 0;
+    double dispatchCycle_ = 0.0;       ///< front-end next dispatch cycle
+    uint32_t dispatchedInCycle_ = 0;
+    double lastRetire_ = 0.0;
+    double memStallEnd_ = 0.0;         ///< union accounting for load misses
+    double idleCycles_ = 0.0;
+    CpiStack stack_;
+
+    std::array<std::vector<double>, kNumOpClasses> fuFree_;
+
+    double completionOf(uint64_t idx) const;
+};
+
+} // namespace rppm
+
+#endif // RPPM_SIMCORE_CORE_MODEL_HH

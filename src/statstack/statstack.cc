@@ -1,0 +1,92 @@
+#include "statstack/statstack.hh"
+
+#include <algorithm>
+#include <utility>
+#include <cmath>
+
+namespace rppm {
+
+StatStack::StatStack(LogHistogram reuse_distances)
+    : hist_(std::move(reuse_distances))
+{
+    // Precompute expected stack distance at each bucket boundary:
+    //   sd(D) = sum_{j=1..D} survival(j).
+    // Within a bucket the survival function is (piecewise) constant in
+    // our representation, so the prefix sum advances linearly and can be
+    // interpolated exactly on query.
+    const size_t buckets = LogHistogram::numBuckets();
+    survivalPrefix_.resize(buckets);
+    double prefix = 0.0;
+    for (size_t i = 0; i < buckets; ++i) {
+        const uint64_t lo = LogHistogram::bucketLo(i);
+        const uint64_t hi = LogHistogram::bucketHi(i);
+        // Representative survival within this bucket, evaluated at the
+        // bucket midpoint.
+        const double surv = hist_.survival(LogHistogram::bucketMid(i));
+        prefix += surv * static_cast<double>(hi - lo + 1);
+        survivalPrefix_[i] = prefix;
+    }
+}
+
+double
+StatStack::stackDistance(uint64_t rd) const
+{
+    if (rd == LogHistogram::kInfinity)
+        return static_cast<double>(LogHistogram::kInfinity);
+    if (hist_.total() == 0)
+        return static_cast<double>(rd);
+    const size_t idx = LogHistogram::bucketIndex(rd);
+    const uint64_t lo = LogHistogram::bucketLo(idx);
+    const double below = idx > 0 ? survivalPrefix_[idx - 1] : 0.0;
+    const double surv = hist_.survival(LogHistogram::bucketMid(idx));
+    return below + surv * static_cast<double>(rd - lo + 1);
+}
+
+uint64_t
+StatStack::criticalReuseDistance(uint64_t cache_lines) const
+{
+    // Binary search over bucket boundaries for the first reuse distance
+    // whose expected stack distance reaches cache_lines.
+    const double target = static_cast<double>(cache_lines);
+    const size_t buckets = LogHistogram::numBuckets();
+    size_t lo = 0, hi = buckets;
+    while (lo < hi) {
+        const size_t mid = (lo + hi) / 2;
+        if (survivalPrefix_[mid] < target)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo >= buckets)
+        return LogHistogram::kInfinity;
+    // Interpolate within the bucket.
+    const uint64_t blo = LogHistogram::bucketLo(lo);
+    const uint64_t bhi = LogHistogram::bucketHi(lo);
+    const double below = lo > 0 ? survivalPrefix_[lo - 1] : 0.0;
+    const double surv = hist_.survival(LogHistogram::bucketMid(lo));
+    if (surv <= 0.0)
+        return bhi;
+    const double offset = (target - below) / surv;
+    const uint64_t rd = blo + static_cast<uint64_t>(std::max(0.0, offset));
+    return std::min(rd, bhi);
+}
+
+double
+StatStack::missRate(uint64_t cache_lines) const
+{
+    const uint64_t total = hist_.total();
+    if (total == 0)
+        return 0.0;
+    // An access misses when its expected stack distance exceeds the
+    // cache's line count; cold accesses (infinite reuse distance) always
+    // miss. survival() interpolates within the critical bucket, so this
+    // directly yields the miss fraction.
+    const uint64_t critical = criticalReuseDistance(cache_lines);
+    if (critical == LogHistogram::kInfinity) {
+        return static_cast<double>(hist_.totalInfinite()) /
+            static_cast<double>(total);
+    }
+    return hist_.survival(critical);
+}
+
+} // namespace rppm

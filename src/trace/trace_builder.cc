@@ -1,0 +1,70 @@
+#include "trace/trace_builder.hh"
+
+namespace rppm {
+
+void
+ThreadTraceBuilder::push(TraceRecord rec)
+{
+    trace_.records.push_back(rec);
+    if (!rec.isSync())
+        ++ops_;
+}
+
+void
+ThreadTraceBuilder::op(OpClass cls, uint32_t pc, uint16_t dep1, uint16_t dep2)
+{
+    TraceRecord rec;
+    rec.op = cls;
+    rec.pc = pc;
+    rec.dep1 = dep1;
+    rec.dep2 = dep2;
+    push(rec);
+}
+
+void
+ThreadTraceBuilder::load(uint64_t addr, uint32_t pc,
+                         uint16_t dep1, uint16_t dep2)
+{
+    TraceRecord rec;
+    rec.op = OpClass::Load;
+    rec.pc = pc;
+    rec.addr = addr;
+    rec.dep1 = dep1;
+    rec.dep2 = dep2;
+    push(rec);
+}
+
+void
+ThreadTraceBuilder::store(uint64_t addr, uint32_t pc,
+                          uint16_t dep1, uint16_t dep2)
+{
+    TraceRecord rec;
+    rec.op = OpClass::Store;
+    rec.pc = pc;
+    rec.addr = addr;
+    rec.dep1 = dep1;
+    rec.dep2 = dep2;
+    push(rec);
+}
+
+void
+ThreadTraceBuilder::branch(uint32_t pc, bool taken, uint16_t dep1)
+{
+    TraceRecord rec;
+    rec.op = OpClass::Branch;
+    rec.pc = pc;
+    rec.taken = taken;
+    rec.dep1 = dep1;
+    push(rec);
+}
+
+void
+ThreadTraceBuilder::sync(SyncType type, uint32_t arg)
+{
+    TraceRecord rec;
+    rec.sync = type;
+    rec.syncArg = arg;
+    push(rec);
+}
+
+} // namespace rppm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Convenience builder for authoring traces by hand (tests, examples) and
+ * for the workload generators. Keeps per-thread cursors so records can be
+ * appended thread by thread with correct dependence distances.
+ */
+
+#ifndef RPPM_TRACE_TRACE_BUILDER_HH
+#define RPPM_TRACE_TRACE_BUILDER_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace rppm {
+
+/**
+ * Appends records to one thread of a WorkloadTrace.
+ *
+ * The builder is deliberately low level: the workload kernels in
+ * src/workload compose richer patterns on top of it.
+ */
+class ThreadTraceBuilder
+{
+  public:
+    explicit ThreadTraceBuilder(ThreadTrace &trace) : trace_(trace) {}
+
+    /** Append a non-memory, non-branch op. */
+    void op(OpClass cls, uint32_t pc, uint16_t dep1 = 0, uint16_t dep2 = 0);
+
+    /** Append a load from @p addr. */
+    void load(uint64_t addr, uint32_t pc,
+              uint16_t dep1 = 0, uint16_t dep2 = 0);
+
+    /** Append a store to @p addr. */
+    void store(uint64_t addr, uint32_t pc,
+               uint16_t dep1 = 0, uint16_t dep2 = 0);
+
+    /** Append a conditional branch with outcome @p taken. */
+    void branch(uint32_t pc, bool taken, uint16_t dep1 = 0);
+
+    /** Append a sync event. */
+    void sync(SyncType type, uint32_t arg);
+
+    /** Number of records appended so far (including sync records). */
+    size_t size() const { return trace_.records.size(); }
+
+    /** Number of micro-ops appended so far. */
+    uint64_t numOps() const { return ops_; }
+
+  private:
+    void push(TraceRecord rec);
+
+    ThreadTrace &trace_;
+    uint64_t ops_ = 0;
+};
+
+} // namespace rppm
+
+#endif // RPPM_TRACE_TRACE_BUILDER_HH

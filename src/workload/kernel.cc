@@ -1,0 +1,183 @@
+#include "workload/kernel.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hh"
+
+namespace rppm {
+
+KernelGenerator::KernelGenerator(const KernelParams &params, uint32_t tid,
+                                 uint32_t code_base, Rng rng)
+    : params_(params), rng_(rng), codeBase_(code_base),
+      privateBase_(privateBase(tid))
+{
+    RPPM_REQUIRE(params_.codeFootprint > 0, "kernel needs code");
+    RPPM_REQUIRE(params_.privateBytes >= 64, "private region too small");
+    RPPM_REQUIRE(params_.sharedBytes >= 64, "shared region too small");
+    hotPool_.reserve(params_.hotLines);
+
+    // Build the static code layout once: each position in the loop body
+    // has a fixed role, exactly like real program text. Branch PCs are
+    // therefore stable static branches a predictor can train on. The
+    // layout is derived from the *kernel parameters*, not the thread's
+    // dynamic stream, so all threads of a benchmark share code.
+    Rng layout_rng(0xc0de2bad ^ (uint64_t{params_.codeFootprint} << 20) ^
+                   static_cast<uint64_t>(params_.fracBranch * 1e6) ^
+                   code_base);
+    const double frac_mem = params_.fracLoad + params_.fracStore;
+    layout_.resize(params_.codeFootprint);
+    computeClass_.resize(params_.codeFootprint, OpClass::IntAlu);
+    for (uint32_t p = 0; p < params_.codeFootprint; ++p) {
+        if (layout_rng.nextBool(params_.fracBranch)) {
+            layout_[p] = Role::Branch;
+            continue;
+        }
+        if (layout_rng.nextBool(frac_mem)) {
+            layout_[p] = Role::Memory;
+            continue;
+        }
+        layout_[p] = Role::Compute;
+        const double c = layout_rng.nextDouble();
+        double acc = params_.fracFpAdd;
+        if (c < acc) {
+            computeClass_[p] = OpClass::FpAdd;
+        } else if (c < (acc += params_.fracFpMul)) {
+            computeClass_[p] = OpClass::FpMul;
+        } else if (c < (acc += params_.fracFpDiv)) {
+            computeClass_[p] = OpClass::FpDiv;
+        } else if (c < (acc += params_.fracIntMul)) {
+            computeClass_[p] = OpClass::IntMul;
+        } else if (c < (acc += params_.fracIntDiv)) {
+            computeClass_[p] = OpClass::IntDiv;
+        }
+    }
+}
+
+uint64_t
+KernelGenerator::nextAddress(bool &is_shared)
+{
+    // Revisit a hot line with probability reuseFrac: this produces short
+    // reuse distances on top of the streaming/random background.
+    if (!hotPool_.empty() && rng_.nextBool(params_.reuseFrac)) {
+        const size_t pick = rng_.nextBounded(hotPool_.size());
+        const uint64_t addr = hotPool_[pick];
+        is_shared = addr >= kSharedBase;
+        return addr;
+    }
+
+    is_shared = rng_.nextBool(params_.sharedFrac);
+    uint64_t addr;
+    if (is_shared) {
+        // Shared accesses are spread over the shared region so threads
+        // both constructively share lines and conflict on them.
+        const uint64_t lines = params_.sharedBytes / 64;
+        addr = kSharedBase + 64 * rng_.nextBounded(lines);
+    } else if (rng_.nextBool(params_.randomFrac)) {
+        const uint64_t lines = params_.privateBytes / 64;
+        addr = privateBase_ + 64 * rng_.nextBounded(lines);
+    } else {
+        streamCursor_ =
+            (streamCursor_ + params_.strideBytes) % params_.privateBytes;
+        addr = privateBase_ + streamCursor_;
+    }
+
+    if (hotPool_.size() < params_.hotLines) {
+        hotPool_.push_back(addr);
+    } else if (params_.hotLines > 0) {
+        hotPool_[rng_.nextBounded(hotPool_.size())] = addr;
+    }
+    return addr;
+}
+
+bool
+KernelGenerator::branchOutcome(uint32_t pc)
+{
+    // Two static-branch populations: loop-like branches that are heavily
+    // biased, and data-dependent branches that flip coins. The mixing
+    // fraction is chosen so the stream's average linear entropy matches
+    // the requested target:
+    //   f * 0.5 + (1 - f) * e_biased = target.
+    constexpr double kBiasedTakenProb = 0.98;
+    const double e_biased =
+        2.0 * kBiasedTakenProb * (1.0 - kBiasedTakenProb); // ~0.0392
+    const double f = std::clamp(
+        (params_.branchEntropy - e_biased) / (0.5 - e_biased), 0.0, 1.0);
+
+    // Classify the static branch by a PC hash so the classification is
+    // stable across dynamic executions of the same branch.
+    uint64_t h = pc * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    const bool is_flip =
+        static_cast<double>(h >> 11) * 0x1.0p-53 < f;
+    if (is_flip)
+        return rng_.nextBool(0.5);
+    return rng_.nextBool(kBiasedTakenProb);
+}
+
+uint16_t
+KernelGenerator::drawDep(uint64_t emitted)
+{
+    uint64_t dist;
+    if (rng_.nextBool(params_.chainFrac))
+        dist = 1 + rng_.nextBounded(2);
+    else
+        dist = rng_.nextGeometric(params_.depMean);
+    dist = std::min<uint64_t>(dist, 500);
+    dist = std::min<uint64_t>(dist, emitted);
+    return static_cast<uint16_t>(dist);
+}
+
+void
+KernelGenerator::emit(ThreadTraceBuilder &builder, uint64_t num_ops)
+{
+    const double frac_mem = params_.fracLoad + params_.fracStore;
+
+    for (uint64_t n = 0; n < num_ops; ++n) {
+        const uint32_t pos = codeCursor_ % params_.codeFootprint;
+        const uint32_t pc = codeBase_ + 4 * pos;
+        ++codeCursor_;
+        ++opsSinceLoad_;
+        ++emitted_;
+
+        switch (layout_[pos]) {
+          case Role::Branch:
+            builder.branch(pc, branchOutcome(pc), drawDep(emitted_ - 1));
+            continue;
+
+          case Role::Memory: {
+            bool shared = false;
+            const uint64_t addr = nextAddress(shared);
+            // Shared data has its own write ratio (it controls coherence
+            // traffic); private accesses follow the load/store mix.
+            const double store_prob = shared ? params_.sharedWriteFrac :
+                params_.fracStore / std::max(frac_mem, 1e-9);
+            if (rng_.nextBool(store_prob)) {
+                builder.store(addr, pc, drawDep(emitted_ - 1),
+                              drawDep(emitted_ - 1));
+            } else {
+                uint16_t dep1 = drawDep(emitted_ - 1);
+                // Pointer chasing: serialize this load behind the
+                // previous load's completion.
+                if (rng_.nextBool(params_.pointerChaseFrac) &&
+                    opsSinceLoad_ <= 500 && opsSinceLoad_ < emitted_) {
+                    dep1 = static_cast<uint16_t>(opsSinceLoad_);
+                }
+                builder.load(addr, pc, dep1, 0);
+                opsSinceLoad_ = 0;
+            }
+            continue;
+          }
+
+          case Role::Compute: {
+            uint16_t dep2 = 0;
+            if (rng_.nextBool(params_.dep2Frac))
+                dep2 = drawDep(emitted_ - 1);
+            builder.op(computeClass_[pos], pc, drawDep(emitted_ - 1), dep2);
+            continue;
+          }
+        }
+    }
+}
+
+} // namespace rppm

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parameterized micro-op kernel generator.
+ *
+ * A kernel emits a stream of micro-ops with controlled, workload-inherent
+ * characteristics: instruction mix, dependence structure (ILP), branch
+ * predictability (entropy), code footprint, and memory access behaviour
+ * (working-set sizes, striding vs. random access, data sharing and write
+ * sharing across threads). The synthetic benchmark suite composes kernels
+ * with synchronization scaffolding to mimic the paper's Rodinia and Parsec
+ * workloads.
+ */
+
+#ifndef RPPM_WORKLOAD_KERNEL_HH
+#define RPPM_WORKLOAD_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "trace/trace_builder.hh"
+
+namespace rppm {
+
+/** Workload-inherent characteristics of a kernel. */
+struct KernelParams
+{
+    // --- Instruction mix (fractions of non-branch ops; rest is IntAlu).
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    double fracFpAdd = 0.05;
+    double fracFpMul = 0.05;
+    double fracFpDiv = 0.0;
+    double fracIntMul = 0.02;
+    double fracIntDiv = 0.0;
+
+    // --- Control flow.
+    double fracBranch = 0.10;      ///< fraction of all ops that branch
+    double branchEntropy = 0.08;   ///< target average linear entropy
+    uint32_t codeFootprint = 2048; ///< static instructions in the loop body
+
+    // --- Dependences (ILP).
+    double chainFrac = 0.3;        ///< prob. of a distance-1/2 dependence
+    double depMean = 12.0;         ///< mean distance of loose dependences
+    double dep2Frac = 0.25;        ///< prob. of a second source operand
+
+    // --- Memory behaviour.
+    uint64_t privateBytes = 1 << 20;  ///< per-thread working set
+    uint64_t sharedBytes = 4 << 20;   ///< working set shared by all threads
+    double sharedFrac = 0.1;          ///< prob. a memory op hits shared data
+    double sharedWriteFrac = 0.2;     ///< prob. a shared access is a write
+    double randomFrac = 0.3;          ///< random (vs. streaming) accesses
+    double reuseFrac = 0.35;          ///< prob. of revisiting a hot line
+    uint32_t hotLines = 64;           ///< size of the hot reuse pool
+    double pointerChaseFrac = 0.0;    ///< loads serialized on prior loads
+    uint64_t strideBytes = 64;        ///< streaming stride
+};
+
+/**
+ * Stateful generator emitting micro-ops for one thread.
+ *
+ * The generator is deterministic given its seed; the profiler and the
+ * simulator therefore see the identical dynamic stream, playing the role
+ * of a real binary's execution.
+ */
+class KernelGenerator
+{
+  public:
+    /**
+     * @param params kernel characteristics
+     * @param tid thread id (selects the private memory region)
+     * @param code_base first PC of this kernel's code region
+     * @param rng private random stream
+     */
+    KernelGenerator(const KernelParams &params, uint32_t tid,
+                    uint32_t code_base, Rng rng);
+
+    /** Emit @p num_ops micro-ops into @p builder. */
+    void emit(ThreadTraceBuilder &builder, uint64_t num_ops);
+
+  private:
+    /** Static role of one code position (fixed across iterations, like
+     *  real program text; memory ops pick load/store dynamically). */
+    enum class Role : uint8_t
+    {
+        Compute,   ///< class given by computeClass_
+        Memory,
+        Branch,
+    };
+
+    uint64_t nextAddress(bool &is_shared);
+    bool branchOutcome(uint32_t pc);
+    uint16_t drawDep(uint64_t emitted);
+
+    KernelParams params_;
+    Rng rng_;
+    uint32_t codeBase_;
+    uint32_t codeCursor_ = 0;
+    uint64_t privateBase_;
+    uint64_t streamCursor_ = 0;
+    uint64_t opsSinceLoad_ = 0;     ///< distance to the previous load
+    std::vector<uint64_t> hotPool_; ///< recently touched lines
+    uint64_t emitted_ = 0;
+    std::vector<Role> layout_;      ///< static code layout (per position)
+    std::vector<OpClass> computeClass_;
+};
+
+/** Shared-region base address (same for every thread). */
+constexpr uint64_t kSharedBase = uint64_t{1} << 40;
+
+/** Private-region base address for @p tid. */
+constexpr uint64_t
+privateBase(uint32_t tid)
+{
+    return (uint64_t{tid} + 1) << 32;
+}
+
+} // namespace rppm
+
+#endif // RPPM_WORKLOAD_KERNEL_HH

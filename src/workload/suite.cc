@@ -1,0 +1,467 @@
+#include "workload/suite.hh"
+
+#include <algorithm>
+
+namespace rppm {
+
+namespace {
+
+/** Rodinia defaults: main + 3 workers, all work, classic barriers. */
+WorkloadSpec
+rodiniaBase(const std::string &name, uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.seed = seed;
+    spec.numWorkers = 3;
+    spec.mainWorks = true;
+    spec.initOps = 30000;
+    spec.finalOps = 8000;
+    // Real Rodinia kernels have data-dependent per-thread work variation
+    // between barriers; without it the naive MAIN/CRIT baselines would
+    // look artificially good (no idle time to mispredict).
+    spec.epochJitter = 0.35;
+    spec.barrierFlavor = BarrierFlavor::Classic;
+    return spec;
+}
+
+/** Parsec group 1: main + 4 workers, idle main, very balanced. */
+WorkloadSpec
+parsecPool(const std::string &name, uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.seed = seed;
+    spec.numWorkers = 4;
+    spec.mainWorks = false;
+    spec.mainBookkeepingOps = 3000;
+    spec.initOps = 40000;
+    spec.finalOps = 10000;
+    spec.epochJitter = 0.08;
+    spec.barrierFlavor = BarrierFlavor::None;
+    return spec;
+}
+
+/** Parsec group 3: main + 3 workers, main does (almost) no work. */
+WorkloadSpec
+parsecImbalanced(const std::string &name, uint64_t seed)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.seed = seed;
+    spec.numWorkers = 3;
+    spec.mainWorks = false;
+    spec.mainBookkeepingOps = 6000;
+    spec.initOps = 50000;
+    spec.finalOps = 12000;
+    spec.epochJitter = 0.1;
+    return spec;
+}
+
+} // namespace
+
+std::vector<SuiteEntry>
+rodiniaSuite()
+{
+    std::vector<SuiteEntry> suite;
+
+    {   // backprop: bandwidth-bound streaming layers; the paper's highest
+        // MLP benchmark (up to 5.3).
+        WorkloadSpec s = rodiniaBase("backprop", 101);
+        s.numEpochs = 12;
+        s.opsPerEpoch = 45000;
+        s.kernel.privateBytes = 8 << 20;
+        s.kernel.randomFrac = 0.1;
+        s.kernel.reuseFrac = 0.15;
+        s.kernel.fracLoad = 0.30;
+        s.kernel.fracStore = 0.14;
+        s.kernel.fracFpAdd = 0.14;
+        s.kernel.fracFpMul = 0.10;
+        s.kernel.chainFrac = 0.12;
+        s.kernel.depMean = 24.0;
+        s.kernel.sharedFrac = 0.05;
+        s.kernel.branchEntropy = 0.03;
+        suite.push_back({s, "4,194,304", "rodinia"});
+    }
+    {   // bfs: irregular graph traversal, data-dependent branches.
+        WorkloadSpec s = rodiniaBase("bfs", 102);
+        s.numEpochs = 24;
+        s.opsPerEpoch = 24000;
+        s.epochJitter = 0.6; // frontier sizes vary wildly per level
+        s.kernel.privateBytes = 4 << 20;
+        s.kernel.sharedBytes = 8 << 20;
+        s.kernel.sharedFrac = 0.30;
+        s.kernel.randomFrac = 0.85;
+        s.kernel.reuseFrac = 0.2;
+        s.kernel.branchEntropy = 0.22;
+        s.kernel.fracBranch = 0.16;
+        s.kernel.fracLoad = 0.32;
+        s.kernel.pointerChaseFrac = 0.25;
+        suite.push_back({s, "graph8M", "rodinia"});
+    }
+    {   // cfd: FP-heavy solver with long dependence chains.
+        WorkloadSpec s = rodiniaBase("cfd", 103);
+        s.numEpochs = 15;
+        s.opsPerEpoch = 40000;
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.fracFpAdd = 0.18;
+        s.kernel.fracFpMul = 0.14;
+        s.kernel.fracFpDiv = 0.02;
+        s.kernel.chainFrac = 0.45;
+        s.kernel.depMean = 6.0;
+        s.kernel.branchEntropy = 0.02;
+        s.kernel.fracBranch = 0.06;
+        suite.push_back({s, "fvcorr.domn.010K", "rodinia"});
+    }
+    {   // heartwall: compute-dense imaging with a large code footprint.
+        WorkloadSpec s = rodiniaBase("heartwall", 104);
+        s.numEpochs = 10;
+        s.opsPerEpoch = 50000;
+        s.kernel.privateBytes = 256 << 10;
+        s.kernel.codeFootprint = 12000;
+        s.kernel.fracFpAdd = 0.12;
+        s.kernel.fracFpMul = 0.12;
+        s.kernel.reuseFrac = 0.5;
+        s.kernel.branchEntropy = 0.05;
+        suite.push_back({s, "test.avi 10", "rodinia"});
+    }
+    {   // hotspot: stencil with strong spatial locality.
+        WorkloadSpec s = rodiniaBase("hotspot", 105);
+        s.numEpochs = 16;
+        s.opsPerEpoch = 35000;
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.reuseFrac = 0.5;
+        s.kernel.randomFrac = 0.05;
+        s.kernel.fracFpAdd = 0.12;
+        s.kernel.fracFpMul = 0.08;
+        s.kernel.branchEntropy = 0.02;
+        suite.push_back({s, "16384 5", "rodinia"});
+    }
+    {   // kmeans: streams a big dataset against hot centroids.
+        WorkloadSpec s = rodiniaBase("kmeans", 106);
+        s.numEpochs = 12;
+        s.opsPerEpoch = 45000;
+        s.kernel.privateBytes = 16 << 20;
+        s.kernel.reuseFrac = 0.4;
+        s.kernel.hotLines = 16;
+        s.kernel.randomFrac = 0.05;
+        s.kernel.fracLoad = 0.34;
+        s.kernel.fracFpAdd = 0.10;
+        s.kernel.fracFpMul = 0.08;
+        s.kernel.branchEntropy = 0.04;
+        suite.push_back({s, "kdd_cup", "rodinia"});
+    }
+    {   // lavaMD: compute-bound particle interactions, tiny working set.
+        WorkloadSpec s = rodiniaBase("lavaMD", 107);
+        s.numEpochs = 8;
+        s.opsPerEpoch = 55000;
+        s.kernel.privateBytes = 128 << 10;
+        s.kernel.fracFpAdd = 0.16;
+        s.kernel.fracFpMul = 0.16;
+        s.kernel.fracFpDiv = 0.015;
+        s.kernel.reuseFrac = 0.6;
+        s.kernel.branchEntropy = 0.015;
+        s.kernel.fracBranch = 0.05;
+        suite.push_back({s, "10", "rodinia"});
+    }
+    {   // leukocyte: compute-heavy video tracking.
+        WorkloadSpec s = rodiniaBase("leukocyte", 108);
+        s.numEpochs = 10;
+        s.opsPerEpoch = 50000;
+        s.kernel.privateBytes = 512 << 10;
+        s.kernel.codeFootprint = 9000;
+        s.kernel.fracFpAdd = 0.14;
+        s.kernel.fracFpMul = 0.10;
+        s.kernel.chainFrac = 0.35;
+        s.kernel.branchEntropy = 0.03;
+        suite.push_back({s, "testfile.avi 5", "rodinia"});
+    }
+    {   // lud: triangular solve — shrinking work per epoch (imbalance).
+        WorkloadSpec s = rodiniaBase("lud", 109);
+        s.numEpochs = 25;
+        s.opsPerEpoch = 25000;
+        s.imbalance = 0.5;
+        s.kernel.privateBytes = 1 << 20;
+        s.kernel.fracFpAdd = 0.12;
+        s.kernel.fracFpMul = 0.12;
+        s.kernel.branchEntropy = 0.02;
+        suite.push_back({s, "2048.dat", "rodinia"});
+    }
+    {   // myocyte: long serial FP chains, very low ILP.
+        WorkloadSpec s = rodiniaBase("myocyte", 110);
+        s.numEpochs = 6;
+        s.opsPerEpoch = 60000;
+        s.kernel.privateBytes = 64 << 10;
+        s.kernel.chainFrac = 0.6;
+        s.kernel.depMean = 4.0;
+        s.kernel.fracFpAdd = 0.2;
+        s.kernel.fracFpMul = 0.15;
+        s.kernel.fracFpDiv = 0.02;
+        s.kernel.branchEntropy = 0.01;
+        s.kernel.fracBranch = 0.04;
+        suite.push_back({s, "myocyte default", "rodinia"});
+    }
+    {   // nn: nearest neighbour — pure streaming, memory bound.
+        WorkloadSpec s = rodiniaBase("nn", 111);
+        s.numEpochs = 6;
+        s.opsPerEpoch = 50000;
+        s.kernel.privateBytes = 8 << 20;
+        s.kernel.randomFrac = 0.02;
+        s.kernel.reuseFrac = 0.05;
+        s.kernel.fracLoad = 0.38;
+        s.kernel.fracStore = 0.04;
+        s.kernel.fracBranch = 0.06;
+        s.kernel.branchEntropy = 0.02;
+        s.kernel.chainFrac = 0.1;
+        s.kernel.depMean = 30.0;
+        suite.push_back({s, "4096k", "rodinia"});
+    }
+    {   // nw: wavefront with inter-epoch imbalance.
+        WorkloadSpec s = rodiniaBase("nw", 112);
+        s.numEpochs = 30;
+        s.opsPerEpoch = 20000;
+        s.imbalance = 0.3;
+        s.kernel.privateBytes = 4 << 20;
+        s.kernel.randomFrac = 0.15;
+        s.kernel.fracLoad = 0.3;
+        s.kernel.fracStore = 0.15;
+        s.kernel.branchEntropy = 0.06;
+        suite.push_back({s, "16k x 16k", "rodinia"});
+    }
+    {   // particlefilter: random resampling with branchy control.
+        WorkloadSpec s = rodiniaBase("particlefilter", 113);
+        s.numEpochs = 14;
+        s.opsPerEpoch = 30000;
+        s.epochJitter = 0.55; // resampling-driven imbalance
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.randomFrac = 0.6;
+        s.kernel.branchEntropy = 0.15;
+        s.kernel.fracBranch = 0.14;
+        suite.push_back({s, "128 x 128 x 10", "rodinia"});
+    }
+    {   // pathfinder: many short barrier-delimited rows.
+        WorkloadSpec s = rodiniaBase("pathfinder", 114);
+        s.numEpochs = 40;
+        s.opsPerEpoch = 15000;
+        s.kernel.privateBytes = 1 << 20;
+        s.kernel.reuseFrac = 0.3;
+        s.kernel.branchEntropy = 0.05;
+        suite.push_back({s, "1M x 1k", "rodinia"});
+    }
+    {   // srad: stencil + FP, moderate working set.
+        WorkloadSpec s = rodiniaBase("srad", 115);
+        s.numEpochs = 16;
+        s.opsPerEpoch = 35000;
+        s.kernel.privateBytes = 4 << 20;
+        s.kernel.reuseFrac = 0.35;
+        s.kernel.fracFpAdd = 0.14;
+        s.kernel.fracFpMul = 0.10;
+        s.kernel.fracFpDiv = 0.01;
+        s.kernel.branchEntropy = 0.02;
+        suite.push_back({s, "2048", "rodinia"});
+    }
+    {   // streamcluster (Rodinia/OpenMP): barrier-dominated clustering.
+        WorkloadSpec s = rodiniaBase("streamcluster", 116);
+        s.numEpochs = 120;
+        s.opsPerEpoch = 8000;
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.sharedBytes = 4 << 20;
+        s.kernel.sharedFrac = 0.2;
+        s.kernel.fracLoad = 0.32;
+        s.kernel.branchEntropy = 0.04;
+        suite.push_back({s, "256k", "rodinia"});
+    }
+
+    return suite;
+}
+
+std::vector<SuiteEntry>
+parsecSuite()
+{
+    std::vector<SuiteEntry> suite;
+
+    {   // Blackscholes: embarrassingly parallel FP, join-only sync.
+        WorkloadSpec s = parsecPool("Blackscholes", 201);
+        s.numEpochs = 1;
+        s.opsPerEpoch = 380000;
+        s.kernel.privateBytes = 1 << 20;
+        s.kernel.fracFpAdd = 0.16;
+        s.kernel.fracFpMul = 0.14;
+        s.kernel.fracFpDiv = 0.02;
+        s.kernel.chainFrac = 0.3;
+        s.kernel.branchEntropy = 0.01;
+        s.kernel.fracBranch = 0.05;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Bodytrack: critical sections + barriers + a condvar task queue.
+        WorkloadSpec s = parsecImbalanced("Bodytrack", 202);
+        s.numEpochs = 24;
+        s.opsPerEpoch = 14000;
+        s.barrierFlavor = BarrierFlavor::Classic;
+        s.csPerEpoch = 24;
+        s.csLenOps = 40;
+        s.numMutexes = 8;
+        s.queueItems = 24;
+        s.itemOps = 2500;
+        s.kernel.privateBytes = 1 << 20;
+        s.kernel.fracFpAdd = 0.1;
+        s.kernel.fracFpMul = 0.08;
+        s.kernel.branchEntropy = 0.08;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Canneal: barrier-phased annealing with shared random access.
+        WorkloadSpec s = parsecPool("Canneal", 203);
+        s.numEpochs = 16;
+        s.opsPerEpoch = 22000;
+        s.barrierFlavor = BarrierFlavor::Classic;
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.sharedBytes = 16 << 20;
+        s.kernel.sharedFrac = 0.45;
+        s.kernel.sharedWriteFrac = 0.25;
+        s.kernel.randomFrac = 0.9;
+        s.kernel.pointerChaseFrac = 0.3;
+        s.kernel.branchEntropy = 0.12;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Facesim: condvar barriers + many critical sections; main works
+        // slightly more than the workers (paper Fig. 6 group 2).
+        WorkloadSpec s;
+        s.name = "Facesim";
+        s.seed = 204;
+        s.numWorkers = 3;
+        s.mainWorks = true;
+        s.mainWorkScale = 1.15;
+        s.initOps = 45000;
+        s.finalOps = 10000;
+        s.numEpochs = 40;
+        s.opsPerEpoch = 16000;
+        s.epochJitter = 0.08;
+        s.barrierFlavor = BarrierFlavor::CondVar;
+        s.csPerEpoch = 8;
+        s.csLenOps = 30;
+        s.numMutexes = 16;
+        s.kernel.privateBytes = 4 << 20;
+        s.kernel.fracFpAdd = 0.14;
+        s.kernel.fracFpMul = 0.12;
+        s.kernel.branchEntropy = 0.03;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Fluidanimate: dominated by fine-grained critical sections.
+        WorkloadSpec s = parsecPool("Fluidanimate", 205);
+        s.numEpochs = 12;
+        s.opsPerEpoch = 34000;
+        s.barrierFlavor = BarrierFlavor::Classic;
+        s.csPerEpoch = 140;
+        s.csLenOps = 18;
+        s.numMutexes = 64;
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.sharedFrac = 0.15;
+        s.kernel.fracFpAdd = 0.12;
+        s.kernel.fracFpMul = 0.10;
+        s.kernel.branchEntropy = 0.03;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Freqmine: main thread is the bottleneck (paper Fig. 6 group 2);
+        // no synchronization other than the final joins.
+        WorkloadSpec s;
+        s.name = "Freqmine";
+        s.seed = 206;
+        s.numWorkers = 3;
+        s.mainWorks = true;
+        s.mainWorkScale = 1.7;
+        s.initOps = 60000;
+        s.finalOps = 20000;
+        s.numEpochs = 1;
+        s.opsPerEpoch = 320000;
+        s.epochJitter = 0.15;
+        s.barrierFlavor = BarrierFlavor::None;
+        s.kernel.privateBytes = 4 << 20;
+        s.kernel.randomFrac = 0.5;
+        s.kernel.branchEntropy = 0.1;
+        s.kernel.fracBranch = 0.13;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Raytrace: a few critical sections plus a small condvar queue.
+        WorkloadSpec s = parsecPool("Raytrace", 207);
+        s.numEpochs = 1;
+        s.opsPerEpoch = 300000;
+        s.csPerEpoch = 12;
+        s.csLenOps = 40;
+        s.numMutexes = 4;
+        s.queueItems = 16;
+        s.itemOps = 3000;
+        s.kernel.privateBytes = 6 << 20;
+        s.kernel.randomFrac = 0.4;
+        s.kernel.pointerChaseFrac = 0.2;
+        s.kernel.fracFpAdd = 0.12;
+        s.kernel.fracFpMul = 0.10;
+        s.kernel.branchEntropy = 0.06;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Streamcluster (Parsec/pthread): barrier-storm, imbalanced.
+        WorkloadSpec s = parsecImbalanced("Streamcluster", 208);
+        s.numEpochs = 300;
+        s.opsPerEpoch = 3500;
+        s.barrierFlavor = BarrierFlavor::Classic;
+        s.queueItems = 16;
+        s.itemOps = 1500;
+        s.kernel.privateBytes = 2 << 20;
+        s.kernel.sharedBytes = 8 << 20;
+        s.kernel.sharedFrac = 0.25;
+        s.kernel.fracLoad = 0.33;
+        s.kernel.branchEntropy = 0.03;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Swaptions: join-only Monte-Carlo pricing, very balanced.
+        WorkloadSpec s = parsecPool("Swaptions", 209);
+        s.numEpochs = 1;
+        s.opsPerEpoch = 350000;
+        s.kernel.privateBytes = 512 << 10;
+        s.kernel.fracFpAdd = 0.16;
+        s.kernel.fracFpMul = 0.14;
+        s.kernel.fracFpDiv = 0.015;
+        s.kernel.chainFrac = 0.35;
+        s.kernel.branchEntropy = 0.015;
+        s.kernel.fracBranch = 0.05;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+    {   // Vips: producer-consumer condvar pipeline + critical sections.
+        WorkloadSpec s = parsecImbalanced("Vips", 210);
+        s.numEpochs = 8;
+        s.opsPerEpoch = 18000;
+        s.barrierFlavor = BarrierFlavor::None;
+        s.csPerEpoch = 40;
+        s.csLenOps = 25;
+        s.numMutexes = 16;
+        s.queueItems = 360;
+        s.itemOps = 2200;
+        s.kernel.privateBytes = 3 << 20;
+        s.kernel.fracLoad = 0.3;
+        s.kernel.fracStore = 0.14;
+        s.kernel.branchEntropy = 0.05;
+        suite.push_back({s, "simmedium", "parsec"});
+    }
+
+    return suite;
+}
+
+std::vector<SuiteEntry>
+fullSuite()
+{
+    std::vector<SuiteEntry> suite = rodiniaSuite();
+    std::vector<SuiteEntry> parsec = parsecSuite();
+    suite.insert(suite.end(), parsec.begin(), parsec.end());
+    return suite;
+}
+
+std::optional<SuiteEntry>
+findBenchmark(const std::string &name)
+{
+    for (const SuiteEntry &entry : fullSuite()) {
+        if (entry.spec.name == name)
+            return entry;
+    }
+    return std::nullopt;
+}
+
+} // namespace rppm

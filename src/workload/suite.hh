@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The synthetic benchmark suite mirroring the paper's evaluation set:
+ * all 16 OpenMP Rodinia benchmarks (Tables II and V) and the 10 pthread
+ * Parsec benchmarks (Table III, Figs. 4-6).
+ *
+ * Each spec is tuned to the paper's qualitative description:
+ *  - Rodinia: main + 3 workers, all performing work, barrier-synchronized,
+ *    well balanced (almost perfect bottlegraphs).
+ *  - Parsec group 1 (blackscholes, canneal, fluidanimate, raytrace,
+ *    swaptions): main + 4 workers, main only does bookkeeping.
+ *  - Parsec group 2 (facesim, freqmine): main + 3 workers, main works too.
+ *  - Parsec group 3 (bodytrack, streamcluster, vips): main + 3 workers,
+ *    main does little-to-no work — highly imbalanced, parallelism ~3.
+ * The synchronization flavor mix per benchmark follows Table III
+ * (critical-section-dominated fluidanimate, barrier-dominated
+ * streamcluster, condvar-dominated facesim/vips, join-only blackscholes/
+ * freqmine/swaptions), scaled down to keep simulation times tractable.
+ */
+
+#ifndef RPPM_WORKLOAD_SUITE_HH
+#define RPPM_WORKLOAD_SUITE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace rppm {
+
+/** A benchmark entry: the spec plus its Table-II style input note. */
+struct SuiteEntry
+{
+    WorkloadSpec spec;
+    std::string input;   ///< human-readable input description
+    std::string suite;   ///< "rodinia" or "parsec"
+};
+
+/** The 16 Rodinia benchmarks (OpenMP model, barrier synchronized). */
+std::vector<SuiteEntry> rodiniaSuite();
+
+/** The 10 Parsec benchmarks (pthread model). */
+std::vector<SuiteEntry> parsecSuite();
+
+/** rodiniaSuite() followed by parsecSuite(), as in Fig. 4. */
+std::vector<SuiteEntry> fullSuite();
+
+/** Look up a benchmark by name in the full suite. */
+std::optional<SuiteEntry> findBenchmark(const std::string &name);
+
+} // namespace rppm
+
+#endif // RPPM_WORKLOAD_SUITE_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unit tests for src/arch: configuration validation and the Table-IV
+ * design space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+
+namespace rppm {
+namespace {
+
+TEST(Config, BaseConfigIsValid)
+{
+    const MulticoreConfig cfg = baseConfig();
+    EXPECT_EQ(cfg.numCores, 4u);
+    EXPECT_EQ(cfg.core.dispatchWidth, 4u);
+    EXPECT_EQ(cfg.core.robSize, 128u);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(Config, TableIvHasFiveIsoThroughputPoints)
+{
+    const auto configs = tableIvConfigs();
+    ASSERT_EQ(configs.size(), 5u);
+    // Peak throughput (width x frequency) is ~constant (10 Gops/s).
+    for (const auto &cfg : configs) {
+        const double peak = cfg.core.dispatchWidth * cfg.core.frequencyGHz;
+        EXPECT_NEAR(peak, 10.0, 0.05) << cfg.name;
+    }
+}
+
+TEST(Config, TableIvScalesWindowWithWidth)
+{
+    const auto configs = tableIvConfigs();
+    for (size_t i = 1; i < configs.size(); ++i) {
+        EXPECT_GT(configs[i].core.dispatchWidth,
+                  configs[i - 1].core.dispatchWidth);
+        EXPECT_GT(configs[i].core.robSize, configs[i - 1].core.robSize);
+        EXPECT_GT(configs[i].core.issueQueueSize,
+                  configs[i - 1].core.issueQueueSize);
+        EXPECT_LT(configs[i].core.frequencyGHz,
+                  configs[i - 1].core.frequencyGHz);
+    }
+}
+
+TEST(Config, TableIvBaseMatchesPaper)
+{
+    const auto configs = tableIvConfigs();
+    const auto &base = configs[2];
+    EXPECT_EQ(base.name, "Base");
+    EXPECT_DOUBLE_EQ(base.core.frequencyGHz, 2.5);
+    EXPECT_EQ(base.core.robSize, 128u);
+    EXPECT_EQ(base.core.issueQueueSize, 64u);
+}
+
+TEST(Config, CacheGeometry)
+{
+    CacheConfig c{"L1", 32 * 1024, 4, 64, 3};
+    EXPECT_EQ(c.numLines(), 512u);
+    EXPECT_EQ(c.numSets(), 128u);
+}
+
+TEST(Config, ValidateRejectsZeroCores)
+{
+    MulticoreConfig cfg = baseConfig();
+    cfg.numCores = 0;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateRejectsRobSmallerThanWidth)
+{
+    MulticoreConfig cfg = baseConfig();
+    cfg.core.robSize = 2;
+    cfg.core.dispatchWidth = 4;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateRejectsMismatchedLineSizes)
+{
+    MulticoreConfig cfg = baseConfig();
+    cfg.l2.lineBytes = 128;
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, ValidateRejectsNonIntegralSets)
+{
+    MulticoreConfig cfg = baseConfig();
+    cfg.l1d.sizeBytes = 1000; // not a multiple of assoc * line
+    EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(Config, CyclesToNs)
+{
+    MulticoreConfig cfg = baseConfig();
+    cfg.core.frequencyGHz = 2.0;
+    EXPECT_DOUBLE_EQ(cfg.cyclesToNs(2000.0), 1000.0);
+}
+
+TEST(Config, DefaultFusCoverAllClasses)
+{
+    const auto fus = CoreConfig::defaultFus();
+    for (size_t c = 0; c < kNumOpClasses; ++c) {
+        EXPECT_GE(fus[c].latency, 1u) << opClassName(static_cast<OpClass>(c));
+        EXPECT_GE(fus[c].count, 1u);
+    }
+    // Divides are long-latency, unpipelined.
+    EXPECT_GT(fus[static_cast<size_t>(OpClass::IntDiv)].latency, 10u);
+    EXPECT_GT(fus[static_cast<size_t>(OpClass::IntDiv)].interval, 1u);
+}
+
+TEST(Config, BranchPredictorBudget)
+{
+    BranchPredictorConfig bp;
+    bp.totalBytes = 4 * 1024;
+    // 4KB = 32768 bits / 2-bit counters / 3 tables.
+    EXPECT_EQ(bp.tableEntries(), 5461u);
+}
+
+} // namespace
+} // namespace rppm

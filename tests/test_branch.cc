@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Unit tests for src/branch: tournament predictor learning behaviour,
+ * linear branch entropy, and the entropy -> miss-rate calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "branch/entropy.hh"
+#include "branch/tournament.hh"
+#include "common/rng.hh"
+
+namespace rppm {
+namespace {
+
+BranchPredictorConfig
+defaultBp()
+{
+    return BranchPredictorConfig{};
+}
+
+TEST(Tournament, LearnsAlwaysTaken)
+{
+    TournamentPredictor pred(defaultBp());
+    for (int i = 0; i < 1000; ++i)
+        pred.predictAndUpdate(0x400, true);
+    // After warmup the miss rate must be ~0.
+    pred.resetStats();
+    for (int i = 0; i < 1000; ++i)
+        pred.predictAndUpdate(0x400, true);
+    EXPECT_LT(pred.stats().missRate(), 0.01);
+}
+
+TEST(Tournament, LearnsAlwaysNotTaken)
+{
+    TournamentPredictor pred(defaultBp());
+    for (int i = 0; i < 1000; ++i)
+        pred.predictAndUpdate(0x400, false);
+    pred.resetStats();
+    for (int i = 0; i < 1000; ++i)
+        pred.predictAndUpdate(0x400, false);
+    EXPECT_LT(pred.stats().missRate(), 0.01);
+}
+
+TEST(Tournament, GshareLearnsAlternatingPattern)
+{
+    // T,N,T,N... is perfectly predictable with one bit of history.
+    TournamentPredictor pred(defaultBp());
+    for (int i = 0; i < 4000; ++i)
+        pred.predictAndUpdate(0x400, i % 2 == 0);
+    pred.resetStats();
+    for (int i = 0; i < 2000; ++i)
+        pred.predictAndUpdate(0x400, i % 2 == 0);
+    EXPECT_LT(pred.stats().missRate(), 0.02);
+}
+
+TEST(Tournament, GshareLearnsPeriodicPattern)
+{
+    // Period-4 pattern TTTN requires global history correlation.
+    TournamentPredictor pred(defaultBp());
+    for (int i = 0; i < 8000; ++i)
+        pred.predictAndUpdate(0x400, i % 4 != 3);
+    pred.resetStats();
+    for (int i = 0; i < 4000; ++i)
+        pred.predictAndUpdate(0x400, i % 4 != 3);
+    EXPECT_LT(pred.stats().missRate(), 0.05);
+}
+
+TEST(Tournament, RandomBranchesMissHalf)
+{
+    TournamentPredictor pred(defaultBp());
+    Rng rng(99);
+    for (int i = 0; i < 20000; ++i)
+        pred.predictAndUpdate(0x400 + 4 * rng.nextBounded(16),
+                              rng.nextBool(0.5));
+    EXPECT_NEAR(pred.stats().missRate(), 0.5, 0.05);
+}
+
+TEST(Tournament, TracksMultipleBranches)
+{
+    TournamentPredictor pred(defaultBp());
+    // Interleave a taken and a not-taken branch; both should be learned.
+    for (int i = 0; i < 2000; ++i) {
+        pred.predictAndUpdate(0x100, true);
+        pred.predictAndUpdate(0x200, false);
+    }
+    pred.resetStats();
+    for (int i = 0; i < 2000; ++i) {
+        pred.predictAndUpdate(0x100, true);
+        pred.predictAndUpdate(0x200, false);
+    }
+    EXPECT_LT(pred.stats().missRate(), 0.02);
+}
+
+TEST(Tournament, TinyBudgetRejected)
+{
+    BranchPredictorConfig cfg;
+    cfg.totalBytes = 0;
+    EXPECT_THROW(TournamentPredictor pred(cfg), std::invalid_argument);
+}
+
+// ------------------------------------------------ BranchEntropyProfile ---
+
+TEST(Entropy, PerfectlyBiasedBranchHasZeroEntropy)
+{
+    BranchEntropyProfile prof;
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0x400, true);
+    EXPECT_DOUBLE_EQ(prof.averageLinearEntropy(), 0.0);
+}
+
+TEST(Entropy, CoinFlipBranchHasHalfEntropy)
+{
+    BranchEntropyProfile prof;
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0x400, i % 2 == 0);
+    EXPECT_NEAR(prof.averageLinearEntropy(), 0.5, 1e-6);
+}
+
+TEST(Entropy, MixtureWeightsByDynamicCount)
+{
+    BranchEntropyProfile prof;
+    // 3000 biased (entropy 0) and 1000 coin-flip (entropy 0.5) branches:
+    // weighted average = 0.125.
+    for (int i = 0; i < 3000; ++i)
+        prof.record(0x100, true);
+    for (int i = 0; i < 1000; ++i)
+        prof.record(0x200, i % 2 == 0);
+    EXPECT_NEAR(prof.averageLinearEntropy(), 0.125, 1e-6);
+}
+
+TEST(Entropy, MergeCombinesCounts)
+{
+    BranchEntropyProfile a, b;
+    for (int i = 0; i < 100; ++i) {
+        a.record(0x100, true);
+        b.record(0x100, false);
+    }
+    a.merge(b);
+    // Merged: p = 0.5 => entropy 0.5.
+    EXPECT_NEAR(a.averageLinearEntropy(), 0.5, 1e-6);
+    EXPECT_EQ(a.dynamicBranches(), 200u);
+}
+
+TEST(Entropy, StaticBranchCount)
+{
+    BranchEntropyProfile prof;
+    prof.record(0x100, true);
+    prof.record(0x200, true);
+    prof.record(0x100, false);
+    EXPECT_EQ(prof.staticBranches(), 2u);
+    EXPECT_EQ(prof.dynamicBranches(), 3u);
+}
+
+// ---------------------------------------------- EntropyMissRateModel ---
+
+TEST(EntropyModel, ZeroEntropyMapsToNearZeroMissRate)
+{
+    EntropyMissRateModel model(defaultBp());
+    EXPECT_LT(model.missRate(0.0), 0.02);
+}
+
+TEST(EntropyModel, FullEntropyMapsToNearHalf)
+{
+    EntropyMissRateModel model(defaultBp());
+    EXPECT_NEAR(model.missRate(0.5), 0.5, 0.08);
+}
+
+TEST(EntropyModel, Monotone)
+{
+    EntropyMissRateModel model(defaultBp());
+    double prev = -1.0;
+    for (double e = 0.0; e <= 0.5; e += 0.01) {
+        const double m = model.missRate(e);
+        EXPECT_GE(m, prev - 1e-12) << "at entropy " << e;
+        prev = m;
+    }
+}
+
+TEST(EntropyModel, ClampsOutOfRangeInputs)
+{
+    EntropyMissRateModel model(defaultBp());
+    EXPECT_DOUBLE_EQ(model.missRate(-1.0), model.missRate(0.0));
+    EXPECT_DOUBLE_EQ(model.missRate(2.0), model.missRate(0.5));
+}
+
+/**
+ * Property: the calibrated model predicts the real predictor's miss rate
+ * on fresh Bernoulli streams within a few points, across the bias range.
+ */
+class EntropyAccuracyTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(EntropyAccuracyTest, PredictsRealPredictor)
+{
+    const double p = GetParam();
+    EntropyMissRateModel model(defaultBp());
+    TournamentPredictor pred(defaultBp());
+    BranchEntropyProfile prof;
+    Rng rng(static_cast<uint64_t>(p * 10000) + 5);
+    for (int i = 0; i < 100000; ++i) {
+        const uint64_t pc = 0x800 + 4 * rng.nextBounded(48);
+        const bool taken = rng.nextBool(p);
+        pred.predictAndUpdate(pc, taken);
+        prof.record(pc, taken);
+    }
+    const double predicted = model.missRate(prof.averageLinearEntropy());
+    EXPECT_NEAR(predicted, pred.stats().missRate(), 0.04) << "bias " << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(BiasSweep, EntropyAccuracyTest,
+                         ::testing::Values(0.5, 0.6, 0.7, 0.8, 0.9, 0.95,
+                                           0.99, 1.0));
+
+} // namespace
+} // namespace rppm

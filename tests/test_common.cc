@@ -1,0 +1,335 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG determinism and distributions,
+ * log-bucketed histogram semantics, running statistics and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/histogram.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+namespace rppm {
+namespace {
+
+// ---------------------------------------------------------------- Rng ---
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, NextBoundedStaysInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(17), 17u);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(12);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.nextBool(0.0));
+        EXPECT_TRUE(rng.nextBool(1.0));
+    }
+}
+
+TEST(Rng, GeometricMeanApproximatelyCorrect)
+{
+    Rng rng(13);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.nextGeometric(8.0));
+    EXPECT_NEAR(sum / n, 8.0, 0.25);
+}
+
+TEST(Rng, GeometricNeverZero)
+{
+    Rng rng(14);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.nextGeometric(1.5), 1u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic)
+{
+    Rng parent1(5), parent2(5);
+    Rng childa = parent1.fork(1);
+    Rng childb = parent2.fork(1);
+    Rng childc = parent2.fork(2); // different salt after same history?
+    // Same parent state + same salt => identical child streams.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(childa.next(), childb.next());
+    // Different salt => different stream.
+    Rng parent3(5);
+    Rng childd = parent3.fork(99);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += childd.next() == childc.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextUniform(-2.0, 3.0);
+        EXPECT_GE(v, -2.0);
+        EXPECT_LT(v, 3.0);
+    }
+}
+
+// -------------------------------------------------------- LogHistogram ---
+
+TEST(LogHistogram, EmptyHistogram)
+{
+    LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_DOUBLE_EQ(h.survival(10), 0.0);
+    EXPECT_DOUBLE_EQ(h.meanFinite(), 0.0);
+}
+
+TEST(LogHistogram, SmallValuesExactBuckets)
+{
+    // Values below the linear cutoff get exact buckets.
+    for (uint64_t v = 0; v < 16; ++v)
+        EXPECT_EQ(LogHistogram::bucketMid(LogHistogram::bucketIndex(v)), v);
+}
+
+TEST(LogHistogram, BucketBoundsConsistent)
+{
+    for (size_t i = 0; i + 1 < LogHistogram::numBuckets(); ++i) {
+        EXPECT_EQ(LogHistogram::bucketHi(i) + 1, LogHistogram::bucketLo(i + 1))
+            << "bucket " << i;
+        EXPECT_LE(LogHistogram::bucketLo(i), LogHistogram::bucketMid(i));
+        EXPECT_LE(LogHistogram::bucketMid(i), LogHistogram::bucketHi(i));
+    }
+}
+
+TEST(LogHistogram, BucketIndexMatchesBounds)
+{
+    for (uint64_t v : {0ull, 1ull, 15ull, 16ull, 17ull, 100ull, 1000ull,
+                       123456ull, 999999999ull}) {
+        const size_t idx = LogHistogram::bucketIndex(v);
+        EXPECT_GE(v, LogHistogram::bucketLo(idx)) << v;
+        EXPECT_LE(v, LogHistogram::bucketHi(idx)) << v;
+    }
+}
+
+TEST(LogHistogram, TotalCounts)
+{
+    LogHistogram h;
+    h.add(3, 5);
+    h.add(100, 2);
+    h.add(LogHistogram::kInfinity, 3);
+    EXPECT_EQ(h.totalFinite(), 7u);
+    EXPECT_EQ(h.totalInfinite(), 3u);
+    EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(LogHistogram, SurvivalBasic)
+{
+    LogHistogram h;
+    h.add(2, 50);
+    h.add(1000, 50);
+    // Everything above 2 but below 1000's bucket: survival(10) ~ 0.5.
+    EXPECT_NEAR(h.survival(10), 0.5, 0.02);
+    EXPECT_NEAR(h.survival(0), 1.0, 0.02);
+    EXPECT_NEAR(h.survival(1u << 20), 0.0, 0.02);
+}
+
+TEST(LogHistogram, SurvivalCountsInfiniteTail)
+{
+    LogHistogram h;
+    h.add(2, 50);
+    h.add(LogHistogram::kInfinity, 50);
+    EXPECT_NEAR(h.survival(100), 0.5, 1e-9);
+    EXPECT_DOUBLE_EQ(h.survival(LogHistogram::kInfinity), 0.0);
+}
+
+TEST(LogHistogram, SurvivalMonotoneNonIncreasing)
+{
+    LogHistogram h;
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        h.add(rng.nextBounded(1 << 20));
+    double prev = 1.1;
+    for (uint64_t v = 0; v < (1u << 20); v += 1337) {
+        const double s = h.survival(v);
+        EXPECT_LE(s, prev + 1e-12);
+        prev = s;
+    }
+}
+
+TEST(LogHistogram, MeanOfExactValues)
+{
+    LogHistogram h;
+    h.add(4, 10);
+    h.add(8, 10);
+    EXPECT_DOUBLE_EQ(h.meanFinite(), 6.0);
+}
+
+TEST(LogHistogram, MergeAddsCounts)
+{
+    LogHistogram a, b;
+    a.add(5, 3);
+    b.add(5, 4);
+    b.add(LogHistogram::kInfinity, 2);
+    a.merge(b);
+    EXPECT_EQ(a.totalFinite(), 7u);
+    EXPECT_EQ(a.totalInfinite(), 2u);
+}
+
+TEST(LogHistogram, MergeIntoEmpty)
+{
+    LogHistogram a, b;
+    b.add(123, 7);
+    a.merge(b);
+    EXPECT_EQ(a.totalFinite(), 7u);
+}
+
+TEST(LogHistogram, QuantileBasic)
+{
+    LogHistogram h;
+    h.add(1, 25);
+    h.add(2, 25);
+    h.add(3, 25);
+    h.add(4, 25);
+    EXPECT_EQ(h.quantile(0.2), 1u);
+    EXPECT_EQ(h.quantile(0.95), 4u);
+}
+
+TEST(LogHistogram, QuantileInfiniteTail)
+{
+    LogHistogram h;
+    h.add(1, 10);
+    h.add(LogHistogram::kInfinity, 90);
+    EXPECT_EQ(h.quantile(0.99), LogHistogram::kInfinity);
+}
+
+TEST(LogHistogram, ForEachVisitsAllMass)
+{
+    LogHistogram h;
+    h.add(7, 3);
+    h.add(70000, 4);
+    h.add(LogHistogram::kInfinity, 5);
+    uint64_t mass = 0;
+    h.forEach([&](uint64_t, uint64_t count) { mass += count; });
+    EXPECT_EQ(mass, 12u);
+}
+
+// -------------------------------------------------------- RunningStats ---
+
+TEST(RunningStats, Basic)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.add(3.0);
+    s.add(2.0);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(Stats, RelativeError)
+{
+    EXPECT_DOUBLE_EQ(relativeError(110.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), -0.1);
+    EXPECT_DOUBLE_EQ(absRelativeError(90.0, 100.0), 0.1);
+    EXPECT_DOUBLE_EQ(relativeError(0.0, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(relativeError(5.0, 0.0), 1.0);
+}
+
+TEST(Stats, MeanAndMax)
+{
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(maxOf({1.0, 5.0, 3.0}), 5.0);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+}
+
+// -------------------------------------------------------- TablePrinter ---
+
+TEST(Table, RendersAlignedColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows)
+{
+    TablePrinter t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(fmt(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtPct(0.112, 1), "11.2%");
+    EXPECT_EQ(fmtPct(0.0, 2), "0.00%");
+}
+
+TEST(Table, BarChartRenders)
+{
+    AsciiBarChart chart({"MAIN", "CRIT", "RPPM"}, 20);
+    chart.addGroup("bench1", {0.45, 0.28, 0.11});
+    const std::string out = chart.render();
+    EXPECT_NE(out.find("bench1"), std::string::npos);
+    EXPECT_NE(out.find("RPPM"), std::string::npos);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace rppm

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Unit tests for src/trace: record semantics, builder behaviour and
+ * trace-level structural validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace.hh"
+#include "trace/trace_builder.hh"
+
+namespace rppm {
+namespace {
+
+TEST(TraceRecord, Predicates)
+{
+    TraceRecord op;
+    op.op = OpClass::Load;
+    EXPECT_TRUE(op.isMem());
+    EXPECT_FALSE(op.isSync());
+    EXPECT_FALSE(op.isBranch());
+
+    TraceRecord br;
+    br.op = OpClass::Branch;
+    EXPECT_TRUE(br.isBranch());
+    EXPECT_FALSE(br.isMem());
+
+    TraceRecord sync;
+    sync.sync = SyncType::BarrierWait;
+    sync.op = OpClass::Load; // op class is ignored for sync records
+    EXPECT_TRUE(sync.isSync());
+    EXPECT_FALSE(sync.isMem());
+    EXPECT_FALSE(sync.isBranch());
+}
+
+TEST(TraceRecord, OpClassNames)
+{
+    EXPECT_STREQ(opClassName(OpClass::Load), "Load");
+    EXPECT_STREQ(opClassName(OpClass::Branch), "Branch");
+    EXPECT_STREQ(opClassName(OpClass::FpDiv), "FpDiv");
+}
+
+TEST(TraceRecord, SyncTypeNames)
+{
+    EXPECT_STREQ(syncTypeName(SyncType::BarrierWait), "BarrierWait");
+    EXPECT_STREQ(syncTypeName(SyncType::CondMarker), "CondMarker");
+    EXPECT_STREQ(syncTypeName(SyncType::None), "None");
+}
+
+TEST(TraceBuilder, CountsOpsNotSyncs)
+{
+    ThreadTrace trace;
+    ThreadTraceBuilder b(trace);
+    b.op(OpClass::IntAlu, 0x40);
+    b.load(0x1000, 0x44);
+    b.sync(SyncType::BarrierWait, 1);
+    b.store(0x2000, 0x48);
+    b.branch(0x4c, true);
+    EXPECT_EQ(b.numOps(), 4u);
+    EXPECT_EQ(b.size(), 5u);
+    EXPECT_EQ(trace.numOps(), 4u);
+}
+
+TEST(TraceBuilder, RecordFieldsPreserved)
+{
+    ThreadTrace trace;
+    ThreadTraceBuilder b(trace);
+    b.load(0xdeadbeef, 0x400, 3, 7);
+    const TraceRecord &rec = trace.records[0];
+    EXPECT_EQ(rec.addr, 0xdeadbeefu);
+    EXPECT_EQ(rec.pc, 0x400u);
+    EXPECT_EQ(rec.dep1, 3u);
+    EXPECT_EQ(rec.dep2, 7u);
+    EXPECT_EQ(rec.op, OpClass::Load);
+}
+
+TEST(WorkloadTrace, CountSync)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(2);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.sync(SyncType::ThreadCreate, 1);
+    main.sync(SyncType::BarrierWait, 5);
+    main.sync(SyncType::ThreadJoin, 1);
+    ThreadTraceBuilder worker(trace.threads[1]);
+    worker.sync(SyncType::BarrierWait, 5);
+    EXPECT_EQ(trace.countSync(SyncType::BarrierWait), 2u);
+    EXPECT_EQ(trace.countSync(SyncType::ThreadCreate), 1u);
+    EXPECT_EQ(trace.countSync(SyncType::MutexLock), 0u);
+}
+
+TEST(WorkloadTrace, ValidateAcceptsWellFormed)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(2);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.op(OpClass::IntAlu, 0);
+    main.sync(SyncType::ThreadCreate, 1);
+    main.sync(SyncType::ThreadJoin, 1);
+    ThreadTraceBuilder worker(trace.threads[1]);
+    worker.sync(SyncType::MutexLock, 9);
+    worker.op(OpClass::IntAlu, 4);
+    worker.sync(SyncType::MutexUnlock, 9);
+    EXPECT_NO_THROW(trace.validate());
+}
+
+TEST(WorkloadTrace, ValidateRejectsUncreatedThread)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(2);
+    ThreadTraceBuilder worker(trace.threads[1]);
+    worker.op(OpClass::IntAlu, 0);
+    EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, ValidateRejectsUnbalancedMutex)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(1);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.sync(SyncType::MutexLock, 1);
+    EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, ValidateRejectsUnlockWithoutLock)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(1);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.sync(SyncType::MutexUnlock, 1);
+    EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, ValidateRejectsRecursiveLock)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(1);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.sync(SyncType::MutexLock, 1);
+    main.sync(SyncType::MutexLock, 1);
+    main.sync(SyncType::MutexUnlock, 1);
+    main.sync(SyncType::MutexUnlock, 1);
+    EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, ValidateRejectsDoubleJoin)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(2);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.sync(SyncType::ThreadCreate, 1);
+    main.sync(SyncType::ThreadJoin, 1);
+    main.sync(SyncType::ThreadJoin, 1);
+    ThreadTraceBuilder worker(trace.threads[1]);
+    worker.op(OpClass::IntAlu, 0);
+    EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, ValidateRejectsEmpty)
+{
+    WorkloadTrace trace;
+    EXPECT_THROW(trace.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadTrace, TotalOpsSumsThreads)
+{
+    WorkloadTrace trace;
+    trace.threads.resize(2);
+    ThreadTraceBuilder main(trace.threads[0]);
+    main.op(OpClass::IntAlu, 0);
+    main.op(OpClass::IntAlu, 4);
+    main.sync(SyncType::ThreadCreate, 1);
+    ThreadTraceBuilder worker(trace.threads[1]);
+    worker.op(OpClass::IntAlu, 8);
+    EXPECT_EQ(trace.totalOps(), 3u);
+}
+
+} // namespace
+} // namespace rppm
