@@ -20,13 +20,11 @@
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "pipeline.hh"
-#include "profile/profiler.hh"
-#include "rppm/baselines.hh"
-#include "rppm/predictor.hh"
 
 int
 main()
@@ -75,78 +73,73 @@ main()
         specs.push_back(s);
     }
 
-    struct Variant
-    {
-        const char *label;
-        RppmOptions opts;
-        bool strip_coherence = false;
-        bool crit_only = false;
+    // Each ablation variant is its own evaluator backend in one Study
+    // grid. The -coherence variant carries a profiler-option override;
+    // the profile cache keys on (workload, profiler options), so the
+    // full-model profile is shared by every other variant and only the
+    // stripped profile is produced in addition.
+    Study study;
+    for (const WorkloadSpec &spec : specs)
+        study.addWorkload(spec);
+    study.addConfig(cfg).jobs(defaultJobs());
+    study.addEvaluator("sim");
+
+    std::vector<std::string> variants;
+    auto addVariant = [&](std::unique_ptr<Evaluator> evaluator) {
+        variants.push_back(evaluator->label());
+        study.addEvaluator(std::move(evaluator));
     };
-    std::vector<Variant> variants;
-    variants.push_back({"full", {}, false, false});
+    addVariant(std::make_unique<RppmEvaluator>("full"));
     {
-        Variant v{"-coherence", {}, true, false};
-        variants.push_back(v);
+        ProfilerOptions stripped;
+        stripped.detectInvalidation = false;
+        addVariant(std::make_unique<RppmEvaluator>("-coherence",
+                                                   std::nullopt, stripped));
     }
     {
-        Variant v{"-interfer.", {}, false, false};
-        v.opts.eq1.llcUsesGlobalRd = false;
-        variants.push_back(v);
+        RppmOptions o;
+        o.eq1.llcUsesGlobalRd = false;
+        addVariant(std::make_unique<RppmEvaluator>("-interfer.", o));
     }
     {
-        Variant v{"-MLP", {}, false, false};
-        v.opts.eq1.mlpOverlap = false;
-        variants.push_back(v);
+        RppmOptions o;
+        o.eq1.mlpOverlap = false;
+        addVariant(std::make_unique<RppmEvaluator>("-MLP", o));
     }
     {
-        Variant v{"-branch", {}, false, false};
-        v.opts.eq1.branch = false;
-        variants.push_back(v);
+        RppmOptions o;
+        o.eq1.branch = false;
+        addVariant(std::make_unique<RppmEvaluator>("-branch", o));
     }
     {
-        Variant v{"-ILP", {}, false, false};
-        v.opts.eq1.ilpReplay = false;
-        variants.push_back(v);
+        RppmOptions o;
+        o.eq1.ilpReplay = false;
+        addVariant(std::make_unique<RppmEvaluator>("-ILP", o));
     }
-    variants.push_back({"-sync", {}, false, true});
+    addVariant(std::make_unique<CritEvaluator>("-sync"));
 
     std::printf("==============================================================\n");
     std::printf("Ablation: mean absolute prediction error when removing one\n");
     std::printf("model ingredient at a time (Base config, 11 workloads).\n");
     std::printf("==============================================================\n\n");
 
+    const StudyResult grid = study.run();
+
     std::vector<std::string> headers = {"Benchmark"};
-    for (const Variant &v : variants)
-        headers.push_back(v.label);
+    for (const std::string &v : variants)
+        headers.push_back(v);
     TablePrinter table(headers);
 
     std::vector<std::vector<double>> errors(variants.size());
     for (const WorkloadSpec &spec : specs) {
-        const WorkloadTrace trace = generateWorkload(spec);
-        const WorkloadProfile profile = profileWorkload(trace);
-        ProfilerOptions stripped_opts;
-        stripped_opts.detectInvalidation = false;
-        const WorkloadProfile stripped =
-            profileWorkload(trace, stripped_opts);
-        const SimResult sim = simulate(trace, cfg);
-
         std::vector<std::string> row = {spec.name};
         for (size_t v = 0; v < variants.size(); ++v) {
-            const Variant &variant = variants[v];
-            const WorkloadProfile &prof =
-                variant.strip_coherence ? stripped : profile;
-            double predicted;
-            if (variant.crit_only)
-                predicted = predictCrit(prof, cfg);
-            else
-                predicted = predict(prof, cfg, variant.opts).totalCycles;
             const double err =
-                absRelativeError(predicted, sim.totalCycles);
+                grid.errorVs(spec.name, cfg.name, variants[v], "sim");
             errors[v].push_back(err);
             row.push_back(fmtPct(err));
         }
         table.addRow(row);
-        std::fflush(stdout);
     }
     {
         std::vector<std::string> row = {"average"};

@@ -50,8 +50,14 @@ main()
     std::vector<double> main_err, crit_err, rppm_err;
     std::vector<double> rod_rppm, par_rppm;
 
-    for (const SuiteEntry &entry : fullSuite()) {
-        const PipelineResult r = runPipeline(entry, cfg);
+    // One Study grid: 26 workloads x Base config x {sim,rppm,main,crit},
+    // profiled once each and evaluated on the worker pool.
+    const std::vector<SuiteEntry> suite = fullSuite();
+    const std::vector<PipelineResult> results = runSuite(suite, cfg);
+
+    for (size_t i = 0; i < suite.size(); ++i) {
+        const SuiteEntry &entry = suite[i];
+        const PipelineResult &r = results[i];
         main_err.push_back(r.mainError());
         crit_err.push_back(r.critError());
         rppm_err.push_back(r.rppmError());

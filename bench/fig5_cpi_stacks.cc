@@ -31,8 +31,8 @@ main()
 
     TablePrinter table({"Benchmark", "", "base", "branch", "icache", "mem",
                         "sync", "total"});
-    for (const SuiteEntry &entry : fullSuite()) {
-        const PipelineResult r = runPipeline(entry, cfg);
+    // The whole suite in one Study grid (see pipeline.hh).
+    for (const PipelineResult &r : runSuite(fullSuite(), cfg)) {
         const CpiStack sim = r.sim.averageCpiStack();
         const CpiStack rppm = r.rppm.averageCpiStack();
         const double norm = sim.total();

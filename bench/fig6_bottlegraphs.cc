@@ -33,8 +33,8 @@ main()
     std::printf("==============================================================\n\n");
 
     std::vector<double> similarities;
-    for (const SuiteEntry &entry : parsecSuite()) {
-        const PipelineResult r = runPipeline(entry, cfg);
+    // All ten Parsec benchmarks through one Study grid.
+    for (const PipelineResult &r : runSuite(parsecSuite(), cfg)) {
         const Bottlegraph sim_graph = buildBottlegraph(r.sim);
         const Bottlegraph rppm_graph = r.rppm.bottlegraph();
         const double similarity =

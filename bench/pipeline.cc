@@ -1,10 +1,10 @@
 #include "pipeline.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <thread>
 
 #include "common/stats.hh"
-#include "profile/profiler.hh"
-#include "rppm/baselines.hh"
 
 namespace rppm::bench {
 
@@ -26,19 +26,62 @@ PipelineResult::critError() const
     return absRelativeError(critPrediction, sim.totalCycles);
 }
 
+unsigned
+defaultJobs()
+{
+    if (const char *env = std::getenv("RPPM_JOBS")) {
+        const long n = std::atol(env);
+        if (n >= 1)
+            return static_cast<unsigned>(n);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+addBenchEvaluators(Study &study)
+{
+    study.addEvaluator("sim")
+        .addEvaluator("rppm")
+        .addEvaluator("main")
+        .addEvaluator("crit");
+}
+
+PipelineResult
+extractPipelineResult(const StudyResult &grid, const std::string &workload,
+                      const std::string &config)
+{
+    PipelineResult result;
+    result.name = workload;
+    result.sim = *grid.at(workload, config, "sim").sim;
+    result.rppm = *grid.at(workload, config, "rppm").prediction;
+    result.mainPrediction = grid.at(workload, config, "main").cycles;
+    result.critPrediction = grid.at(workload, config, "crit").cycles;
+    return result;
+}
+
 PipelineResult
 runPipeline(const SuiteEntry &entry, const MulticoreConfig &cfg)
 {
-    const WorkloadTrace trace = generateWorkload(entry.spec);
-    const WorkloadProfile profile = profileWorkload(trace);
+    return runSuite({entry}, cfg)[0];
+}
 
-    PipelineResult result;
-    result.name = entry.spec.name;
-    result.sim = simulate(trace, cfg);
-    result.rppm = predict(profile, cfg);
-    result.mainPrediction = predictMain(profile, cfg);
-    result.critPrediction = predictCrit(profile, cfg);
-    return result;
+std::vector<PipelineResult>
+runSuite(const std::vector<SuiteEntry> &entries, const MulticoreConfig &cfg,
+         unsigned jobs)
+{
+    Study study;
+    study.addSuite(entries).addConfig(cfg).jobs(
+        jobs == 0 ? defaultJobs() : jobs);
+    addBenchEvaluators(study);
+    const StudyResult grid = study.run();
+
+    std::vector<PipelineResult> results;
+    results.reserve(entries.size());
+    for (const SuiteEntry &entry : entries)
+        results.push_back(
+            extractPipelineResult(grid, entry.spec.name, cfg.name));
+    return results;
 }
 
 WorkloadSpec

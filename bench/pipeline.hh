@@ -1,8 +1,11 @@
 /**
  * @file
- * Shared driver for the bench harnesses: runs the full RPPM pipeline
- * (generate -> simulate -> profile -> predict + baselines) for one
- * benchmark of the suite, on one or more configurations.
+ * Shared driver for the bench harnesses, built on the rppm::Study
+ * facade: one grid evaluation (workloads x config x {sim, rppm, main,
+ * crit}) replaces the hand-wired generate -> simulate -> profile ->
+ * predict chain each harness used to carry. Workloads are profiled once
+ * through the study's profile cache and grid cells run on a worker pool
+ * (RPPM_JOBS environment knob, default: all hardware threads).
  */
 
 #ifndef RPPM_BENCH_PIPELINE_HH
@@ -15,6 +18,7 @@
 #include "profile/epoch_profile.hh"
 #include "rppm/predictor.hh"
 #include "sim/simulator.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 namespace rppm::bench {
@@ -33,9 +37,31 @@ struct PipelineResult
     double critError() const;
 };
 
-/** Run the full pipeline for @p entry on @p cfg. */
+/**
+ * Worker-pool size for bench grids: the RPPM_JOBS environment variable
+ * when set (>= 1), otherwise all hardware threads.
+ */
+unsigned defaultJobs();
+
+/** Populate @p study with the four standard bench evaluators. */
+void addBenchEvaluators(Study &study);
+
+/** Extract one benchmark's PipelineResult from a completed grid. */
+PipelineResult extractPipelineResult(const StudyResult &grid,
+                                     const std::string &workload,
+                                     const std::string &config);
+
+/** Run the full pipeline for @p entry on @p cfg through the facade. */
 PipelineResult runPipeline(const SuiteEntry &entry,
                            const MulticoreConfig &cfg);
+
+/**
+ * Batch variant: evaluate all of @p entries on @p cfg in one Study
+ * (shared profile cache, parallel grid). Results are in entry order.
+ */
+std::vector<PipelineResult>
+runSuite(const std::vector<SuiteEntry> &entries, const MulticoreConfig &cfg,
+         unsigned jobs = 0);
 
 /** Scale factor applied to suite workloads (1 = full size). */
 WorkloadSpec scaleSpec(WorkloadSpec spec, double scale);

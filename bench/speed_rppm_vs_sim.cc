@@ -145,6 +145,37 @@ BM_SimulateDesignSpace(benchmark::State &state)
     }
 }
 
+void
+BM_StudyGridSerial(benchmark::State &state)
+{
+    // The facade end-to-end: one workload x five design points x the
+    // analytical model, profile served from the study's cache.
+    for (auto _ : state) {
+        Study study;
+        study.addWorkload(benchEntry())
+            .addConfigs(tableIvConfigs())
+            .addEvaluator("rppm")
+            .jobs(1);
+        const StudyResult grid = study.run();
+        benchmark::DoNotOptimize(grid.cells().size());
+    }
+}
+
+void
+BM_StudyGridParallel(benchmark::State &state)
+{
+    // Same grid on the worker pool (state.range(0) workers).
+    for (auto _ : state) {
+        Study study;
+        study.addWorkload(benchEntry())
+            .addConfigs(tableIvConfigs())
+            .addEvaluator("rppm")
+            .jobs(static_cast<unsigned>(state.range(0)));
+        const StudyResult grid = study.run();
+        benchmark::DoNotOptimize(grid.cells().size());
+    }
+}
+
 BENCHMARK(BM_GenerateWorkload)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Simulate)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ProfileOnce)->Unit(benchmark::kMillisecond);
@@ -152,5 +183,7 @@ BENCHMARK(BM_PredictOneConfig)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictOneConfigFast)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_PredictDesignSpace)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SimulateDesignSpace)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StudyGridSerial)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StudyGridParallel)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace

@@ -14,7 +14,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 int
@@ -29,16 +29,19 @@ main()
 
     TablePrinter table(
         {"Benchmark", "Critical Sections", "Barriers", "Cond. var."});
+    // The Study facade hands out each workload's profile through its
+    // cache; no configurations or evaluators needed for this table.
+    Study study;
+    study.addSuite(parsecSuite());
     for (const SuiteEntry &entry : parsecSuite()) {
-        const WorkloadTrace trace = generateWorkload(entry.spec);
-        const WorkloadProfile profile = profileWorkload(trace);
+        const auto profile = study.profile(entry.spec.name);
         auto cell = [](uint64_t v) {
             return v == 0 ? std::string("-") : std::to_string(v);
         };
         table.addRow({entry.spec.name,
-                      cell(profile.syncCounts.criticalSections),
-                      cell(profile.syncCounts.barriers),
-                      cell(profile.syncCounts.condVars)});
+                      cell(profile->syncCounts.criticalSections),
+                      cell(profile->syncCounts.barriers),
+                      cell(profile->syncCounts.condVars)});
     }
     std::printf("%s\n", table.render().c_str());
     std::printf("Paper shape check: Fluidanimate dominated by critical\n"

@@ -17,7 +17,6 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "pipeline.hh"
-#include "profile/profiler.hh"
 #include "rppm/dse.hh"
 
 int
@@ -65,14 +64,15 @@ main()
     TablePrinter table({"Benchmark", "0%", "<1%", "<3%", "<5%"});
     std::vector<std::vector<double>> deficiencies(4);
 
+    // Oracle times come through the Evaluator interface: the "sim"
+    // backend simulates each design point inside the same grid that the
+    // "rppm" backend predicts, parallelized over the worker pool.
+    DseOptions dse;
+    dse.jobs = defaultJobs();
+
     for (const SuiteEntry &entry : rodiniaSuite()) {
-        const WorkloadTrace trace = generateWorkload(entry.spec);
-        const WorkloadProfile profile = profileWorkload(trace);
-        std::vector<double> sim_seconds;
-        for (const MulticoreConfig &cfg : configs)
-            sim_seconds.push_back(simulate(trace, cfg).totalSeconds);
         const DseResult res =
-            exploreDesignSpace(profile, configs, sim_seconds);
+            exploreDesignSpace(WorkloadSource(entry.spec), configs, dse);
 
         std::vector<std::string> row = {entry.spec.name};
         for (size_t b = 0; b < 4; ++b) {

@@ -2,10 +2,10 @@
  * @file
  * Parallel performance analysis with bottlegraphs (paper Sec. VI-B).
  *
- * Builds bottlegraphs — per-thread criticality share x parallelism —
- * from RPPM's symbolic execution for three Parsec benchmarks with very
- * different balance characters, and compares each against the simulated
- * bottlegraph:
+ * One Study grid — three Parsec benchmarks x Base config x {sim, rppm}
+ * — yields both the simulated and the RPPM-predicted bottlegraph
+ * (per-thread criticality share x parallelism) for benchmarks with very
+ * different balance characters:
  *
  *   - Blackscholes: balanced pool of four workers, idle main thread.
  *   - Freqmine: the main thread is the scalability bottleneck.
@@ -17,10 +17,8 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
-#include "rppm/predictor.hh"
 #include "sim/bottlegraph.hh"
-#include "sim/simulator.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 int
@@ -29,16 +27,20 @@ main()
     using namespace rppm;
 
     const MulticoreConfig cfg = baseConfig();
-    for (const char *name : {"Blackscholes", "Freqmine", "Vips"}) {
-        const SuiteEntry benchmark = *findBenchmark(name);
-        const WorkloadTrace trace = generateWorkload(benchmark.spec);
-        const WorkloadProfile profile = profileWorkload(trace);
+    const char *names[] = {"Blackscholes", "Freqmine", "Vips"};
 
-        const SimResult sim = simulate(trace, cfg);
-        const RppmPrediction pred = predict(profile, cfg);
+    Study study;
+    for (const char *name : names)
+        study.addWorkload(*findBenchmark(name));
+    study.addConfig(cfg).addEvaluator("sim").addEvaluator("rppm");
+    const StudyResult result = study.run();
 
-        const Bottlegraph sim_graph = buildBottlegraph(sim);
-        const Bottlegraph pred_graph = pred.bottlegraph();
+    for (const char *name : names) {
+        const Evaluation &sim = result.at(name, cfg.name, "sim");
+        const Evaluation &pred = result.at(name, cfg.name, "rppm");
+
+        const Bottlegraph sim_graph = buildBottlegraph(*sim.sim);
+        const Bottlegraph pred_graph = pred.prediction->bottlegraph();
 
         std::printf("==== %s ====\n", name);
         std::printf("%s", sim_graph.render("simulated").c_str());

@@ -10,8 +10,9 @@
  *      two-thread ping-pong — useful for unit experiments and for
  *      importing traces from external tools.
  *
- * Both are then pushed through profile -> predict and checked against
- * the simulator, including the MAIN/CRIT naive baselines for contrast.
+ * Both land in one Study as workload sources — a spec directly, a
+ * hand-built trace via WorkloadSource — and the grid evaluates all four
+ * backends (sim, rppm, main, crit) on each.
  *
  * Build & run:  ./build/examples/custom_workload
  */
@@ -19,10 +20,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
-#include "rppm/baselines.hh"
-#include "rppm/predictor.hh"
-#include "sim/simulator.hh"
+#include "study/study.hh"
 #include "trace/trace_builder.hh"
 #include "workload/workload.hh"
 
@@ -31,25 +29,18 @@ namespace {
 using namespace rppm;
 
 void
-report(const char *name, const WorkloadTrace &trace)
+report(const StudyResult &result, const std::string &name,
+       const MulticoreConfig &cfg)
 {
-    const MulticoreConfig cfg = baseConfig();
-    const WorkloadProfile profile = profileWorkload(trace);
-    const SimResult sim = simulate(trace, cfg);
-    const RppmPrediction rppm = predict(profile, cfg);
-    const double main_pred = predictMain(profile, cfg);
-    const double crit_pred = predictCrit(profile, cfg);
-
-    std::printf("==== %s ====\n", name);
+    const double sim = result.at(name, cfg.name, "sim").cycles;
+    std::printf("==== %s ====\n", name.c_str());
     TablePrinter table({"predictor", "Mcycles", "error vs sim"});
-    auto err = [&](double cycles) {
-        return fmtPct((cycles - sim.totalCycles) / sim.totalCycles);
-    };
-    table.addRow({"simulation", fmt(sim.totalCycles / 1e6, 2), "-"});
-    table.addRow({"RPPM", fmt(rppm.totalCycles / 1e6, 2),
-                  err(rppm.totalCycles)});
-    table.addRow({"MAIN", fmt(main_pred / 1e6, 2), err(main_pred)});
-    table.addRow({"CRIT", fmt(crit_pred / 1e6, 2), err(crit_pred)});
+    table.addRow({"simulation", fmt(sim / 1e6, 2), "-"});
+    for (const char *backend : {"rppm", "main", "crit"}) {
+        const double cycles = result.at(name, cfg.name, backend).cycles;
+        table.addRow({backend, fmt(cycles / 1e6, 2),
+                      fmtPct((cycles - sim) / sim)});
+    }
     std::printf("%s\n", table.render().c_str());
 }
 
@@ -78,8 +69,6 @@ main()
     service.kernel.sharedFrac = 0.2;  // the shared structure
     service.kernel.sharedWriteFrac = 0.3;
     service.kernel.branchEntropy = 0.08;
-    report("declarative work-queue service",
-           generateWorkload(service));
 
     // ---- 2. Imperative: hand-built two-thread ping-pong. ----
     WorkloadTrace pingpong;
@@ -108,7 +97,21 @@ main()
         }
         main_thread.sync(SyncType::ThreadJoin, 1);
     }
-    report("imperative ping-pong (hand-built trace)", pingpong);
+
+    // ---- One grid: both workloads x Base x all four backends. ----
+    const MulticoreConfig cfg = baseConfig();
+    Study study;
+    study.addWorkload(service)
+        .addWorkload(std::move(pingpong))
+        .addConfig(cfg)
+        .addEvaluator("sim")
+        .addEvaluator("rppm")
+        .addEvaluator("main")
+        .addEvaluator("crit");
+    const StudyResult result = study.run();
+
+    report(result, "custom-service", cfg);
+    report(result, "custom-pingpong", cfg);
 
     std::printf("note how MAIN/CRIT miss the idle time the ping-pong\n"
                 "spends in synchronization while RPPM models it.\n");

@@ -3,10 +3,11 @@
  * Design-space exploration with one profile (paper Sec. VI-A).
  *
  * Profiles one benchmark once, then sweeps a 3x3 design space of
- * {dispatch width} x {LLC size} — nine configurations evaluated by the
- * analytical model in milliseconds, a task that takes many simulator
- * runs otherwise. Prints the predicted execution time per point, picks
- * the best, and validates the winner against simulation.
+ * {dispatch width} x {LLC size} through a Study grid — nine
+ * configurations evaluated by the analytical model in milliseconds, a
+ * task that takes many simulator runs otherwise. Prints the predicted
+ * execution time per point, picks the best, and validates the winner
+ * with one targeted run of the simulator backend.
  *
  * Build & run:  ./build/examples/design_space_exploration
  */
@@ -15,9 +16,7 @@
 #include <vector>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
-#include "rppm/predictor.hh"
-#include "sim/simulator.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 int
@@ -26,18 +25,11 @@ main()
     using namespace rppm;
 
     const SuiteEntry benchmark = *findBenchmark("kmeans");
-    const WorkloadTrace trace = generateWorkload(benchmark.spec);
-    const WorkloadProfile profile = profileWorkload(trace); // one time!
 
     const uint32_t widths[] = {2, 4, 6};
     const uint32_t llc_mb[] = {2, 8, 32};
 
-    std::printf("design space for '%s': width x LLC size\n\n",
-                benchmark.spec.name.c_str());
-    TablePrinter table({"config", "width", "LLC", "predicted ms"});
-
-    double best_seconds = 1e9;
-    MulticoreConfig best;
+    std::vector<MulticoreConfig> configs;
     for (uint32_t width : widths) {
         for (uint32_t mb : llc_mb) {
             MulticoreConfig cfg = baseConfig();
@@ -49,29 +41,55 @@ main()
             cfg.core.fus[static_cast<size_t>(OpClass::IntAlu)].count =
                 width;
             cfg.llc.sizeBytes = mb * 1024 * 1024;
-            cfg.validate();
+            configs.push_back(cfg);
+        }
+    }
 
-            const RppmPrediction pred = predict(profile, cfg);
-            table.addRow({cfg.name, std::to_string(width),
-                          std::to_string(mb) + " MB",
-                          fmt(pred.totalSeconds * 1e3, 3)});
-            if (pred.totalSeconds < best_seconds) {
-                best_seconds = pred.totalSeconds;
-                best = cfg;
-            }
+    // The whole design space in one Study: the workload is profiled
+    // once, then the analytical backend evaluates all nine points. The
+    // source handle is shared with the validation study below, so the
+    // trace is generated exactly once.
+    const WorkloadSource source(benchmark.spec);
+    Study study;
+    study.add(source)
+        .addConfigs(configs)
+        .addEvaluator("rppm")
+        .jobs(0); // use every hardware thread
+    const StudyResult result = study.run();
+
+    std::printf("design space for '%s': width x LLC size\n\n",
+                benchmark.spec.name.c_str());
+    TablePrinter table({"config", "width", "LLC", "predicted ms"});
+
+    double best_seconds = 1e9;
+    const MulticoreConfig *best = nullptr;
+    for (const MulticoreConfig &cfg : configs) {
+        const Evaluation &cell =
+            result.at(benchmark.spec.name, cfg.name, "rppm");
+        table.addRow({cfg.name,
+                      std::to_string(cfg.core.dispatchWidth),
+                      std::to_string(cfg.llc.sizeBytes >> 20) + " MB",
+                      fmt(cell.seconds * 1e3, 3)});
+        if (cell.seconds < best_seconds) {
+            best_seconds = cell.seconds;
+            best = &cfg;
         }
     }
     std::printf("%s\n", table.render().c_str());
-    std::printf("predicted best: %s (%.3f ms)\n", best.name.c_str(),
+    std::printf("predicted best: %s (%.3f ms)\n", best->name.c_str(),
                 best_seconds * 1e3);
 
-    // Validate the chosen point with one simulation.
-    const SimResult sim = simulate(trace, best);
+    // Validate the chosen point with one run of the oracle backend —
+    // same Evaluator interface, same shared workload source.
+    Study check;
+    check.add(source).addConfig(*best).addEvaluator("sim");
+    const double sim_seconds =
+        check.run().at(benchmark.spec.name, best->name, "sim").seconds;
     std::printf("simulated time of the chosen point: %.3f ms "
                 "(prediction error %s)\n",
-                sim.totalSeconds * 1e3,
-                fmtPct((best_seconds - sim.totalSeconds) /
-                       sim.totalSeconds).c_str());
+                sim_seconds * 1e3,
+                fmtPct((best_seconds - sim_seconds) /
+                       sim_seconds).c_str());
     std::printf("\nnote: 9 model evaluations + 1 simulation instead of 9 "
                 "simulations.\n");
     return 0;

@@ -6,8 +6,10 @@
  * cites as frequency-only related work): how does a workload's execution
  * time respond to clock frequency when DRAM latency is fixed in
  * nanoseconds? Compute-bound code scales ~linearly with frequency;
- * memory-bound code saturates. RPPM answers this from a single profile —
- * and, unlike DEP+BURST, can vary the microarchitecture at the same time.
+ * memory-bound code saturates. One Study per workload answers this from
+ * a single profile — the seven frequency points and the two validation
+ * simulations share one grid — and, unlike DEP+BURST, the
+ * microarchitecture could vary at the same time.
  *
  * Build & run:  ./build/examples/frequency_scaling
  */
@@ -15,9 +17,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
-#include "rppm/predictor.hh"
-#include "sim/simulator.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 namespace {
@@ -39,31 +39,46 @@ void
 sweep(const char *name)
 {
     const SuiteEntry benchmark = *findBenchmark(name);
-    const WorkloadTrace trace = generateWorkload(benchmark.spec);
-    const WorkloadProfile profile = profileWorkload(trace);
+    const double frequencies[] = {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0};
 
-    const MulticoreConfig ref = atFrequency(1.0);
-    const double t_ref = predict(profile, ref).totalSeconds;
+    // One source handle serves both studies below: WorkloadSource is a
+    // shared handle, so the trace is generated exactly once.
+    const WorkloadSource source(benchmark.spec);
+
+    Study study;
+    study.add(source).addEvaluator("rppm");
+    for (double ghz : frequencies)
+        study.addConfig(atFrequency(ghz));
+    const StudyResult result = study.run();
+
+    auto predicted = [&](double ghz) {
+        return result.at(name, atFrequency(ghz).name, "rppm").seconds;
+    };
+    const double t_ref = predicted(1.0);
 
     std::printf("---- %s ----\n", name);
     TablePrinter table({"frequency", "predicted ms", "speedup vs 1 GHz",
                         "perfect scaling"});
-    for (double ghz : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0}) {
-        const RppmPrediction pred =
-            predict(profile, atFrequency(ghz));
+    for (double ghz : frequencies) {
         table.addRow({fmt(ghz, 2) + " GHz",
-                      fmt(pred.totalSeconds * 1e3, 3),
-                      fmt(t_ref / pred.totalSeconds, 2) + "x",
+                      fmt(predicted(ghz) * 1e3, 3),
+                      fmt(t_ref / predicted(ghz), 2) + "x",
                       fmt(ghz, 2) + "x"});
     }
     std::printf("%s", table.render().c_str());
 
-    // Validate the end points against the golden simulator.
+    // Validate the end points against the oracle backend, reusing the
+    // same workload source (and hence the already-generated trace).
+    Study check;
+    check.add(source)
+        .addConfig(atFrequency(1.0))
+        .addConfig(atFrequency(5.0))
+        .addEvaluator("sim");
+    const StudyResult simmed = check.run();
     for (double ghz : {1.0, 5.0}) {
-        const MulticoreConfig cfg = atFrequency(ghz);
-        const double sim_ms = simulate(trace, cfg).totalSeconds * 1e3;
-        const double pred_ms =
-            predict(profile, cfg).totalSeconds * 1e3;
+        const double sim_ms =
+            simmed.at(name, atFrequency(ghz).name, "sim").seconds * 1e3;
+        const double pred_ms = predicted(ghz) * 1e3;
         std::printf("  check @%.1f GHz: sim %.3f ms, RPPM %.3f ms (%s)\n",
                     ghz, sim_ms, pred_ms,
                     fmtPct((pred_ms - sim_ms) / sim_ms).c_str());

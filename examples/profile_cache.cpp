@@ -1,21 +1,23 @@
 /**
  * @file
- * Profiles as durable artifacts: profile once, save to disk, and let a
- * later session (or another machine) run the predictions.
+ * Profiles as durable artifacts, via the Study profile cache.
  *
- * This mirrors the intended RPPM workflow: profiling is the expensive
- * one-time step; the saved profile then amortizes across every design
- * point anyone ever wants to evaluate.
+ * A Study given a profile directory keeps every profile it computes as
+ * a serialized file keyed by (workload, profiler options). A later
+ * session — here simulated by a second Study — finds the file and skips
+ * profiling entirely; serialization round-trips exactly, so the
+ * predictions are bit-identical. This is the intended RPPM workflow:
+ * profiling is the expensive one-time step, and the saved profile then
+ * amortizes across every design point anyone ever wants to evaluate.
  *
  * Build & run:  ./build/examples/profile_cache
  */
 
 #include <cstdio>
+#include <filesystem>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
-#include "profile/serialize.hh"
-#include "rppm/predictor.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 int
@@ -23,31 +25,51 @@ main()
 {
     using namespace rppm;
 
-    const std::string path = "/tmp/rppm_srad.profile";
+    const std::string dir = "/tmp/rppm_profile_cache";
+    const SuiteEntry benchmark = *findBenchmark("srad");
 
-    // --- Session 1: profile and save. ---
+    // Start pristine so session 1 below really is the cache miss the
+    // demo narrates, even when the example ran before.
+    std::filesystem::remove_all(dir);
+
+    // --- Session 1: profile (cache miss) and sweep Table IV. ---
     {
-        const SuiteEntry benchmark = *findBenchmark("srad");
-        const WorkloadTrace trace = generateWorkload(benchmark.spec);
-        const WorkloadProfile profile = profileWorkload(trace);
-        saveProfileToFile(profile, path);
-        std::printf("profiled '%s' (%llu uops) and saved to %s\n",
-                    profile.name.c_str(),
-                    static_cast<unsigned long long>(profile.totalOps()),
-                    path.c_str());
+        Study study;
+        study.addWorkload(benchmark)
+            .addConfigs(tableIvConfigs())
+            .addEvaluator("rppm")
+            .profileDirectory(dir);
+        study.run();
+        const ProfileCache::Stats stats = study.profiles().stats();
+        std::printf("session 1: %llu profile computed, saved under %s\n",
+                    static_cast<unsigned long long>(stats.misses),
+                    dir.c_str());
     }
 
-    // --- Session 2: load and sweep the whole Table-IV design space. ---
+    // --- Session 2: a fresh Study (fresh process, other machine...)
+    //     finds the serialized profile — no re-profiling. ---
     {
-        const WorkloadProfile profile = loadProfileFromFile(path);
-        std::printf("reloaded profile '%s'; predicting 5 design points:\n\n",
-                    profile.name.c_str());
+        Study study;
+        study.addWorkload(benchmark)
+            .addConfigs(tableIvConfigs())
+            .addEvaluator("rppm")
+            .profileDirectory(dir);
+        const StudyResult result = study.run();
+
+        const ProfileCache::Stats stats = study.profiles().stats();
+        std::printf("session 2: %llu disk hit, %llu profiling runs\n\n",
+                    static_cast<unsigned long long>(stats.diskHits),
+                    static_cast<unsigned long long>(stats.misses));
+
+        std::printf("predictions for 5 design points, straight from the "
+                    "cached profile:\n\n");
         TablePrinter table({"config", "freq", "width", "predicted ms"});
         for (const MulticoreConfig &cfg : tableIvConfigs()) {
-            const RppmPrediction pred = predict(profile, cfg);
+            const Evaluation &cell =
+                result.at(benchmark.spec.name, cfg.name, "rppm");
             table.addRow({cfg.name, fmt(cfg.core.frequencyGHz, 2) + " GHz",
                           std::to_string(cfg.core.dispatchWidth),
-                          fmt(pred.totalSeconds * 1e3, 3)});
+                          fmt(cell.seconds * 1e3, 3)});
         }
         std::printf("%s\n", table.render().c_str());
         std::printf("no simulation, no re-profiling — just the model.\n");

@@ -1,13 +1,13 @@
 /**
  * @file
- * Quickstart: the full RPPM workflow in ~50 lines.
+ * Quickstart: the full RPPM workflow through the Study facade.
  *
  *   1. Pick a benchmark from the synthetic suite (or author your own
- *      WorkloadSpec) and generate its multi-threaded trace.
- *   2. Profile it ONCE: the profile contains only microarchitecture-
- *      independent statistics.
- *   3. Predict execution time on any multicore configuration.
- *   4. (Optional) validate against the cycle-level simulator.
+ *      WorkloadSpec) and add it to a Study.
+ *   2. Add a multicore configuration and two evaluator backends: the
+ *      RPPM analytical model and the golden-reference simulator.
+ *   3. run() profiles the workload ONCE (microarchitecture-independent)
+ *      and evaluates the grid; the result registry answers everything.
  *
  * Build & run:  ./build/examples/quickstart
  */
@@ -15,9 +15,7 @@
 #include <cstdio>
 
 #include "common/table.hh"
-#include "profile/profiler.hh"
-#include "rppm/predictor.hh"
-#include "sim/simulator.hh"
+#include "study/study.hh"
 #include "workload/suite.hh"
 
 int
@@ -27,45 +25,52 @@ main()
 
     // 1. A Rodinia-like benchmark: hotspot (stencil, barrier phases).
     const SuiteEntry benchmark = *findBenchmark("hotspot");
-    const WorkloadTrace trace = generateWorkload(benchmark.spec);
-    std::printf("workload '%s': %llu micro-ops over %zu threads\n",
-                trace.name.c_str(),
-                static_cast<unsigned long long>(trace.totalOps()),
-                trace.numThreads());
-
-    // 2. Profile once (microarchitecture-independent).
-    const WorkloadProfile profile = profileWorkload(trace);
-    std::printf("profiled %zu threads; %llu barriers, %llu critical "
-                "sections, %llu condvar events\n",
-                profile.threads.size(),
-                static_cast<unsigned long long>(
-                    profile.syncCounts.barriers),
-                static_cast<unsigned long long>(
-                    profile.syncCounts.criticalSections),
-                static_cast<unsigned long long>(
-                    profile.syncCounts.condVars));
-
-    // 3. Predict on the paper's Base quad-core.
     const MulticoreConfig cfg = baseConfig();
-    const RppmPrediction pred = predict(profile, cfg);
+
+    // 2+3. One Study: workload x config x {rppm, sim}.
+    Study study;
+    study.addWorkload(benchmark)
+        .addConfig(cfg)
+        .addEvaluator("rppm")
+        .addEvaluator("sim");
+    StudyResult result = study.run();
+
+    // The profile was collected once and can be reused for any number
+    // of further configurations.
+    const auto profile = study.profile(benchmark.spec.name);
+    std::printf("profiled '%s' once: %zu threads; %llu barriers, %llu "
+                "critical sections, %llu condvar events\n",
+                benchmark.spec.name.c_str(), profile->threads.size(),
+                static_cast<unsigned long long>(
+                    profile->syncCounts.barriers),
+                static_cast<unsigned long long>(
+                    profile->syncCounts.criticalSections),
+                static_cast<unsigned long long>(
+                    profile->syncCounts.condVars));
+
+    // Query the grid: predicted vs golden-reference time.
+    const Evaluation &pred =
+        result.at(benchmark.spec.name, cfg.name, "rppm");
+    const Evaluation &sim =
+        result.at(benchmark.spec.name, cfg.name, "sim");
     std::printf("RPPM predicts %.2f Mcycles (%.3f ms at %.2f GHz)\n",
-                pred.totalCycles / 1e6, pred.totalSeconds * 1e3,
+                pred.cycles / 1e6, pred.seconds * 1e3,
                 cfg.core.frequencyGHz);
-
-    // 4. Validate against the golden-reference simulator.
-    const SimResult sim = simulate(trace, cfg);
     std::printf("simulator says    %.2f Mcycles -> prediction error %s\n",
-                sim.totalCycles / 1e6,
-                fmtPct((pred.totalCycles - sim.totalCycles) /
-                       sim.totalCycles).c_str());
+                sim.cycles / 1e6,
+                fmtPct((pred.cycles - sim.cycles) / sim.cycles).c_str());
 
-    // Bonus: the predicted per-thread CPI stack.
-    const CpiStack stack = pred.averageCpiStack();
+    // Bonus 1: the predicted per-thread CPI stack (backend detail kept
+    // in the grid cell).
+    const CpiStack stack = pred.prediction->averageCpiStack();
     std::printf("\npredicted average CPI stack (cycles per instruction):\n");
     for (size_t c = 0; c < kNumCpiComponents; ++c) {
         std::printf("  %-8s %6.3f\n",
                     cpiComponentName(static_cast<CpiComponent>(c)),
                     stack.cycles[c]);
     }
+
+    // Bonus 2: the whole grid as CSV, ready for a spreadsheet.
+    std::printf("\nCSV export:\n%s", result.csv().c_str());
     return 0;
 }

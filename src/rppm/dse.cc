@@ -5,6 +5,7 @@
 
 #include "common/assert.hh"
 #include "rppm/predictor.hh"
+#include "study/study.hh"
 
 namespace rppm {
 
@@ -54,6 +55,42 @@ DseResult::deficiency(double bound) const
 }
 
 DseResult
+exploreDesignSpace(const WorkloadSource &workload,
+                   const std::vector<MulticoreConfig> &configs,
+                   const DseOptions &opts)
+{
+    RPPM_REQUIRE(!configs.empty(), "empty design space");
+
+    std::unique_ptr<Evaluator> oracle = makeEvaluator(opts.oracle);
+    RPPM_REQUIRE(oracle->isOracle(),
+                 "DSE oracle backend must be a golden reference");
+
+    // One grid: the model predicts every design point from a single
+    // profile while the oracle supplies the reference times — both
+    // through the same Evaluator interface, sharing the worker pool.
+    Study study;
+    study.add(workload)
+        .addConfigs(configs)
+        .addEvaluator(makeEvaluator(opts.model))
+        .addEvaluator(std::move(oracle))
+        .profilerOptions(opts.study.profiler)
+        .rppmOptions(opts.study.rppm)
+        .simOptions(opts.study.sim)
+        .jobs(opts.jobs);
+    const StudyResult grid = study.run();
+
+    DseResult result;
+    result.workload = workload.name();
+    const std::string &model = grid.evaluators()[0];
+    const std::string &oracleName = grid.evaluators()[1];
+    for (const Evaluation *cell : grid.sweep(workload.name(), model))
+        result.predictedSeconds.push_back(cell->seconds);
+    for (const Evaluation *cell : grid.sweep(workload.name(), oracleName))
+        result.simulatedSeconds.push_back(cell->seconds);
+    return result;
+}
+
+DseResult
 exploreDesignSpace(const WorkloadProfile &profile,
                    const std::vector<MulticoreConfig> &configs,
                    const std::vector<double> &simulated_seconds)
@@ -62,6 +99,9 @@ exploreDesignSpace(const WorkloadProfile &profile,
                  "one simulated time required per design point");
     RPPM_REQUIRE(!configs.empty(), "empty design space");
 
+    // Deliberately positional (not via Study): the legacy contract
+    // indexes design points by position and accepts duplicate or
+    // unnamed configurations, which name-keyed grids reject.
     DseResult result;
     result.workload = profile.name;
     result.simulatedSeconds = simulated_seconds;

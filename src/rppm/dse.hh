@@ -20,6 +20,8 @@
 
 #include "arch/config.hh"
 #include "profile/epoch_profile.hh"
+#include "study/evaluator.hh"
+#include "study/source.hh"
 
 namespace rppm {
 
@@ -47,9 +49,40 @@ struct DseResult
     double deficiency(double bound) const;
 };
 
+/** Knobs of the evaluator-backed exploration. */
+struct DseOptions
+{
+    /** Registered backend predicting each design point ("rppm", or an
+     *  ablation variant registered via registerEvaluator). */
+    std::string model = "rppm";
+
+    /** Registered golden-reference backend scoring the selection. Must
+     *  report isOracle(). */
+    std::string oracle = "sim";
+
+    /** Model/profiler/simulator tunables shared by both backends. */
+    StudyOptions study;
+
+    /** Worker-pool size for grid evaluation (0 = all hardware threads). */
+    unsigned jobs = 1;
+};
+
 /**
- * Predict @p profile on every configuration in @p configs.
- * @p simulated_seconds must hold the matching golden-reference times.
+ * Explore @p configs for @p workload: the model backend predicts every
+ * design point and the oracle backend supplies the golden-reference
+ * times, both through the Evaluator interface (no caller-supplied
+ * timing vectors). The workload is profiled at most once. Design
+ * points are a Study grid axis, so every config needs a distinct name.
+ */
+DseResult exploreDesignSpace(const WorkloadSource &workload,
+                             const std::vector<MulticoreConfig> &configs,
+                             const DseOptions &opts = {});
+
+/**
+ * Backward-compatible wrapper over pre-computed golden-reference times:
+ * predicts with the RPPM model and adopts @p simulated_seconds as the
+ * oracle column. Prefer the WorkloadSource overload, which obtains
+ * oracle times through the Evaluator interface.
  */
 DseResult exploreDesignSpace(const WorkloadProfile &profile,
                              const std::vector<MulticoreConfig> &configs,

@@ -1,0 +1,148 @@
+#include "study/evaluator.hh"
+
+#include <algorithm>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "rppm/baselines.hh"
+
+namespace rppm {
+
+namespace {
+
+double
+cyclesToSeconds(double cycles, const MulticoreConfig &cfg)
+{
+    return cycles / (cfg.core.frequencyGHz * 1e9);
+}
+
+} // namespace
+
+Evaluation
+Evaluator::makeResult(const EvalContext &ctx,
+                      const MulticoreConfig &cfg) const
+{
+    Evaluation result;
+    result.workload = ctx.workload.name();
+    result.config = cfg.name;
+    result.evaluator = label_;
+    return result;
+}
+
+Evaluation
+RppmEvaluator::evaluate(const EvalContext &ctx,
+                        const MulticoreConfig &cfg) const
+{
+    Evaluation result = makeResult(ctx, cfg);
+    const auto profile = ctx.profile(profiler_);
+    const RppmOptions &opts = rppm_ ? *rppm_ : ctx.options.rppm;
+    result.prediction = predict(*profile, cfg, opts);
+    result.cycles = result.prediction->totalCycles;
+    result.seconds = result.prediction->totalSeconds;
+    return result;
+}
+
+Evaluation
+SimEvaluator::evaluate(const EvalContext &ctx,
+                       const MulticoreConfig &cfg) const
+{
+    Evaluation result = makeResult(ctx, cfg);
+    result.sim = simulate(ctx.workload.trace(), cfg, ctx.options.sim);
+    result.cycles = result.sim->totalCycles;
+    result.seconds = result.sim->totalSeconds;
+    return result;
+}
+
+Evaluation
+MainEvaluator::evaluate(const EvalContext &ctx,
+                        const MulticoreConfig &cfg) const
+{
+    Evaluation result = makeResult(ctx, cfg);
+    result.cycles = predictMain(*ctx.profile(), cfg);
+    result.seconds = cyclesToSeconds(result.cycles, cfg);
+    return result;
+}
+
+Evaluation
+CritEvaluator::evaluate(const EvalContext &ctx,
+                        const MulticoreConfig &cfg) const
+{
+    Evaluation result = makeResult(ctx, cfg);
+    result.cycles = predictCrit(*ctx.profile(), cfg);
+    result.seconds = cyclesToSeconds(result.cycles, cfg);
+    return result;
+}
+
+// ----------------------------------------------------------- registry ---
+
+namespace {
+
+std::unordered_map<std::string, EvaluatorFactory>
+builtinFactories()
+{
+    std::unordered_map<std::string, EvaluatorFactory> factories;
+    factories["rppm"] = [] { return std::make_unique<RppmEvaluator>(); };
+    factories["sim"] = [] { return std::make_unique<SimEvaluator>(); };
+    factories["main"] = [] { return std::make_unique<MainEvaluator>(); };
+    factories["crit"] = [] { return std::make_unique<CritEvaluator>(); };
+    return factories;
+}
+
+struct Registry
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, EvaluatorFactory> factories =
+        builtinFactories();
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+} // namespace
+
+void
+registerEvaluator(const std::string &name, EvaluatorFactory factory)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.factories[name] = std::move(factory);
+}
+
+std::unique_ptr<Evaluator>
+makeEvaluator(const std::string &name)
+{
+    Registry &r = registry();
+    EvaluatorFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        auto it = r.factories.find(name);
+        if (it == r.factories.end()) {
+            throw std::invalid_argument(
+                "unknown evaluator backend '" + name + "'");
+        }
+        factory = it->second;
+    }
+    return factory();
+}
+
+std::vector<std::string>
+registeredEvaluators()
+{
+    Registry &r = registry();
+    std::vector<std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(r.mutex);
+        names.reserve(r.factories.size());
+        for (const auto &[name, factory] : r.factories)
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+} // namespace rppm

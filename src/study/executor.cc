@@ -1,0 +1,69 @@
+#include "study/executor.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rppm {
+
+ParallelExecutor::ParallelExecutor(unsigned jobs)
+    : jobs_(jobs)
+{
+    if (jobs_ == 0) {
+        jobs_ = std::thread::hardware_concurrency();
+        if (jobs_ == 0)
+            jobs_ = 1;
+    }
+}
+
+void
+ParallelExecutor::forEach(size_t count,
+                          const std::function<void(size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+    if (jobs_ == 1 || count == 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex errorMutex;
+
+    auto worker = [&] {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!error)
+                    error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    const unsigned n =
+        static_cast<unsigned>(std::min<size_t>(jobs_, count));
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        threads.emplace_back(worker);
+    for (std::thread &t : threads)
+        t.join();
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace rppm

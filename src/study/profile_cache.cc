@@ -1,0 +1,180 @@
+#include "study/profile_cache.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "profile/serialize.hh"
+
+namespace rppm {
+
+std::string
+profilerOptionsKey(const ProfilerOptions &opts)
+{
+    std::ostringstream key;
+    key << "mtl" << opts.microTraceLength
+        << "-mti" << opts.microTraceInterval
+        << "-q" << opts.quantum
+        << "-lb" << opts.lineBytes
+        << "-inv" << (opts.detectInvalidation ? 1 : 0);
+    return key.str();
+}
+
+namespace {
+
+/** Filesystem-safe rendering of an arbitrary workload name. */
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                        c == '.';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+std::string
+cacheKey(const std::string &workload, const ProfilerOptions &opts)
+{
+    return workload + '\x1f' + profilerOptionsKey(opts);
+}
+
+/** Serialized-artifact path; "" when the disk tier is disabled. */
+std::string
+diskPath(const std::string &dir, const std::string &workload,
+         const ProfilerOptions &opts)
+{
+    if (dir.empty())
+        return {};
+    return dir + "/" + sanitize(workload) + "." + profilerOptionsKey(opts) +
+           ".rppmprof";
+}
+
+} // namespace
+
+void
+ProfileCache::setDirectory(std::string dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    dir_ = std::move(dir);
+}
+
+std::string
+ProfileCache::pathFor(const std::string &workload,
+                      const ProfilerOptions &opts) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return diskPath(dir_, workload, opts);
+}
+
+ProfileCache::ProfilePtr
+ProfileCache::getOrCompute(const std::string &workload,
+                           const ProfilerOptions &opts,
+                           const std::function<WorkloadProfile()> &compute)
+{
+    const std::string key = cacheKey(workload, opts);
+
+    std::promise<ProfilePtr> promise;
+    std::shared_future<ProfilePtr> waitOn;
+    std::string dir;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.memoryHits;
+            waitOn = it->second;
+        } else {
+            entries_.emplace(key, promise.get_future().share());
+            owner = true;
+            dir = dir_;
+        }
+    }
+    // Wait outside the lock: the computing thread needs the map.
+    if (!owner)
+        return waitOn.get();
+
+    // This thread owns the computation for this key.
+    const std::string path = diskPath(dir, workload, opts);
+
+    try {
+        ProfilePtr profile;
+        bool from_disk = false;
+        if (!path.empty() && std::filesystem::exists(path)) {
+            try {
+                auto loaded = std::make_shared<const WorkloadProfile>(
+                    loadProfileFromFile(path));
+                // Guard against sanitized-name collisions (distinct
+                // workloads mapping to one file): the artifact must
+                // actually be the requested workload's profile.
+                if (loaded->name == workload) {
+                    profile = std::move(loaded);
+                    from_disk = true;
+                }
+            } catch (const std::exception &) {
+                // Corrupt or stale artifact: treat as a miss and
+                // overwrite it below.
+            }
+        }
+        if (!profile) {
+            profile =
+                std::make_shared<const WorkloadProfile>(compute());
+            if (!path.empty()) {
+                try {
+                    std::filesystem::create_directories(dir);
+                    // Write-then-rename so concurrent processes sharing
+                    // the directory never observe a torn artifact.
+                    const std::string tmp =
+                        path + ".tmp." +
+                        std::to_string(
+                            static_cast<unsigned long>(::getpid()));
+                    saveProfileToFile(*profile, tmp);
+                    std::filesystem::rename(tmp, path);
+                } catch (const std::exception &) {
+                    // The disk tier is an optimization: a write failure
+                    // (read-only or full filesystem) must not poison a
+                    // study that already has its profile in memory.
+                }
+            }
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (from_disk)
+                ++stats_.diskHits;
+            else
+                ++stats_.misses;
+        }
+        promise.set_value(profile);
+        return profile;
+    } catch (...) {
+        // Un-cache the failed entry so a later request can retry, then
+        // propagate to this caller and to any waiters.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            entries_.erase(key);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+void
+ProfileCache::clearMemory()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+ProfileCache::Stats
+ProfileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace rppm

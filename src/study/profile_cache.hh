@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Two-tier profile cache: in-memory and (optionally) serialized on disk.
+ *
+ * RPPM's economics rest on "profile once, predict many"; the cache is
+ * what enforces the "once". Entries are keyed by (workload name,
+ * profiler options) — the two inputs that determine a profile — so the
+ * same workload profiled under different sampling policies (e.g. the
+ * ablation study's no-invalidation variant) occupies distinct entries.
+ *
+ * When a directory is configured, misses first try to load a previously
+ * serialized profile ("RPPMPROF 1" format, see profile/serialize.hh) and
+ * freshly computed profiles are written back, making profiles durable
+ * across processes. Serialization round-trips exactly with respect to
+ * predictions, so a disk hit yields bit-identical results to an
+ * in-memory one. Corrupt artifacts are treated as misses and
+ * overwritten; write failures degrade silently to memory-only caching.
+ *
+ * Caveat: the key carries no fingerprint of the workload's *content*.
+ * If a workload changes but keeps its name, delete its artifacts (or
+ * point the cache at a fresh directory), or stale profiles will be
+ * reused silently.
+ *
+ * Thread-safe: concurrent requests for the same key block on a single
+ * computation (per-key future), everything else proceeds in parallel.
+ */
+
+#ifndef RPPM_STUDY_PROFILE_CACHE_HH
+#define RPPM_STUDY_PROFILE_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "profile/epoch_profile.hh"
+#include "profile/profiler.hh"
+
+namespace rppm {
+
+/** Stable fingerprint of the profiler options that shape a profile. */
+std::string profilerOptionsKey(const ProfilerOptions &opts);
+
+class ProfileCache
+{
+  public:
+    using ProfilePtr = std::shared_ptr<const WorkloadProfile>;
+
+    ProfileCache() = default;
+
+    /**
+     * Enable the serialized tier rooted at @p dir (created on demand).
+     * Pass an empty string to disable.
+     */
+    void setDirectory(std::string dir);
+
+    /** The serialized tier's directory ("" = memory only). */
+    const std::string &directory() const { return dir_; }
+
+    /**
+     * Return the profile for (@p workload, @p opts), computing it with
+     * @p compute on a miss. On a miss with a directory configured, a
+     * serialized profile is tried first and fresh computations are
+     * written back. @p compute may run concurrently for different keys
+     * but never twice for the same key.
+     */
+    ProfilePtr getOrCompute(const std::string &workload,
+                            const ProfilerOptions &opts,
+                            const std::function<WorkloadProfile()> &compute);
+
+    /** Drop the in-memory tier (serialized profiles stay). */
+    void clearMemory();
+
+    /** Hit/miss counters (memory hits include waiting on in-flight
+     *  computations of the same key). */
+    struct Stats
+    {
+        uint64_t memoryHits = 0;
+        uint64_t diskHits = 0;
+        uint64_t misses = 0;
+    };
+    Stats stats() const;
+
+    /** Path the serialized tier uses for a key (for tests/tools). */
+    std::string pathFor(const std::string &workload,
+                        const ProfilerOptions &opts) const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<ProfilePtr>> entries_;
+    std::string dir_;
+    Stats stats_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_STUDY_PROFILE_CACHE_HH

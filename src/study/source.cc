@@ -1,0 +1,83 @@
+#include "study/source.hh"
+
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "study/profile_cache.hh"
+#include "workload/workload.hh"
+
+namespace rppm {
+
+struct WorkloadSource::State
+{
+    std::string name;
+    std::optional<WorkloadSpec> spec;
+    std::shared_ptr<const WorkloadProfile> fixedProfile;
+
+    std::mutex mutex;
+    std::optional<WorkloadTrace> trace; ///< guarded by mutex until set
+};
+
+WorkloadSource::WorkloadSource(WorkloadSpec spec)
+    : state_(std::make_shared<State>())
+{
+    state_->name = spec.name;
+    state_->spec = std::move(spec);
+}
+
+WorkloadSource::WorkloadSource(WorkloadTrace trace)
+    : state_(std::make_shared<State>())
+{
+    state_->name = trace.name;
+    state_->trace = std::move(trace);
+}
+
+WorkloadSource::WorkloadSource(WorkloadProfile profile)
+    : state_(std::make_shared<State>())
+{
+    state_->name = profile.name;
+    state_->fixedProfile =
+        std::make_shared<const WorkloadProfile>(std::move(profile));
+}
+
+const std::string &
+WorkloadSource::name() const
+{
+    return state_->name;
+}
+
+bool
+WorkloadSource::hasTrace() const
+{
+    return state_->spec.has_value() || state_->trace.has_value();
+}
+
+const WorkloadTrace &
+WorkloadSource::trace() const
+{
+    State &s = *state_;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.trace) {
+        if (!s.spec) {
+            throw std::logic_error(
+                "WorkloadSource '" + s.name +
+                "' is profile-only: no trace available");
+        }
+        s.trace = generateWorkload(*s.spec);
+    }
+    return *s.trace;
+}
+
+std::shared_ptr<const WorkloadProfile>
+WorkloadSource::profile(const ProfilerOptions &opts,
+                        ProfileCache &cache) const
+{
+    if (state_->fixedProfile)
+        return state_->fixedProfile;
+    return cache.getOrCompute(name(), opts, [this, &opts] {
+        return profileWorkload(trace(), opts);
+    });
+}
+
+} // namespace rppm

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload sources for Study evaluation.
+ *
+ * A WorkloadSource is the facade's handle on "one workload", however it
+ * was described: a synthetic WorkloadSpec (trace generated lazily), a
+ * ready-made WorkloadTrace (e.g. hand-built or imported), or a bare
+ * WorkloadProfile (profile-only — the analytical evaluators work, the
+ * trace-consuming ones don't). Sources are cheap copyable handles onto
+ * shared, mutex-protected state, so the same source can be evaluated
+ * concurrently from many worker threads: the trace is generated at most
+ * once and profiles are produced through the study's ProfileCache.
+ */
+
+#ifndef RPPM_STUDY_SOURCE_HH
+#define RPPM_STUDY_SOURCE_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "profile/epoch_profile.hh"
+#include "profile/profiler.hh"
+#include "trace/trace.hh"
+#include "workload/workload.hh"
+
+namespace rppm {
+
+class ProfileCache;
+
+/** Shared immutable-after-creation handle on one workload. */
+class WorkloadSource
+{
+  public:
+    /** Source backed by a spec; the trace is generated on first use. */
+    explicit WorkloadSource(WorkloadSpec spec);
+
+    /** Source backed by an existing trace. */
+    explicit WorkloadSource(WorkloadTrace trace);
+
+    /** Profile-only source: analytical evaluators only. */
+    explicit WorkloadSource(WorkloadProfile profile);
+
+    /** The workload's name (grid axis label). */
+    const std::string &name() const;
+
+    /** True when a trace is available (spec- or trace-backed). */
+    bool hasTrace() const;
+
+    /**
+     * The workload trace, generating it from the spec on first call.
+     * Thread-safe; throws std::logic_error on a profile-only source.
+     */
+    const WorkloadTrace &trace() const;
+
+    /**
+     * The workload profile for @p opts, produced through @p cache.
+     * Profile-only sources return their fixed profile regardless of
+     * @p opts. Thread-safe.
+     */
+    std::shared_ptr<const WorkloadProfile>
+    profile(const ProfilerOptions &opts, ProfileCache &cache) const;
+
+  private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_STUDY_SOURCE_HH

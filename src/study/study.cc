@@ -1,0 +1,375 @@
+#include "study/study.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/stats.hh"
+#include "study/executor.hh"
+
+namespace rppm {
+
+// ---------------------------------------------------------- StudyResult ---
+
+StudyResult::StudyResult(std::vector<std::string> workloads,
+                         std::vector<std::string> configs,
+                         std::vector<std::string> evaluators,
+                         std::vector<Evaluation> cells)
+    : workloads_(std::move(workloads)), configs_(std::move(configs)),
+      evaluators_(std::move(evaluators)), cells_(std::move(cells))
+{
+}
+
+namespace {
+
+size_t
+indexOf(const std::vector<std::string> &axis, const std::string &label)
+{
+    for (size_t i = 0; i < axis.size(); ++i) {
+        if (axis[i] == label)
+            return i;
+    }
+    return axis.size();
+}
+
+/** Minimal JSON string escaping for names. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** CSV-escape a field (quote when it contains a separator). */
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+const Evaluation *
+StudyResult::find(const std::string &workload, const std::string &config,
+                  const std::string &evaluator) const
+{
+    const size_t w = indexOf(workloads_, workload);
+    const size_t c = indexOf(configs_, config);
+    const size_t e = indexOf(evaluators_, evaluator);
+    if (w == workloads_.size() || c == configs_.size() ||
+        e == evaluators_.size()) {
+        return nullptr;
+    }
+    const size_t idx =
+        (w * configs_.size() + c) * evaluators_.size() + e;
+    return &cells_[idx];
+}
+
+const Evaluation &
+StudyResult::at(const std::string &workload, const std::string &config,
+                const std::string &evaluator) const
+{
+    const Evaluation *cell = find(workload, config, evaluator);
+    if (!cell) {
+        throw std::out_of_range("no study cell (" + workload + ", " +
+                                config + ", " + evaluator + ")");
+    }
+    return *cell;
+}
+
+std::vector<const Evaluation *>
+StudyResult::sweep(const std::string &workload,
+                   const std::string &evaluator) const
+{
+    std::vector<const Evaluation *> cells;
+    cells.reserve(configs_.size());
+    for (const std::string &config : configs_)
+        cells.push_back(&at(workload, config, evaluator));
+    return cells;
+}
+
+double
+StudyResult::errorVs(const std::string &workload, const std::string &config,
+                     const std::string &evaluator,
+                     const std::string &oracle) const
+{
+    return absRelativeError(at(workload, config, evaluator).cycles,
+                            at(workload, config, oracle).cycles);
+}
+
+std::string
+StudyResult::csv() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "workload,config,evaluator,cycles,seconds\n";
+    for (const Evaluation &cell : cells_) {
+        os << csvEscape(cell.workload) << ',' << csvEscape(cell.config)
+           << ',' << csvEscape(cell.evaluator) << ',' << cell.cycles << ','
+           << cell.seconds << '\n';
+    }
+    return os.str();
+}
+
+std::string
+StudyResult::json() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n  \"cells\": [\n";
+    for (size_t i = 0; i < cells_.size(); ++i) {
+        const Evaluation &cell = cells_[i];
+        os << "    {\"workload\": \"" << jsonEscape(cell.workload)
+           << "\", \"config\": \"" << jsonEscape(cell.config)
+           << "\", \"evaluator\": \"" << jsonEscape(cell.evaluator)
+           << "\", \"cycles\": " << cell.cycles
+           << ", \"seconds\": " << cell.seconds << '}'
+           << (i + 1 < cells_.size() ? "," : "") << '\n';
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+namespace {
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+    os << content;
+    if (!os)
+        throw std::runtime_error("error writing '" + path + "'");
+}
+
+} // namespace
+
+void
+StudyResult::saveCsv(const std::string &path) const
+{
+    writeFile(path, csv());
+}
+
+void
+StudyResult::saveJson(const std::string &path) const
+{
+    writeFile(path, json());
+}
+
+// ---------------------------------------------------------------- Study ---
+
+Study::Study() = default;
+
+Study &
+Study::add(WorkloadSource source)
+{
+    sources_.push_back(std::move(source));
+    return *this;
+}
+
+Study &
+Study::addWorkload(const WorkloadSpec &spec)
+{
+    return add(WorkloadSource(spec));
+}
+
+Study &
+Study::addWorkload(const SuiteEntry &entry)
+{
+    return add(WorkloadSource(entry.spec));
+}
+
+Study &
+Study::addWorkload(WorkloadTrace trace)
+{
+    return add(WorkloadSource(std::move(trace)));
+}
+
+Study &
+Study::addWorkload(WorkloadProfile profile)
+{
+    return add(WorkloadSource(std::move(profile)));
+}
+
+Study &
+Study::addSuite(const std::vector<SuiteEntry> &entries)
+{
+    for (const SuiteEntry &entry : entries)
+        addWorkload(entry);
+    return *this;
+}
+
+Study &
+Study::addConfig(MulticoreConfig cfg)
+{
+    configs_.push_back(std::move(cfg));
+    return *this;
+}
+
+Study &
+Study::addConfigs(const std::vector<MulticoreConfig> &cfgs)
+{
+    for (const MulticoreConfig &cfg : cfgs)
+        addConfig(cfg);
+    return *this;
+}
+
+Study &
+Study::addEvaluator(const std::string &registeredName)
+{
+    return addEvaluator(makeEvaluator(registeredName));
+}
+
+Study &
+Study::addEvaluator(std::unique_ptr<Evaluator> evaluator)
+{
+    if (!evaluator)
+        throw std::invalid_argument("null evaluator");
+    evaluators_.push_back(std::move(evaluator));
+    return *this;
+}
+
+Study &
+Study::jobs(unsigned n)
+{
+    jobs_ = n;
+    return *this;
+}
+
+Study &
+Study::profileDirectory(std::string dir)
+{
+    cache_.setDirectory(std::move(dir));
+    return *this;
+}
+
+Study &
+Study::profilerOptions(const ProfilerOptions &opts)
+{
+    options_.profiler = opts;
+    return *this;
+}
+
+Study &
+Study::rppmOptions(const RppmOptions &opts)
+{
+    options_.rppm = opts;
+    return *this;
+}
+
+Study &
+Study::simOptions(const SimOptions &opts)
+{
+    options_.sim = opts;
+    return *this;
+}
+
+const WorkloadSource &
+Study::sourceByName(const std::string &name) const
+{
+    for (const WorkloadSource &source : sources_) {
+        if (source.name() == name)
+            return source;
+    }
+    throw std::invalid_argument("no workload '" + name + "' in study");
+}
+
+std::shared_ptr<const WorkloadProfile>
+Study::profile(const std::string &workload)
+{
+    return sourceByName(workload).profile(options_.profiler, cache_);
+}
+
+StudyResult
+Study::run()
+{
+    if (sources_.empty())
+        throw std::invalid_argument("study has no workloads");
+    if (configs_.empty())
+        throw std::invalid_argument("study has no configurations");
+    if (evaluators_.empty())
+        throw std::invalid_argument("study has no evaluators");
+
+    // Reject duplicate axis labels early: lookups would be ambiguous.
+    auto checkUnique = [](const std::vector<std::string> &labels,
+                          const char *axis) {
+        std::unordered_set<std::string> seen;
+        for (const std::string &label : labels) {
+            if (!seen.insert(label).second) {
+                throw std::invalid_argument(
+                    std::string("duplicate ") + axis + " label '" + label +
+                    "' in study");
+            }
+        }
+    };
+    std::vector<std::string> workloadNames, configNames, evaluatorNames;
+    for (const WorkloadSource &source : sources_)
+        workloadNames.push_back(source.name());
+    for (const MulticoreConfig &cfg : configs_)
+        configNames.push_back(cfg.name);
+    for (const auto &evaluator : evaluators_)
+        evaluatorNames.push_back(evaluator->label());
+    checkUnique(workloadNames, "workload");
+    checkUnique(configNames, "config");
+    checkUnique(evaluatorNames, "evaluator");
+
+    // Trace-consuming backends cannot serve profile-only sources.
+    for (const auto &evaluator : evaluators_) {
+        if (!evaluator->needsTrace())
+            continue;
+        for (const WorkloadSource &source : sources_) {
+            if (!source.hasTrace()) {
+                throw std::invalid_argument(
+                    "evaluator '" + evaluator->label() +
+                    "' needs a trace but workload '" + source.name() +
+                    "' is profile-only");
+            }
+        }
+    }
+
+    for (const MulticoreConfig &cfg : configs_)
+        cfg.validate();
+
+    const size_t numCells =
+        sources_.size() * configs_.size() * evaluators_.size();
+    std::vector<Evaluation> cells(numCells);
+
+    // Grid order: workload-major, then config, then evaluator. Results
+    // land by index, so the registry is deterministic for any job count.
+    ParallelExecutor executor(jobs_);
+    executor.forEach(numCells, [&](size_t idx) {
+        const size_t e = idx % evaluators_.size();
+        const size_t c = (idx / evaluators_.size()) % configs_.size();
+        const size_t w = idx / (evaluators_.size() * configs_.size());
+        const EvalContext ctx{sources_[w], options_, cache_};
+        cells[idx] = evaluators_[e]->evaluate(ctx, configs_[c]);
+    });
+
+    return StudyResult(std::move(workloadNames), std::move(configNames),
+                       std::move(evaluatorNames), std::move(cells));
+}
+
+} // namespace rppm

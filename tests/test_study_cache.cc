@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the Study profile cache: in-memory reuse across grid cells,
+ * the serialized tier (a fresh Study reading another Study's profile
+ * directory predicts bit-identically — extending the
+ * predict(load(save(p))) == predict(p) guarantee of
+ * profile/serialize.hh), and keying by profiler options.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+#include "study/profile_cache.hh"
+#include "study/study.hh"
+#include "workload/workload.hh"
+
+namespace rppm {
+namespace {
+
+WorkloadSpec
+cacheSpec(const char *name)
+{
+    WorkloadSpec spec = barrierLoopSpec(3, 4, 2500);
+    spec.name = name;
+    spec.csPerEpoch = 2;
+    spec.queueItems = 5;
+    spec.kernel.sharedFrac = 0.2;
+    spec.kernel.branchEntropy = 0.1;
+    return spec;
+}
+
+/** A unique, self-cleaning temp directory per test. */
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag)
+        : path_(std::filesystem::temp_directory_path() /
+                ("rppm_cache_test_" + tag))
+    {
+        std::filesystem::remove_all(path_);
+    }
+    ~TempDir() { std::filesystem::remove_all(path_); }
+    std::string str() const { return path_.string(); }
+
+  private:
+    std::filesystem::path path_;
+};
+
+TEST(ProfileCache, MemoryTierComputesOnce)
+{
+    const WorkloadSpec spec = cacheSpec("cache-mem");
+    const WorkloadTrace trace = generateWorkload(spec);
+
+    ProfileCache cache;
+    int computations = 0;
+    auto compute = [&] {
+        ++computations;
+        return profileWorkload(trace);
+    };
+    const auto first = cache.getOrCompute(spec.name, {}, compute);
+    const auto second = cache.getOrCompute(spec.name, {}, compute);
+    EXPECT_EQ(computations, 1);
+    EXPECT_EQ(first.get(), second.get()); // same shared instance
+
+    const ProfileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.diskHits, 0u);
+}
+
+TEST(ProfileCache, KeyedByProfilerOptions)
+{
+    const WorkloadSpec spec = cacheSpec("cache-key");
+    const WorkloadTrace trace = generateWorkload(spec);
+
+    ProfilerOptions stripped;
+    stripped.detectInvalidation = false;
+    EXPECT_NE(profilerOptionsKey({}), profilerOptionsKey(stripped));
+
+    ProfileCache cache;
+    int computations = 0;
+    auto computeWith = [&](const ProfilerOptions &opts) {
+        return cache.getOrCompute(spec.name, opts, [&] {
+            ++computations;
+            return profileWorkload(trace, opts);
+        });
+    };
+    computeWith({});
+    computeWith(stripped);
+    computeWith({});
+    EXPECT_EQ(computations, 2); // one per distinct option set
+}
+
+TEST(ProfileCache, GridReusesOneProfileAcrossCells)
+{
+    const WorkloadSpec spec = cacheSpec("cache-grid");
+    Study study;
+    study.addWorkload(spec)
+        .addConfigs(tableIvConfigs())
+        .addEvaluator("rppm")
+        .addEvaluator("main")
+        .addEvaluator("crit")
+        .jobs(4);
+    study.run();
+    // 5 configs x 3 profile-consuming evaluators, but one profiling run.
+    EXPECT_EQ(study.profiles().stats().misses, 1u);
+}
+
+TEST(ProfileCache, SerializedTierPredictsBitIdentically)
+{
+    // Satellite requirement: a Study reading a serialized-profile
+    // directory produces bit-identical predictions to in-memory
+    // profiling.
+    const TempDir dir("serialized");
+    const WorkloadSpec spec = cacheSpec("cache-disk");
+
+    auto runStudy = [&](bool useDir) {
+        Study study;
+        study.addWorkload(spec)
+            .addConfigs(tableIvConfigs())
+            .addEvaluator("rppm");
+        if (useDir)
+            study.profileDirectory(dir.str());
+        return study.run();
+    };
+
+    // In-memory reference.
+    const StudyResult memory = runStudy(false);
+
+    // First directory-backed run profiles and serializes...
+    runStudy(true);
+    // ...the second one (fresh Study = fresh memory tier) must load
+    // from disk.
+    Study reloaded;
+    reloaded.addWorkload(spec)
+        .addConfigs(tableIvConfigs())
+        .addEvaluator("rppm")
+        .profileDirectory(dir.str());
+    const StudyResult fromDisk = reloaded.run();
+
+    const ProfileCache::Stats stats = reloaded.profiles().stats();
+    EXPECT_EQ(stats.diskHits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+
+    ASSERT_EQ(memory.cells().size(), fromDisk.cells().size());
+    for (size_t i = 0; i < memory.cells().size(); ++i) {
+        EXPECT_DOUBLE_EQ(memory.cells()[i].cycles,
+                         fromDisk.cells()[i].cycles) << i;
+        EXPECT_DOUBLE_EQ(memory.cells()[i].seconds,
+                         fromDisk.cells()[i].seconds) << i;
+        // Per-thread detail is bit-identical too.
+        const auto &a = memory.cells()[i].prediction;
+        const auto &b = fromDisk.cells()[i].prediction;
+        ASSERT_EQ(a.has_value(), b.has_value());
+        ASSERT_EQ(a->threads.size(), b->threads.size());
+        for (size_t t = 0; t < a->threads.size(); ++t) {
+            EXPECT_DOUBLE_EQ(a->threads[t].activeCycles,
+                             b->threads[t].activeCycles);
+        }
+    }
+
+    // The serialized artifact lives where pathFor says.
+    ProfileCache probe;
+    probe.setDirectory(dir.str());
+    EXPECT_TRUE(std::filesystem::exists(probe.pathFor(spec.name, {})));
+}
+
+TEST(ProfileCache, ClearMemoryForcesDiskReload)
+{
+    const TempDir dir("clear");
+    ProfileCache cache;
+    cache.setDirectory(dir.str());
+
+    const WorkloadSpec spec = cacheSpec("cache-clear");
+    const WorkloadTrace trace = generateWorkload(spec);
+    auto compute = [&] { return profileWorkload(trace); };
+
+    cache.getOrCompute(spec.name, {}, compute);
+    cache.clearMemory();
+    cache.getOrCompute(spec.name, {}, compute);
+
+    const ProfileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.diskHits, 1u);
+}
+
+TEST(ProfileCache, FailedComputationIsRetriable)
+{
+    ProfileCache cache;
+    EXPECT_THROW(
+        cache.getOrCompute("flaky", {},
+                           []() -> WorkloadProfile {
+                               throw std::runtime_error("profiler died");
+                           }),
+        std::runtime_error);
+
+    // The failure was not cached: a later attempt succeeds.
+    const WorkloadSpec spec = cacheSpec("flaky");
+    const auto profile = cache.getOrCompute("flaky", {}, [&] {
+        return profileWorkload(generateWorkload(spec));
+    });
+    EXPECT_EQ(profile->name, "flaky");
+}
+
+} // namespace
+} // namespace rppm
