@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Performance micro-harness for the hot path: trace build, columnar
+ * conversion, profiling (fused vs. legacy reference), single prediction
+ * and a full Study-grid evaluation, per workload kernel.
+ *
+ * Emits machine-readable JSON (schema "rppm-bench-perf-1") and can check
+ * the measurements against a committed baseline, failing the process on
+ * regression — this is what the CI perf-smoke job runs.
+ *
+ * Usage:
+ *   bench_perf [--kernels a,b,c | --kernels all] [--scale F]
+ *              [--repeat N] [--jobs N] [--out FILE]
+ *              [--baseline FILE [--max-regression F]]
+ *              [--min-profile-speedup F] [--write-baseline FILE]
+ *
+ * Timings are best-of-N (N = --repeat, default 3) to shave scheduler
+ * noise; the regression check compares the normalized ns/op metrics
+ * (profile_fused, predict, grid) against the baseline with a relative
+ * tolerance (default 0.25 = fail when >25% slower). The fused/legacy
+ * profile speedup is a machine-independent ratio and can be gated with
+ * --min-profile-speedup.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pipeline.hh"
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+#include "study/study.hh"
+#include "trace/columnar.hh"
+#include "workload/suite.hh"
+#include "workload/workload.hh"
+
+namespace {
+
+using namespace rppm;
+using namespace rppm::bench;
+using Clock = std::chrono::steady_clock;
+
+// Kernels with non-trivial multi-threaded memory interaction — the ones
+// whose profiling cost dominates real Study grids. This is the reduced
+// CI set; pass --kernels all for the full 26-kernel suite.
+const char *kDefaultKernels =
+    "bfs,cfd,srad,streamcluster,Canneal,Facesim,Fluidanimate,Vips";
+
+struct KernelResult
+{
+    std::string name;
+    std::string suite;
+    uint32_t threads = 0;
+    uint64_t ops = 0;
+    // Wall milliseconds, best of N.
+    std::map<std::string, double> ms;
+    double profileSpeedup = 0.0;
+
+    double
+    nsPerOp(const std::string &metric) const
+    {
+        auto it = ms.find(metric);
+        if (it == ms.end() || ops == 0)
+            return 0.0;
+        return it->second * 1e6 / static_cast<double>(ops);
+    }
+};
+
+double
+elapsedMs(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/** Best-of-N wall time of @p fn in milliseconds. */
+template <typename Fn>
+double
+bestOf(int repeat, Fn &&fn)
+{
+    double best = 1e300;
+    for (int r = 0; r < repeat; ++r) {
+        const auto t0 = Clock::now();
+        fn();
+        const auto t1 = Clock::now();
+        best = std::min(best, elapsedMs(t0, t1));
+    }
+    return best;
+}
+
+KernelResult
+measureKernel(const SuiteEntry &entry, double scale, int repeat,
+              unsigned jobs)
+{
+    KernelResult result;
+    const WorkloadSpec spec = scaleSpec(entry.spec, scale);
+    result.name = spec.name;
+    result.suite = entry.suite;
+    result.threads = spec.numThreads();
+
+    WorkloadTrace trace;
+    result.ms["build"] = bestOf(repeat, [&] {
+        trace = generateWorkload(spec);
+    });
+    result.ops = trace.totalOps();
+
+    ColumnarTrace cols;
+    result.ms["columnar"] = bestOf(repeat, [&] {
+        cols = ColumnarTrace::fromWorkload(trace);
+    });
+
+    WorkloadProfile profile;
+    result.ms["profile_fused"] = bestOf(repeat, [&] {
+        profile = profileWorkload(cols);
+    });
+    result.ms["profile_legacy"] = bestOf(repeat, [&] {
+        WorkloadProfile legacy = profileWorkloadLegacy(trace);
+        if (legacy.totalOps() != profile.totalOps())
+            std::fprintf(stderr, "warning: legacy/fused op mismatch\n");
+    });
+    result.profileSpeedup =
+        result.ms["profile_legacy"] / result.ms["profile_fused"];
+
+    const MulticoreConfig base = baseConfig();
+    result.ms["predict"] = bestOf(repeat, [&] {
+        const RppmPrediction pred = predict(profile, base);
+        if (pred.totalCycles <= 0.0)
+            std::fprintf(stderr, "warning: degenerate prediction\n");
+    });
+
+    // Full facade path: fresh Study per repeat (profiling included) so
+    // the number reflects what a cold grid evaluation actually costs.
+    result.ms["grid"] = bestOf(repeat, [&] {
+        Study study;
+        study.addWorkload(trace)
+            .addConfigs(tableIvConfigs())
+            .addEvaluator("rppm")
+            .jobs(jobs);
+        const StudyResult grid = study.run();
+        if (grid.cells().empty())
+            std::fprintf(stderr, "warning: empty grid\n");
+    });
+
+    return result;
+}
+
+// -------------------------------------------------------------- JSON ---
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string
+resultsToJson(const std::vector<KernelResult> &results, double scale,
+              int repeat, unsigned jobs)
+{
+    std::ostringstream os;
+    os.precision(6);
+    os << std::fixed;
+    os << "{\n"
+       << "  \"schema\": \"rppm-bench-perf-1\",\n"
+       << "  \"scale\": " << scale << ",\n"
+       << "  \"repeat\": " << repeat << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"kernels\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const KernelResult &r = results[i];
+        os << "    {\n"
+           << "      \"name\": \"" << jsonEscape(r.name) << "\",\n"
+           << "      \"suite\": \"" << jsonEscape(r.suite) << "\",\n"
+           << "      \"threads\": " << r.threads << ",\n"
+           << "      \"ops\": " << r.ops << ",\n";
+        for (const auto &[metric, ms] : r.ms) {
+            os << "      \"" << metric << "_ms\": " << ms << ",\n"
+               << "      \"" << metric << "_ns_per_op\": "
+               << r.nsPerOp(metric) << ",\n";
+        }
+        os << "      \"profile_speedup\": " << r.profileSpeedup << "\n"
+           << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.str();
+}
+
+/**
+ * Minimal JSON reader for the harness's own schema: parses objects,
+ * arrays, strings and numbers into flat per-kernel metric maps. Not a
+ * general-purpose parser — it only needs to read what resultsToJson
+ * wrote.
+ */
+class BaselineParser
+{
+  public:
+    explicit BaselineParser(const std::string &text) : s_(text) {}
+
+    /** kernel name -> (metric -> value). Throws std::runtime_error. */
+    std::map<std::string, std::map<std::string, double>>
+    parse()
+    {
+        std::map<std::string, std::map<std::string, double>> out;
+        // Find the "kernels" array and walk its objects.
+        seek("\"kernels\"");
+        expect('[');
+        skipWs();
+        while (peek() == '{') {
+            std::map<std::string, double> metrics;
+            std::string name;
+            expect('{');
+            skipWs();
+            while (peek() != '}') {
+                const std::string key = string();
+                expect(':');
+                skipWs();
+                if (peek() == '"') {
+                    const std::string value = string();
+                    if (key == "name")
+                        name = value;
+                } else {
+                    metrics[key] = number();
+                }
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    skipWs();
+                }
+            }
+            expect('}');
+            if (name.empty())
+                throw std::runtime_error("baseline kernel without name");
+            out[name] = std::move(metrics);
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                skipWs();
+            }
+        }
+        expect(']');
+        return out;
+    }
+
+  private:
+    void
+    seek(const std::string &needle)
+    {
+        const size_t at = s_.find(needle, pos_);
+        if (at == std::string::npos)
+            throw std::runtime_error("baseline JSON: missing " + needle);
+        pos_ = at + needle.size();
+        skipWs();
+        expect(':');
+        skipWs();
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+            ++pos_;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            throw std::runtime_error("baseline JSON: unexpected end");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (peek() != c) {
+            throw std::runtime_error(
+                std::string("baseline JSON: expected '") + c + "'");
+        }
+        ++pos_;
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (peek() != '"') {
+            char c = s_[pos_++];
+            if (c == '\\')
+                c = s_[pos_++];
+            out.push_back(c);
+        }
+        ++pos_;
+        return out;
+    }
+
+    double
+    number()
+    {
+        skipWs();
+        size_t end = pos_;
+        while (end < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[end])) ||
+                s_[end] == '.' || s_[end] == '-' || s_[end] == '+' ||
+                s_[end] == 'e' || s_[end] == 'E')) {
+            ++end;
+        }
+        if (end == pos_)
+            throw std::runtime_error("baseline JSON: expected number");
+        const double v = std::stod(s_.substr(pos_, end - pos_));
+        pos_ = end;
+        return v;
+    }
+
+    const std::string &s_;
+    size_t pos_ = 0;
+};
+
+// -------------------------------------------------------- regression ---
+
+/** Metrics gated against the baseline (normalized per-op, so trace size
+ *  changes show up too). */
+const char *kGatedMetrics[] = {"profile_fused_ns_per_op",
+                               "predict_ns_per_op", "grid_ns_per_op"};
+
+int
+checkRegressions(const std::vector<KernelResult> &results,
+                 const std::string &baseline_path, double max_regression,
+                 double min_profile_speedup)
+{
+    std::ifstream is(baseline_path);
+    if (!is) {
+        std::fprintf(stderr, "bench_perf: cannot open baseline %s\n",
+                     baseline_path.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::map<std::string, std::map<std::string, double>> baseline;
+    try {
+        baseline = BaselineParser(buf.str()).parse();
+    } catch (const std::exception &ex) {
+        std::fprintf(stderr, "bench_perf: bad baseline: %s\n", ex.what());
+        return 2;
+    }
+
+    int failures = 0;
+    for (const KernelResult &r : results) {
+        const auto base_it = baseline.find(r.name);
+        if (base_it == baseline.end()) {
+            std::printf("  %-16s (no baseline entry, skipped)\n",
+                        r.name.c_str());
+            continue;
+        }
+        for (const char *metric : kGatedMetrics) {
+            const auto m = base_it->second.find(metric);
+            if (m == base_it->second.end() || m->second <= 0.0)
+                continue;
+            const std::string bare(metric,
+                                   std::strlen(metric) -
+                                       std::strlen("_ns_per_op"));
+            const double now = r.nsPerOp(bare);
+            const double ratio = now / m->second;
+            const bool bad = ratio > 1.0 + max_regression;
+            std::printf("  %-16s %-24s %8.1f -> %8.1f ns/op (%+5.1f%%)%s\n",
+                        r.name.c_str(), metric, m->second, now,
+                        (ratio - 1.0) * 100.0, bad ? "  REGRESSION" : "");
+            if (bad)
+                ++failures;
+        }
+        if (min_profile_speedup > 0.0 &&
+            r.profileSpeedup < min_profile_speedup) {
+            std::printf("  %-16s profile_speedup %.2fx < required %.2fx"
+                        "  REGRESSION\n",
+                        r.name.c_str(), r.profileSpeedup,
+                        min_profile_speedup);
+            ++failures;
+        }
+    }
+    if (failures > 0) {
+        std::fprintf(stderr,
+                     "bench_perf: %d metric(s) regressed beyond %.0f%%\n",
+                     failures, max_regression * 100.0);
+        return 1;
+    }
+    std::printf("bench_perf: no regressions (tolerance %.0f%%)\n",
+                max_regression * 100.0);
+    return 0;
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "bench_perf: cannot write %s\n", path.c_str());
+        std::exit(2);
+    }
+    os << content;
+}
+
+std::vector<std::string>
+splitCsv(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string kernels = kDefaultKernels;
+    // Default to the gitignored scratch name so casual local runs never
+    // clobber the committed full-scale BENCH_results.json; CI and
+    // intentional refreshes pass --out BENCH_results.json explicitly.
+    std::string out_path = "BENCH_results.local.json";
+    std::string baseline_path;
+    std::string write_baseline_path;
+    double scale = 0.25;
+    double max_regression = 0.25;
+    double min_profile_speedup = 0.0;
+    int repeat = 3;
+    unsigned jobs = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "bench_perf: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--kernels") {
+            kernels = next();
+        } else if (arg == "--scale") {
+            scale = std::stod(next());
+        } else if (arg == "--repeat") {
+            repeat = std::max(1, std::atoi(next().c_str()));
+        } else if (arg == "--jobs") {
+            jobs = static_cast<unsigned>(
+                std::max(1, std::atoi(next().c_str())));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--max-regression") {
+            max_regression = std::stod(next());
+        } else if (arg == "--min-profile-speedup") {
+            min_profile_speedup = std::stod(next());
+        } else if (arg == "--write-baseline") {
+            write_baseline_path = next();
+        } else if (arg == "--list") {
+            for (const SuiteEntry &e : fullSuite())
+                std::printf("%s\n", e.spec.name.c_str());
+            return 0;
+        } else {
+            std::fprintf(stderr, "bench_perf: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<SuiteEntry> entries;
+    if (kernels == "all") {
+        entries = fullSuite();
+    } else {
+        for (const std::string &name : splitCsv(kernels)) {
+            const auto entry = findBenchmark(name);
+            if (!entry) {
+                std::fprintf(stderr, "bench_perf: unknown kernel %s\n",
+                             name.c_str());
+                return 2;
+            }
+            entries.push_back(*entry);
+        }
+    }
+
+    std::printf("bench_perf: %zu kernel(s), scale %.2f, best of %d\n",
+                entries.size(), scale, repeat);
+    std::vector<KernelResult> results;
+    for (const SuiteEntry &entry : entries) {
+        KernelResult r = measureKernel(entry, scale, repeat, jobs);
+        std::printf("  %-16s ops=%8llu build=%7.1fms profile=%7.1fms "
+                    "(legacy %7.1fms, %.2fx) predict=%6.2fms grid=%7.1fms\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.ops), r.ms["build"],
+                    r.ms["profile_fused"], r.ms["profile_legacy"],
+                    r.profileSpeedup, r.ms["predict"], r.ms["grid"]);
+        results.push_back(std::move(r));
+    }
+
+    const std::string json = resultsToJson(results, scale, repeat, jobs);
+    writeFileOrDie(out_path, json);
+    std::printf("bench_perf: wrote %s\n", out_path.c_str());
+    if (!write_baseline_path.empty()) {
+        writeFileOrDie(write_baseline_path, json);
+        std::printf("bench_perf: wrote baseline %s\n",
+                    write_baseline_path.c_str());
+    }
+
+    if (!baseline_path.empty()) {
+        return checkRegressions(results, baseline_path, max_regression,
+                                min_profile_speedup);
+    }
+    return 0;
+}

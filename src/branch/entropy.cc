@@ -10,19 +10,33 @@
 namespace rppm {
 
 void
-BranchEntropyProfile::record(uint64_t pc, bool taken)
+BranchEntropyProfile::grow(size_t new_cap)
 {
-    Counts &c = counts_[pc];
-    ++c.total;
-    if (taken)
-        ++c.taken;
-    ++total_;
+    std::vector<uint8_t> old_used = std::move(used_);
+    std::vector<uint64_t> old_pcs = std::move(pcs_);
+    std::vector<Counts> old_counts = std::move(counts_);
+
+    used_.assign(new_cap, 0);
+    pcs_.assign(new_cap, 0);
+    counts_.assign(new_cap, Counts{});
+
+    const size_t mask = new_cap - 1;
+    for (size_t i = 0; i < old_used.size(); ++i) {
+        if (!old_used[i])
+            continue;
+        size_t j = static_cast<size_t>(mix64(old_pcs[i])) & mask;
+        while (used_[j])
+            j = (j + 1) & mask;
+        used_[j] = 1;
+        pcs_[j] = old_pcs[i];
+        counts_[j] = old_counts[i];
+    }
 }
 
 void
 BranchEntropyProfile::addCounts(uint64_t pc, uint64_t taken, uint64_t total)
 {
-    Counts &c = counts_[pc];
+    Counts &c = slot(pc);
     c.taken += taken;
     c.total += total;
     total_ += total;
@@ -31,11 +45,11 @@ BranchEntropyProfile::addCounts(uint64_t pc, uint64_t taken, uint64_t total)
 void
 BranchEntropyProfile::merge(const BranchEntropyProfile &other)
 {
-    for (const auto &[pc, c] : other.counts_) {
-        Counts &mine = counts_[pc];
-        mine.taken += c.taken;
-        mine.total += c.total;
-    }
+    other.forEach([this](uint64_t pc, uint64_t taken, uint64_t total) {
+        Counts &mine = slot(pc);
+        mine.taken += taken;
+        mine.total += total;
+    });
     total_ += other.total_;
 }
 
@@ -45,11 +59,11 @@ BranchEntropyProfile::averageLinearEntropy() const
     if (total_ == 0)
         return 0.0;
     double weighted = 0.0;
-    for (const auto &[pc, c] : counts_) {
+    forEach([&weighted](uint64_t, uint64_t taken, uint64_t total) {
         const double p =
-            static_cast<double>(c.taken) / static_cast<double>(c.total);
-        weighted += 2.0 * p * (1.0 - p) * static_cast<double>(c.total);
-    }
+            static_cast<double>(taken) / static_cast<double>(total);
+        weighted += 2.0 * p * (1.0 - p) * static_cast<double>(total);
+    });
     return weighted / static_cast<double>(total_);
 }
 

@@ -16,10 +16,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "arch/config.hh"
+#include "common/hash.hh"
 
 namespace rppm {
 
@@ -36,8 +36,17 @@ namespace rppm {
 class BranchEntropyProfile
 {
   public:
-    /** Record one dynamic branch outcome. */
-    void record(uint64_t pc, bool taken);
+    /** Record one dynamic branch outcome. Inline: called once per
+     *  dynamic branch on the profiler hot path. */
+    void
+    record(uint64_t pc, bool taken)
+    {
+        Counts &c = slot(pc);
+        ++c.total;
+        if (taken)
+            ++c.taken;
+        ++total_;
+    }
 
     /** Merge another profile (same PC space). */
     void merge(const BranchEntropyProfile &other);
@@ -52,18 +61,21 @@ class BranchEntropyProfile
     double averageLinearEntropy() const;
 
     /** Number of distinct static branches. */
-    size_t staticBranches() const { return counts_.size(); }
+    size_t staticBranches() const { return size_; }
 
     /** Bulk-insert per-branch counts (deserialization). */
     void addCounts(uint64_t pc, uint64_t taken, uint64_t total);
 
-    /** Visit every static branch as (pc, taken, total). */
+    /** Visit every static branch as (pc, taken, total). Iteration order
+     *  is unspecified (consumers that need determinism sort by pc). */
     template <typename Fn>
     void
     forEach(Fn &&fn) const
     {
-        for (const auto &[pc, c] : counts_)
-            fn(pc, c.taken, c.total);
+        for (size_t i = 0; i < used_.size(); ++i) {
+            if (used_[i])
+                fn(pcs_[i], counts_[i].taken, counts_[i].total);
+        }
     }
 
   private:
@@ -72,7 +84,34 @@ class BranchEntropyProfile
         uint64_t taken = 0;
         uint64_t total = 0;
     };
-    std::unordered_map<uint64_t, Counts> counts_;
+
+    /** Open-addressing slot for @p pc, inserting an empty entry. */
+    Counts &
+    slot(uint64_t pc)
+    {
+        if ((size_ + 1) * 10 >= used_.size() * 7)
+            grow(used_.size() == 0 ? 256 : used_.size() * 2);
+        const size_t mask = used_.size() - 1;
+        size_t i = static_cast<size_t>(mix64(pc)) & mask;
+        while (true) {
+            if (!used_[i]) {
+                used_[i] = 1;
+                pcs_[i] = pc;
+                ++size_;
+                return counts_[i];
+            }
+            if (pcs_[i] == pc)
+                return counts_[i];
+            i = (i + 1) & mask;
+        }
+    }
+
+    void grow(size_t new_cap);
+
+    std::vector<uint8_t> used_;
+    std::vector<uint64_t> pcs_;
+    std::vector<Counts> counts_;
+    size_t size_ = 0;
     uint64_t total_ = 0;
 };
 

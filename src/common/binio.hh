@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Minimal binary container primitives shared by the trace and profile
+ * serializers.
+ *
+ * Layout discipline (the "RPPM binary container"):
+ *  - a fixed-size header: 8-byte magic, an endianness marker, a format
+ *    version — readers reject anything they do not understand;
+ *  - after the header, a sequence of *blocks*: a 16-byte block header
+ *    (u32 tag, u32 element size, u64 element count) followed by the raw
+ *    element data, padded to 8-byte alignment.
+ *
+ * Because every block states its size up front and data is 8-byte
+ * aligned, a consumer can mmap the file and point straight into the
+ * column payloads without parsing them; the stream-based reader here
+ * does the same bounds checking over an in-memory buffer.
+ *
+ * All multi-byte values are in host byte order; the endianness marker in
+ * the header makes cross-endian files fail loudly instead of silently
+ * decoding garbage.
+ */
+
+#ifndef RPPM_COMMON_BINIO_HH
+#define RPPM_COMMON_BINIO_HH
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rppm {
+
+/** Marker written after the magic; a mismatch means a foreign-endian
+ *  (or corrupt) file. */
+constexpr uint32_t kBinEndianMarker = 0x01020304u;
+
+/** Append-only builder for the binary container. */
+class BinWriter
+{
+  public:
+    /** Start a container: magic (exactly 8 bytes), endianness, version. */
+    BinWriter(const char magic[8], uint32_t version)
+    {
+        buf_.append(magic, 8);
+        u32(kBinEndianMarker);
+        u32(version);
+    }
+
+    void u8(uint8_t v) { raw(&v, sizeof(v)); }
+    void u16(uint16_t v) { raw(&v, sizeof(v)); }
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+    void f64(double v) { raw(&v, sizeof(v)); }
+
+    /** Length-prefixed string, padded to 8 bytes. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+        pad8();
+    }
+
+    /** One column block: header + raw element data. The block is padded
+     *  to 8-byte alignment on both ends, so block headers and element
+     *  payloads always start at 8-byte offsets regardless of what scalar
+     *  fields precede them — this is what keeps the format mmap-safe. */
+    template <typename T>
+    void
+    column(uint32_t tag, const std::vector<T> &data)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        pad8();
+        u32(tag);
+        u32(static_cast<uint32_t>(sizeof(T)));
+        u64(data.size());
+        raw(data.data(), data.size() * sizeof(T));
+        pad8();
+    }
+
+    const std::string &data() const { return buf_; }
+
+  private:
+    void
+    raw(const void *p, size_t n)
+    {
+        buf_.append(static_cast<const char *>(p), n);
+    }
+
+    void
+    pad8()
+    {
+        while (buf_.size() % 8 != 0)
+            buf_.push_back('\0');
+    }
+
+    std::string buf_;
+};
+
+/** Bounds-checked reader over an in-memory container image. */
+class BinReader
+{
+  public:
+    /**
+     * Bind to @p data and validate the header. Throws
+     * std::invalid_argument on bad magic, foreign endianness, or a
+     * version other than @p expect_version (old/new formats are rejected,
+     * never half-decoded).
+     */
+    BinReader(const std::string &data, const char magic[8],
+              uint32_t expect_version)
+        : p_(data.data()), end_(data.data() + data.size()), base_(p_)
+    {
+        char seen[8];
+        bytes(seen, 8, "magic");
+        if (std::memcmp(seen, magic, 8) != 0)
+            fail("bad magic (not this container format)");
+        if (u32("endianness") != kBinEndianMarker)
+            fail("foreign byte order");
+        const uint32_t version = u32("version");
+        if (version != expect_version) {
+            fail("unsupported format version " + std::to_string(version) +
+                 " (expected " + std::to_string(expect_version) + ")");
+        }
+    }
+
+    void
+    bytes(void *out, size_t n, const char *what)
+    {
+        if (remaining() < n)
+            fail(std::string("truncated input reading ") + what);
+        std::memcpy(out, p_, n);
+        p_ += n;
+    }
+
+    uint8_t u8(const char *what) { return pod<uint8_t>(what); }
+    uint16_t u16(const char *what) { return pod<uint16_t>(what); }
+    uint32_t u32(const char *what) { return pod<uint32_t>(what); }
+    uint64_t u64(const char *what) { return pod<uint64_t>(what); }
+    double f64(const char *what) { return pod<double>(what); }
+
+    std::string
+    str(const char *what)
+    {
+        const uint64_t n = u64(what);
+        if (n > remaining())
+            fail(std::string("truncated string: ") + what);
+        std::string s(p_, n);
+        p_ += n;
+        skipPad8();
+        return s;
+    }
+
+    /** Read one column block; the tag and element size must match. */
+    template <typename T>
+    std::vector<T>
+    column(uint32_t tag, const char *what)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        skipPad8();
+        const uint32_t seen_tag = u32(what);
+        if (seen_tag != tag)
+            fail(std::string("unexpected block tag for ") + what);
+        const uint32_t elem = u32(what);
+        if (elem != sizeof(T))
+            fail(std::string("element size mismatch in ") + what);
+        const uint64_t count = u64(what);
+        if (count > remaining() / sizeof(T))
+            fail(std::string("truncated column: ") + what);
+        std::vector<T> data(count);
+        if (count > 0)
+            std::memcpy(data.data(), p_, count * sizeof(T));
+        p_ += count * sizeof(T);
+        skipPad8();
+        return data;
+    }
+
+    /** True once the whole image has been consumed. */
+    bool atEnd() const { return p_ == end_; }
+
+    /** Bytes left in the image; use to sanity-bound untrusted counts
+     *  before reserving memory for them. */
+    size_t remainingBytes() const { return remaining(); }
+
+    [[noreturn]] void
+    fail(const std::string &msg) const
+    {
+        throw std::invalid_argument("binary container: " + msg);
+    }
+
+  private:
+    template <typename T>
+    T
+    pod(const char *what)
+    {
+        if (remaining() < sizeof(T))
+            fail(std::string("truncated input reading ") + what);
+        T v;
+        std::memcpy(&v, p_, sizeof(T));
+        p_ += sizeof(T);
+        return v;
+    }
+
+    size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+    void
+    skipPad8()
+    {
+        const size_t off = static_cast<size_t>(p_ - base_);
+        const size_t pad = (8 - off % 8) % 8;
+        if (pad > remaining())
+            fail("truncated padding");
+        p_ += pad;
+    }
+
+    const char *p_;
+    const char *end_;
+    const char *base_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_BINIO_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Shared hashing helper for the open-addressing tables on the profiler
+ * hot path (per-line reuse state, instruction lines, branch counts).
+ */
+
+#ifndef RPPM_COMMON_HASH_HH
+#define RPPM_COMMON_HASH_HH
+
+#include <cstdint>
+
+namespace rppm {
+
+/** splitmix64 finalizer; good avalanche for line/pc integer keys. */
+inline uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_HASH_HH

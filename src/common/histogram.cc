@@ -1,24 +1,8 @@
 #include "common/histogram.hh"
 
-#include <algorithm>
-#include <bit>
-
 #include "common/assert.hh"
 
 namespace rppm {
-
-namespace {
-
-// Values 0..kLinearMax-1 get one bucket each; above that, each power-of-two
-// decade is split into kSubBuckets sub-buckets.
-constexpr uint64_t kLinearMax = 16;
-constexpr int kSubBuckets = 4;
-constexpr int kMaxLog2 = 40; // covers reuse distances up to ~1.1e12
-
-constexpr size_t kTotalBuckets =
-    kLinearMax + static_cast<size_t>(kMaxLog2 - 4) * kSubBuckets;
-
-} // namespace
 
 LogHistogram::LogHistogram() : infinite_(0), totalFinite_(0)
 {
@@ -30,20 +14,6 @@ size_t
 LogHistogram::numBuckets()
 {
     return kTotalBuckets;
-}
-
-size_t
-LogHistogram::bucketIndex(uint64_t value)
-{
-    if (value < kLinearMax)
-        return static_cast<size_t>(value);
-    const int log2 = 63 - std::countl_zero(value);
-    // Sub-bucket within the [2^log2, 2^(log2+1)) decade.
-    const uint64_t offset = value - (uint64_t{1} << log2);
-    const uint64_t sub = (offset * kSubBuckets) >> log2;
-    size_t idx = kLinearMax +
-        static_cast<size_t>(log2 - 4) * kSubBuckets + static_cast<size_t>(sub);
-    return std::min(idx, kTotalBuckets - 1);
 }
 
 uint64_t
@@ -74,21 +44,6 @@ LogHistogram::bucketMid(size_t index)
     const uint64_t lo = bucketLo(index);
     const uint64_t hi = bucketHi(index);
     return lo + (hi - lo) / 2;
-}
-
-void
-LogHistogram::add(uint64_t value, uint64_t count)
-{
-    if (count == 0)
-        return;
-    if (value == kInfinity) {
-        infinite_ += count;
-        return;
-    }
-    if (counts_.empty())
-        counts_.assign(kTotalBuckets, 0);
-    counts_[bucketIndex(value)] += count;
-    totalFinite_ += count;
 }
 
 void

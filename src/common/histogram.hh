@@ -12,6 +12,8 @@
 #ifndef RPPM_COMMON_HISTOGRAM_HH
 #define RPPM_COMMON_HISTOGRAM_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -33,8 +35,22 @@ class LogHistogram
 
     LogHistogram();
 
-    /** Add @p count samples of value @p value. */
-    void add(uint64_t value, uint64_t count = 1);
+    /** Add @p count samples of value @p value. Inline: this is called
+     *  one-to-three times per micro-op on the profiler's hot path. */
+    void
+    add(uint64_t value, uint64_t count = 1)
+    {
+        if (count == 0)
+            return;
+        if (value == kInfinity) {
+            infinite_ += count;
+            return;
+        }
+        if (counts_.empty())
+            counts_.resize(kTotalBuckets);
+        counts_[bucketIndex(value)] += count;
+        totalFinite_ += count;
+    }
 
     /** Merge another histogram into this one. */
     void merge(const LogHistogram &other);
@@ -98,10 +114,31 @@ class LogHistogram
     /** Midpoint of bucket @p index, used as its representative value. */
     static uint64_t bucketMid(size_t index);
 
-    /** Bucket index for @p value. */
-    static size_t bucketIndex(uint64_t value);
+    /** Bucket index for @p value. Inline: profiler hot path. */
+    static size_t
+    bucketIndex(uint64_t value)
+    {
+        if (value < kLinearMax)
+            return static_cast<size_t>(value);
+        const int log2 = 63 - std::countl_zero(value);
+        // Sub-bucket within the [2^log2, 2^(log2+1)) decade.
+        const uint64_t offset = value - (uint64_t{1} << log2);
+        const uint64_t sub = (offset * kSubBuckets) >> log2;
+        const size_t idx = kLinearMax +
+            static_cast<size_t>(log2 - 4) * kSubBuckets +
+            static_cast<size_t>(sub);
+        return std::min(idx, kTotalBuckets - 1);
+    }
 
   private:
+    // Values 0..kLinearMax-1 get one bucket each; above that, each
+    // power-of-two decade is split into kSubBuckets sub-buckets.
+    static constexpr uint64_t kLinearMax = 16;
+    static constexpr int kSubBuckets = 4;
+    static constexpr int kMaxLog2 = 40; // reuse distances up to ~1.1e12
+    static constexpr size_t kTotalBuckets =
+        kLinearMax + static_cast<size_t>(kMaxLog2 - 4) * kSubBuckets;
+
     std::vector<uint64_t> counts_;
     uint64_t infinite_;
     uint64_t totalFinite_;

@@ -1,33 +1,270 @@
+/**
+ * @file
+ * Fused single-pass profiler over the columnar trace.
+ *
+ * One sweep over the columns feeds every model component simultaneously:
+ * ILP (dependence distances, sampled micro-traces), MLP (load gaps,
+ * load-on-load chains), branch entropy, memory/StatStack reuse-distance
+ * distributions, and the synchronization profile. Structural validation
+ * and barrier populations come from the sparse sync columns
+ * (ColumnarTrace::validateAndBarrierPopulations), so nothing walks the
+ * full record stream more than once.
+ *
+ * The functional replay (round-robin quanta, functional synchronization,
+ * write-invalidation detection) is semantically identical to the
+ * reference implementation in profiler_legacy.cc — tests assert the two
+ * produce bit-identical profiles. What changed is the data layout: the
+ * per-line reuse/coherence state and the per-thread instruction-line
+ * state live in open-addressing tables with flat per-thread rows instead
+ * of std::unordered_map nodes, and micro-op runs between sync events are
+ * processed without per-record sync checks.
+ */
+
 #include "profile/profiler.hh"
 
 #include <algorithm>
+#include <array>
+#include <memory>
 #include <set>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "common/assert.hh"
+#include "common/hash.hh"
 #include "sim/sync_state.hh"
+#include "trace/columnar.hh"
 
 namespace rppm {
 
 namespace {
 
-/** Per-line reuse / coherence tracking state. */
-struct LineState
+/**
+ * Open-addressing table of per-line reuse/coherence state with flat
+ * per-thread rows. Keys are stored as line+1 so 0 can mean "empty"
+ * (line numbers are addr / lineBytes < 2^58, so +1 never wraps). The
+ * shared scalar state is interleaved in one struct and the per-thread
+ * (count, seq) pair is adjacent in memory, so an access touches two
+ * cache lines instead of five.
+ */
+class LineTable
 {
-    uint64_t lastGlobalSeq = 0;     ///< last access by any thread (1-based)
-    uint64_t lastWriteSeq = 0;      ///< last write by any thread (1-based)
-    uint32_t lastWriter = UINT32_MAX;
-    /** Per-thread: (local access counter, global seq) of the thread's
-     *  most recent access to this line; 0 = never accessed. */
-    std::vector<std::pair<uint64_t, uint64_t>> perThread;
+  public:
+    /** One hash slot: key and shared per-line scalar state together, so
+     *  the probe and the state update touch the same cache line. Kept
+     *  trivial (no default member initializers): slots live in
+     *  deliberately uninitialized arrays and are only written on claim —
+     *  implicit zero-construction would memset the whole presized table
+     *  on every profile call. */
+    struct Meta
+    {
+        uint64_t key; ///< line+1; 0 = empty slot (used_ is authoritative)
+        uint64_t lastGlobalSeq;
+        uint64_t lastWriteSeq;
+        uint32_t lastWriter;
+        uint32_t pad;
+    };
+
+    /** One thread's view of one line; trivial for the same reason. */
+    struct PerThread
+    {
+        uint64_t count; ///< thread-local access counter at last touch
+        uint64_t seq;   ///< global sequence number at last touch
+    };
+
+    /**
+     * @param num_threads workload thread count
+     * @param mem_ops total dynamic memory accesses, used to presize the
+     *        table: distinct lines cannot exceed mem_ops, and empirically
+     *        run well below half of it, so presizing to ~mem_ops/2 slots
+     *        (bounded to keep degenerate traces cheap) avoids mid-sweep
+     *        rehashes of the whole table.
+     */
+    LineTable(uint32_t num_threads, uint64_t mem_ops)
+        : threads_(num_threads)
+    {
+        uint64_t cap = uint64_t{1} << 16;
+        const uint64_t want = std::min<uint64_t>(mem_ops / 2,
+                                                 uint64_t{1} << 20);
+        while (cap < want)
+            cap *= 2;
+        grow(static_cast<size_t>(cap));
+    }
+
+    /** Slot for @p line, inserting zero-initialized state if absent. */
+    size_t
+    slot(uint64_t line)
+    {
+        if ((size_ + 1) * 10 >= cap_ * 7)
+            grow(cap_ * 2);
+        const uint64_t key = line + 1;
+        size_t i = static_cast<size_t>(mix64(key)) & mask_;
+        while (true) {
+            if (!used_[i]) {
+                used_[i] = 1;
+                meta_[i] = Meta{key, 0, 0, UINT32_MAX, 0};
+                for (uint32_t t = 0; t < threads_; ++t)
+                    pt_[i * threads_ + t] = PerThread{};
+                ++size_;
+                return i;
+            }
+            if (meta_[i].key == key)
+                return i;
+            i = (i + 1) & mask_;
+        }
+    }
+
+    Meta &meta(size_t s) { return meta_[s]; }
+    PerThread &perThread(size_t s, uint32_t tid)
+    {
+        return pt_[s * threads_ + tid];
+    }
+
+  private:
+    void
+    grow(size_t new_cap)
+    {
+        std::vector<uint8_t> old_used = std::move(used_);
+        auto old_meta = std::move(meta_);
+        auto old_pt = std::move(pt_);
+        const size_t old_cap = cap_;
+
+        cap_ = new_cap;
+        mask_ = cap_ - 1;
+        // Only the occupancy bytes are zeroed up front (cap_ bytes); the
+        // wide slot and per-thread arrays stay uninitialized until their
+        // slot is claimed. Presizing for hundreds of thousands of lines
+        // would otherwise spend more time in memset than the rehashes it
+        // avoids.
+        used_.assign(cap_, 0);
+        meta_ = std::make_unique_for_overwrite<Meta[]>(cap_);
+        pt_ = std::make_unique_for_overwrite<PerThread[]>(cap_ * threads_);
+
+        for (size_t i = 0; i < old_cap; ++i) {
+            if (!old_used[i])
+                continue;
+            size_t j =
+                static_cast<size_t>(mix64(old_meta[i].key)) & mask_;
+            while (used_[j])
+                j = (j + 1) & mask_;
+            used_[j] = 1;
+            meta_[j] = old_meta[i];
+            for (uint32_t t = 0; t < threads_; ++t)
+                pt_[j * threads_ + t] = old_pt[i * threads_ + t];
+        }
+    }
+
+    uint32_t threads_;
+    size_t cap_ = 0;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+    std::vector<uint8_t> used_;
+    std::unique_ptr<Meta[]> meta_;
+    std::unique_ptr<PerThread[]> pt_;
+};
+
+/** Open-addressing map line -> sequence number (instruction stream). */
+class SeqTable
+{
+  public:
+    SeqTable() { grow(1u << 8); }
+
+    /**
+     * Value slot for @p key; @p inserted reports whether the key was
+     * fresh (value zero-initialized), mirroring try_emplace.
+     */
+    uint64_t &
+    lookup(uint64_t key_in, bool &inserted)
+    {
+        if ((size_ + 1) * 10 >= cap_ * 7)
+            grow(cap_ * 2);
+        const uint64_t key = key_in + 1;
+        size_t i = static_cast<size_t>(mix64(key)) & mask_;
+        while (true) {
+            if (keys_[i] == 0) {
+                keys_[i] = key;
+                ++size_;
+                inserted = true;
+                return vals_[i];
+            }
+            if (keys_[i] == key) {
+                inserted = false;
+                return vals_[i];
+            }
+            i = (i + 1) & mask_;
+        }
+    }
+
+  private:
+    void
+    grow(size_t new_cap)
+    {
+        std::vector<uint64_t> old_keys = std::move(keys_);
+        std::vector<uint64_t> old_vals = std::move(vals_);
+        cap_ = new_cap;
+        mask_ = cap_ - 1;
+        keys_.assign(cap_, 0);
+        vals_.assign(cap_, 0);
+        for (size_t i = 0; i < old_keys.size(); ++i) {
+            if (old_keys[i] == 0)
+                continue;
+            size_t j = static_cast<size_t>(mix64(old_keys[i])) & mask_;
+            while (keys_[j] != 0)
+                j = (j + 1) & mask_;
+            keys_[j] = old_keys[i];
+            vals_[j] = old_vals[i];
+        }
+    }
+
+    size_t cap_ = 0;
+    size_t mask_ = 0;
+    size_t size_ = 0;
+    std::vector<uint64_t> keys_;
+    std::vector<uint64_t> vals_;
+};
+
+/**
+ * Instruction-line -> last-fetch map. PC lines are small and dense for
+ * every realistic code footprint, so the common case is a flat array
+ * indexed by line (0 = never fetched; fetch counters start at 1); lines
+ * beyond the flat range fall back to the open-addressing SeqTable.
+ * Semantically identical to the legacy unordered_map<line, seq>.
+ */
+class InstrLineMap
+{
+  public:
+    static constexpr uint64_t kFlatLines = 1u << 16;
+
+    InstrLineMap() { flat_.assign(kFlatLines, 0); }
+
+    /** Last-fetch slot for @p line; @p inserted = first fetch of it. */
+    uint64_t &
+    lookup(uint64_t line, bool &inserted)
+    {
+        if (line < kFlatLines) {
+            uint64_t &v = flat_[line];
+            inserted = v == 0;
+            return v;
+        }
+        return overflow_.lookup(line, inserted);
+    }
+
+  private:
+    std::vector<uint64_t> flat_;
+    SeqTable overflow_;
 };
 
 /** Per-thread profiling cursor and scratch state. */
 struct ThreadState
 {
-    size_t next = 0;               ///< next record index in the trace
+    // --- Column cursors.
+    size_t next = 0;     ///< next record index
+    size_t memIdx = 0;   ///< next entry in the sparse addr column
+    size_t brIdx = 0;    ///< next entry in the sparse taken column
+    size_t syncIdx = 0;  ///< next entry in the sparse sync columns
     bool done = false;
+
+    // --- Profiling state (identical to the legacy implementation).
     uint64_t localDataSeq = 0;     ///< this thread's data access counter
     uint64_t instrSeq = 0;         ///< this thread's fetch counter
     uint64_t opsInEpoch = 0;
@@ -37,22 +274,26 @@ struct ThreadState
     /** Ring of recent op classes for load->load dependence detection. */
     std::vector<OpClass> recentOps;
     uint64_t emitted = 0;
-    std::unordered_map<uint64_t, uint64_t> instrLast; ///< pc line -> seq
+    InstrLineMap instrLast; ///< pc line -> seq
 };
 
 } // namespace
 
 WorkloadProfile
-profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
+profileWorkload(const ColumnarTrace &trace, const ProfilerOptions &opts)
 {
-    trace.validate();
     const uint32_t num_threads = static_cast<uint32_t>(trace.numThreads());
 
     WorkloadProfile profile;
     profile.name = trace.name;
     profile.numThreads = num_threads;
     profile.threads.resize(num_threads);
-    profile.barrierPopulation = barrierPopulations(trace);
+    // The replay below indexes the sparse columns blindly, so a
+    // hand-assembled trace must be internally consistent (cheap: only
+    // the 1-byte op column is scanned densely).
+    trace.validateColumnConsistency();
+    // Fused pre-pass: validation + barrier sizing from the sync columns.
+    profile.barrierPopulation = trace.validateAndBarrierPopulations();
 
     // Functional synchronization replay: "time" is the global record
     // step counter, only used to order wakeups.
@@ -68,7 +309,10 @@ profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
         profile.threads[t].epochs.emplace_back();
     }
 
-    std::unordered_map<uint64_t, LineState> lines;
+    uint64_t total_mem_ops = 0;
+    for (const ThreadColumns &cols : trace.threads)
+        total_mem_ops += cols.addr.size();
+    LineTable lines(num_threads, total_mem_ops);
     uint64_t global_seq = 0;
     uint64_t step = 0;
 
@@ -88,127 +332,183 @@ profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
         ts.microTraceRemaining = 0;
     };
 
-    auto process_op = [&](uint32_t tid, const TraceRecord &rec) {
-        ThreadState &ts = state[tid];
-        EpochProfile &ep = profile.threads[tid].epochs.back();
-
-        // Micro-trace sampling policy: a snippet at each epoch start and
-        // then one every microTraceInterval ops.
-        if (ts.microTraceRemaining == 0 &&
-            ts.opsInEpoch >= ts.nextMicroTraceAt) {
-            ep.microTraces.emplace_back();
-            ts.microTraceRemaining = opts.microTraceLength;
-            ts.nextMicroTraceAt = ts.opsInEpoch + opts.microTraceInterval;
+    // One run of pure micro-ops [start, end) of thread tid — no sync
+    // records inside, so the epoch and thread state are stable. The
+    // per-component statistics are *fissioned* into tight per-column
+    // loops: every statistic below is a histogram or counter whose
+    // content does not depend on the interleaving of the component
+    // updates, only on the per-component order, which each loop
+    // preserves. The union of the loops is a field-for-field port of the
+    // legacy per-record process_op.
+    auto process_run = [&](uint32_t tid, const ThreadColumns &cols,
+                           ThreadState &ts, EpochProfile &ep,
+                           size_t start, size_t end) {
+        // --- Instruction mix (op column only).
+        {
+            std::array<uint64_t, kNumOpClasses> mix_local{};
+            for (size_t i = start; i < end; ++i)
+                ++mix_local[static_cast<size_t>(cols.op[i])];
+            for (size_t c = 0; c < kNumOpClasses; ++c)
+                ep.mix[c] += mix_local[c];
+            ep.numOps += end - start;
         }
 
-        ++ep.numOps;
-        ++ep.mix[static_cast<size_t>(rec.op)];
-        if (rec.dep1)
-            ep.depDist.add(rec.dep1);
-        if (rec.dep2)
-            ep.depDist.add(rec.dep2);
+        // --- Dependence distances (dep columns) and instruction-stream
+        //     reuse distance at line granularity (pc column).
+        for (size_t i = start; i < end; ++i) {
+            if (cols.dep1[i])
+                ep.depDist.add(cols.dep1[i]);
+            if (cols.dep2[i])
+                ep.depDist.add(cols.dep2[i]);
 
-        // Instruction-stream reuse distance at line granularity.
-        const uint64_t pc_line = rec.pc / opts.lineBytes;
-        ++ts.instrSeq;
-        auto [it, inserted] = ts.instrLast.try_emplace(pc_line, 0);
-        if (!inserted) {
-            ep.instrRd.add(ts.instrSeq - it->second - 1);
-        } else {
-            ep.instrRd.add(LogHistogram::kInfinity);
-        }
-        it->second = ts.instrSeq;
-
-        uint64_t local_rd = LogHistogram::kInfinity;
-        uint64_t global_rd = LogHistogram::kInfinity;
-
-        if (rec.isMem()) {
-            const uint64_t line = rec.addr / opts.lineBytes;
-            const bool is_store = rec.op == OpClass::Store;
-            ++global_seq;
-            ++ts.localDataSeq;
-
-            LineState &ls = lines[line];
-            if (ls.perThread.empty())
-                ls.perThread.assign(num_threads, {0, 0});
-
-            // Global (interleaved) reuse distance: accesses by anyone
-            // since the line was last touched by anyone.
-            if (ls.lastGlobalSeq != 0)
-                global_rd = global_seq - ls.lastGlobalSeq - 1;
-
-            // Per-thread reuse distance with write-invalidation: if any
-            // other thread wrote the line since our last access, the
-            // reuse is broken — record an infinite distance (coherence
-            // miss), as in the paper's StatStack extension.
-            auto &[my_count, my_seq] = ls.perThread[tid];
-            if (my_count != 0) {
-                const bool invalidated = opts.detectInvalidation &&
-                    ls.lastWriteSeq > my_seq && ls.lastWriter != tid;
-                if (!invalidated)
-                    local_rd = ts.localDataSeq - my_count - 1;
-            }
-
-            ep.localRd.add(local_rd);
-            ep.globalRd.add(global_rd);
-            if (!is_store) {
-                ep.loadLocalRd.add(local_rd);
-                ep.loadGlobalRd.add(global_rd);
-            }
-
-            my_count = ts.localDataSeq;
-            my_seq = global_seq;
-            ls.lastGlobalSeq = global_seq;
-            if (is_store) {
-                ls.lastWriteSeq = global_seq;
-                ls.lastWriter = tid;
-            }
-
-            if (is_store) {
-                ++ep.numStores;
+            const uint64_t pc_line = cols.pc[i] / opts.lineBytes;
+            ++ts.instrSeq;
+            bool inserted = false;
+            uint64_t &last_fetch = ts.instrLast.lookup(pc_line, inserted);
+            if (!inserted) {
+                ep.instrRd.add(ts.instrSeq - last_fetch - 1);
             } else {
-                ++ep.numLoads;
-                ep.loadGap.add(ts.opsSinceLastLoad);
-                ts.opsSinceLastLoad = 0;
-                // Pointer-chase detection: does a source operand name a
-                // load among the recent ops?
-                auto dep_is_load = [&](uint16_t dep) {
-                    if (dep == 0 || dep > ts.emitted || dep >= kRecentOps)
-                        return false;
-                    return ts.recentOps[(ts.emitted - dep) % kRecentOps] ==
-                        OpClass::Load;
-                };
-                if (dep_is_load(rec.dep1) || dep_is_load(rec.dep2))
-                    ++ep.loadsDependingOnLoad;
+                ep.instrRd.add(LogHistogram::kInfinity);
             }
+            last_fetch = ts.instrSeq;
         }
 
-        if (rec.isBranch()) {
-            ++ep.numBranches;
-            ep.branches.record(rec.pc, rec.taken);
-        }
+        // --- Stateful sweep: micro-trace sampling windows, memory /
+        //     StatStack reuse distances, branches, MLP statistics.
+        //     Specialized on whether any op of this run can fall inside
+        //     a sampling window: when none can (the common case — the
+        //     windows cover ~10% of the stream), the per-op sampling
+        //     checks and the micro-trace push vanish from the loop.
+        auto stateful = [&](auto sampling_tag, size_t s_begin,
+                            size_t s_end) {
+            constexpr bool kSampling = decltype(sampling_tag)::value;
+        for (size_t i = s_begin; i < s_end; ++i) {
+            const OpClass op = cols.op[i];
 
-        if (ts.microTraceRemaining > 0) {
-            MicroTraceOp mop;
-            mop.op = rec.op;
-            mop.dep1 = rec.dep1;
-            mop.dep2 = rec.dep2;
-            mop.localRd = local_rd;
-            mop.globalRd = global_rd;
-            ep.microTraces.back().ops.push_back(mop);
-            --ts.microTraceRemaining;
-        }
+            // Micro-trace sampling policy: a snippet at each epoch start
+            // and then one every microTraceInterval ops.
+            if (kSampling && ts.microTraceRemaining == 0 &&
+                ts.opsInEpoch >= ts.nextMicroTraceAt) {
+                // No up-front reserve: epochs delimited by frequent sync
+                // (critical-section-heavy workloads) truncate most
+                // snippets after a handful of ops, so geometric growth
+                // wastes less than reserving the full snippet would.
+                ep.microTraces.emplace_back();
+                ts.microTraceRemaining = opts.microTraceLength;
+                ts.nextMicroTraceAt =
+                    ts.opsInEpoch + opts.microTraceInterval;
+            }
 
-        ts.recentOps[ts.emitted % kRecentOps] = rec.op;
-        ++ts.emitted;
-        ++ts.opsInEpoch;
-        if (!rec.isMem() || rec.op == OpClass::Store)
-            ++ts.opsSinceLastLoad;
+            uint64_t local_rd = LogHistogram::kInfinity;
+            uint64_t global_rd = LogHistogram::kInfinity;
+
+            if (isMemory(op)) {
+                const uint64_t line =
+                    cols.addr[ts.memIdx++] / opts.lineBytes;
+                const bool is_store = op == OpClass::Store;
+                ++global_seq;
+                ++ts.localDataSeq;
+
+                const size_t s = lines.slot(line);
+                LineTable::Meta &meta = lines.meta(s);
+                LineTable::PerThread &mine = lines.perThread(s, tid);
+
+                // Global (interleaved) reuse distance: accesses by
+                // anyone since the line was last touched by anyone.
+                if (meta.lastGlobalSeq != 0)
+                    global_rd = global_seq - meta.lastGlobalSeq - 1;
+
+                // Per-thread reuse distance with write-invalidation: if
+                // any other thread wrote the line since our last access,
+                // the reuse is broken — record an infinite distance
+                // (coherence miss), as in the paper's StatStack
+                // extension.
+                if (mine.count != 0) {
+                    const bool invalidated = opts.detectInvalidation &&
+                        meta.lastWriteSeq > mine.seq &&
+                        meta.lastWriter != tid;
+                    if (!invalidated)
+                        local_rd = ts.localDataSeq - mine.count - 1;
+                }
+
+                ep.localRd.add(local_rd);
+                ep.globalRd.add(global_rd);
+                if (!is_store) {
+                    ep.loadLocalRd.add(local_rd);
+                    ep.loadGlobalRd.add(global_rd);
+                }
+
+                mine.count = ts.localDataSeq;
+                mine.seq = global_seq;
+                meta.lastGlobalSeq = global_seq;
+                if (is_store) {
+                    meta.lastWriteSeq = global_seq;
+                    meta.lastWriter = tid;
+                }
+
+                if (is_store) {
+                    ++ep.numStores;
+                } else {
+                    ++ep.numLoads;
+                    ep.loadGap.add(ts.opsSinceLastLoad);
+                    ts.opsSinceLastLoad = 0;
+                    // Pointer-chase detection: does a source operand
+                    // name a load among the recent ops?
+                    auto dep_is_load = [&](uint16_t dep) {
+                        if (dep == 0 || dep > ts.emitted ||
+                            dep >= kRecentOps) {
+                            return false;
+                        }
+                        return ts.recentOps[(ts.emitted - dep) %
+                                            kRecentOps] == OpClass::Load;
+                    };
+                    if (dep_is_load(cols.dep1[i]) ||
+                        dep_is_load(cols.dep2[i])) {
+                        ++ep.loadsDependingOnLoad;
+                    }
+                }
+            }
+
+            if (op == OpClass::Branch) {
+                ++ep.numBranches;
+                ep.branches.record(cols.pc[i],
+                                   cols.taken[ts.brIdx++] != 0);
+            }
+
+            if (kSampling && ts.microTraceRemaining > 0) {
+                MicroTraceOp mop;
+                mop.op = op;
+                mop.dep1 = cols.dep1[i];
+                mop.dep2 = cols.dep2[i];
+                mop.localRd = local_rd;
+                mop.globalRd = global_rd;
+                ep.microTraces.back().ops.push_back(mop);
+                --ts.microTraceRemaining;
+            }
+
+            ts.recentOps[ts.emitted % kRecentOps] = op;
+            ++ts.emitted;
+            ++ts.opsInEpoch;
+            if (!isMemory(op) || op == OpClass::Store)
+                ++ts.opsSinceLastLoad;
+        }
+        };
+
+        // A run is sampling-free iff no window is open and the window
+        // trigger (opsInEpoch >= nextMicroTraceAt) cannot fire for any
+        // op in it.
+        if (ts.microTraceRemaining == 0 &&
+            ts.opsInEpoch + (end - start) <= ts.nextMicroTraceAt) {
+            stateful(std::false_type{}, start, end);
+        } else {
+            stateful(std::true_type{}, start, end);
+        }
     };
 
-    auto process_sync = [&](uint32_t tid, const TraceRecord &rec) -> bool {
+    auto process_sync = [&](uint32_t tid, SyncType type,
+                            uint32_t arg) -> bool {
         // Returns true when the thread blocks.
-        switch (rec.sync) {
+        switch (type) {
           case SyncType::MutexLock:
             ++profile.syncCounts.criticalSections;
             break;
@@ -217,35 +517,40 @@ profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
             break;
           case SyncType::CondBarrier:
             ++profile.syncCounts.condVars;
-            cond_waiters[rec.syncArg].insert(tid);
-            cond_releasers[rec.syncArg].insert(tid);
+            cond_waiters[arg].insert(tid);
+            cond_releasers[arg].insert(tid);
             break;
           case SyncType::QueuePop:
             ++profile.syncCounts.condVars;
-            cond_waiters[rec.syncArg].insert(tid);
+            cond_waiters[arg].insert(tid);
             break;
           case SyncType::QueuePush:
             ++profile.syncCounts.condVars;
-            cond_releasers[rec.syncArg].insert(tid);
+            cond_releasers[arg].insert(tid);
             break;
           default:
             break;
         }
 
-        if (rec.sync == SyncType::CondMarker) {
+        if (type == SyncType::CondMarker) {
             // Source marker: the thread *could* wait here. Recorded for
             // classification; does not delineate an epoch.
-            cond_waiters[rec.syncArg];
+            cond_waiters[arg];
             return false;
         }
 
+        TraceRecord rec;
+        rec.sync = type;
+        rec.syncArg = arg;
         const SyncOutcome out =
             sync.apply(tid, rec, static_cast<double>(step));
-        close_epoch(tid, rec.sync, rec.syncArg);
+        close_epoch(tid, type, arg);
         return out.blocks;
     };
 
-    // Round-robin functional replay.
+    // Round-robin functional replay. Micro-op runs between sync events
+    // are processed without per-record sync checks: the sparse syncPos
+    // column bounds each run up front.
     uint32_t live = num_threads;
     uint32_t cursor = 0;
     while (live > 0) {
@@ -263,21 +568,39 @@ profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
         cursor = (pick + 1) % num_threads;
 
         ThreadState &ts = state[pick];
-        const auto &records = trace.threads[pick].records;
+        const ThreadColumns &cols = trace.threads[pick];
+        const size_t num_records = cols.numRecords();
         uint32_t executed = 0;
-        while (ts.next < records.size() && executed < opts.quantum) {
-            const TraceRecord &rec = records[ts.next];
-            ++ts.next;
-            ++step;
-            ++executed;
-            if (rec.isSync()) {
-                if (process_sync(pick, rec))
+        while (ts.next < num_records && executed < opts.quantum) {
+            const size_t next_sync = ts.syncIdx < cols.syncPos.size() ?
+                static_cast<size_t>(cols.syncPos[ts.syncIdx]) : num_records;
+            if (ts.next == next_sync) {
+                const SyncType type = cols.syncType[ts.syncIdx];
+                const uint32_t arg = cols.syncArg[ts.syncIdx];
+                ++ts.syncIdx;
+                ++ts.next;
+                ++step;
+                ++executed;
+                if (process_sync(pick, type, arg))
                     break;
-            } else {
-                process_op(pick, rec);
+                continue;
             }
+            // Run of pure micro-ops: bounded by the quantum budget and
+            // the next sync event. The epoch reference is stable across
+            // the run (epochs only change at sync events), and the step
+            // counter is only consumed at sync events, so it can advance
+            // in bulk.
+            const size_t run_end = std::min(
+                next_sync,
+                ts.next + (opts.quantum - executed));
+            const size_t run = run_end - ts.next;
+            EpochProfile &ep = profile.threads[pick].epochs.back();
+            process_run(pick, cols, ts, ep, ts.next, run_end);
+            ts.next = run_end;
+            step += run;
+            executed += static_cast<uint32_t>(run);
         }
-        if (ts.next >= records.size() && !ts.done) {
+        if (ts.next >= num_records && !ts.done) {
             ts.done = true;
             --live;
             sync.finish(pick, static_cast<double>(step));
@@ -297,6 +620,12 @@ profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
     }
 
     return profile;
+}
+
+WorkloadProfile
+profileWorkload(const WorkloadTrace &trace, const ProfilerOptions &opts)
+{
+    return profileWorkload(ColumnarTrace::fromWorkload(trace), opts);
 }
 
 } // namespace rppm

@@ -11,6 +11,18 @@
  * another thread wrote a line between two accesses by the same thread;
  * if so, an infinite per-thread reuse distance is recorded.
  *
+ * The primary implementation is a *single-pass fused sweep* over the
+ * columnar trace (trace/columnar.hh): one walk feeds the ILP statistics
+ * (dependence distances, micro-traces), the MLP statistics (load gaps,
+ * load-on-load chains), the branch entropy accumulators, the
+ * memory/StatStack reuse-distance distributions and the synchronization
+ * profile simultaneously — structural validation and barrier sizing read
+ * only the sparse sync columns instead of re-walking the trace. The hot
+ * per-line and per-PC state lives in open-addressing tables instead of
+ * std::unordered_map. The original multi-pass AoS implementation is kept
+ * as profileWorkloadLegacy() (profiler_legacy.cc) and the two are
+ * bit-identical by test.
+ *
  * The output is a WorkloadProfile: only microarchitecture-independent
  * statistics, collected once, usable to predict any MulticoreConfig.
  */
@@ -21,6 +33,7 @@
 #include <cstdint>
 
 #include "profile/epoch_profile.hh"
+#include "trace/columnar.hh"
 #include "trace/trace.hh"
 
 namespace rppm {
@@ -51,9 +64,22 @@ struct ProfilerOptions
     bool detectInvalidation = true;
 };
 
-/** Profile @p trace once; the result predicts any architecture. */
+/** Profile @p trace once; the result predicts any architecture. This is
+ *  the fused single-pass profiler and the hot path of every Study grid. */
+WorkloadProfile profileWorkload(const ColumnarTrace &trace,
+                                const ProfilerOptions &opts = {});
+
+/** AoS convenience overload: converts to columnar form, then profiles. */
 WorkloadProfile profileWorkload(const WorkloadTrace &trace,
                                 const ProfilerOptions &opts = {});
+
+/**
+ * Reference implementation: the original multi-pass AoS profiler, kept
+ * for equivalence testing and as the bench/perf speedup baseline.
+ * Produces a profile bit-identical to profileWorkload().
+ */
+WorkloadProfile profileWorkloadLegacy(const WorkloadTrace &trace,
+                                      const ProfilerOptions &opts = {});
 
 } // namespace rppm
 

@@ -4,19 +4,29 @@
  *
  * The whole point of RPPM is that the profile is collected once and
  * reused for every subsequent prediction; that only pays off if profiles
- * are durable artifacts. This module writes a WorkloadProfile to a
- * line-oriented text format ("RPPMPROF 1") and reads it back, preserving
- * everything the model consumes: per-epoch counters, instruction mix,
+ * are durable artifacts. Two formats are provided, both preserving
+ * everything the model consumes (per-epoch counters, instruction mix,
  * all reuse-distance histograms, per-static-branch outcome counts,
- * micro-traces and the synchronization structure.
+ * micro-traces and the synchronization structure):
  *
- * Round-tripping is exact with respect to predictions: predict(load(save
- * (p))) == predict(p) for every configuration.
+ *  - a line-oriented text format ("RPPMPROF 1"): human-readable, handy
+ *    for debugging and diffing;
+ *  - the binary container format ("RPPMPRF", common/binio.hh; same
+ *    header/block discipline as the RPPMTRC trace format): compact and
+ *    fast, used by the Study ProfileCache's serialized tier. Old-version
+ *    or foreign files are rejected with std::invalid_argument, never
+ *    half-decoded.
+ *
+ * Round-tripping through either format is exact with respect to
+ * predictions: predict(load(save(p))) == predict(p) for every
+ * configuration. Both writers emit byte-deterministic output (maps are
+ * sorted before writing).
  */
 
 #ifndef RPPM_PROFILE_SERIALIZE_HH
 #define RPPM_PROFILE_SERIALIZE_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -35,6 +45,22 @@ WorkloadProfile loadProfile(std::istream &is);
 void saveProfileToFile(const WorkloadProfile &profile,
                        const std::string &path);
 WorkloadProfile loadProfileFromFile(const std::string &path);
+
+/** Current RPPMPRF binary format version. */
+constexpr uint32_t kProfileFormatVersion = 1;
+
+/** Write @p profile in the binary container format; throws
+ *  std::runtime_error on I/O error. */
+void saveProfileBinary(const WorkloadProfile &profile, std::ostream &os);
+
+/** Parse a binary-format profile; throws std::invalid_argument on bad
+ *  magic, foreign byte order, unsupported version or malformed input. */
+WorkloadProfile loadProfileBinary(std::istream &is);
+
+/** Convenience wrappers over file paths (binary format). */
+void saveProfileBinaryToFile(const WorkloadProfile &profile,
+                             const std::string &path);
+WorkloadProfile loadProfileBinaryFromFile(const std::string &path);
 
 } // namespace rppm
 

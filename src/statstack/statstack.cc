@@ -9,12 +9,32 @@ namespace rppm {
 StatStack::StatStack(LogHistogram reuse_distances)
     : hist_(std::move(reuse_distances))
 {
+    const size_t buckets = LogHistogram::numBuckets();
+
+    // Suffix counts first: suffixCounts_[i] holds the infinite samples
+    // plus every finite sample in buckets > i. This is the "samples
+    // whose reuse extends past here" count that survival() would
+    // otherwise re-accumulate per query, turning the constructor from
+    // O(#buckets^2) into O(#buckets). Integer sums are exact, so the
+    // survival values derived from them are bit-identical to
+    // LogHistogram::survival().
+    std::vector<uint64_t> counts(buckets, 0);
+    hist_.forEach([&counts](uint64_t value, uint64_t count) {
+        if (value != LogHistogram::kInfinity)
+            counts[LogHistogram::bucketIndex(value)] = count;
+    });
+    suffixCounts_.assign(buckets, 0);
+    uint64_t above = hist_.totalInfinite();
+    for (size_t i = buckets; i-- > 0;) {
+        suffixCounts_[i] = above;
+        above += counts[i];
+    }
+
     // Precompute expected stack distance at each bucket boundary:
     //   sd(D) = sum_{j=1..D} survival(j).
     // Within a bucket the survival function is (piecewise) constant in
     // our representation, so the prefix sum advances linearly and can be
     // interpolated exactly on query.
-    const size_t buckets = LogHistogram::numBuckets();
     survivalPrefix_.resize(buckets);
     double prefix = 0.0;
     for (size_t i = 0; i < buckets; ++i) {
@@ -22,10 +42,36 @@ StatStack::StatStack(LogHistogram reuse_distances)
         const uint64_t hi = LogHistogram::bucketHi(i);
         // Representative survival within this bucket, evaluated at the
         // bucket midpoint.
-        const double surv = hist_.survival(LogHistogram::bucketMid(i));
+        const double surv = survivalAtBucketMid(i);
         prefix += surv * static_cast<double>(hi - lo + 1);
         survivalPrefix_[i] = prefix;
     }
+}
+
+double
+StatStack::survivalAtBucketMid(size_t idx) const
+{
+    // Mirrors LogHistogram::survival(bucketMid(idx)) branch for branch,
+    // with the bucket scan replaced by the precomputed suffix counts.
+    const uint64_t tot = hist_.total();
+    if (tot == 0)
+        return 0.0;
+    if (hist_.totalFinite() == 0)
+        return static_cast<double>(hist_.totalInfinite()) /
+            static_cast<double>(tot);
+
+    const uint64_t above = suffixCounts_[idx];
+    const uint64_t count = idx == 0 ?
+        tot - suffixCounts_[0] :
+        suffixCounts_[idx - 1] - suffixCounts_[idx];
+    const uint64_t value = LogHistogram::bucketMid(idx);
+    const uint64_t lo = LogHistogram::bucketLo(idx);
+    const uint64_t hi = LogHistogram::bucketHi(idx);
+    const double width = static_cast<double>(hi - lo) + 1.0;
+    const double frac_above = static_cast<double>(hi - value) / width;
+    const double partial = static_cast<double>(count) * frac_above;
+    return (static_cast<double>(above) + partial) /
+        static_cast<double>(tot);
 }
 
 double
@@ -38,7 +84,7 @@ StatStack::stackDistance(uint64_t rd) const
     const size_t idx = LogHistogram::bucketIndex(rd);
     const uint64_t lo = LogHistogram::bucketLo(idx);
     const double below = idx > 0 ? survivalPrefix_[idx - 1] : 0.0;
-    const double surv = hist_.survival(LogHistogram::bucketMid(idx));
+    const double surv = survivalAtBucketMid(idx);
     return below + surv * static_cast<double>(rd - lo + 1);
 }
 
@@ -63,7 +109,7 @@ StatStack::criticalReuseDistance(uint64_t cache_lines) const
     const uint64_t blo = LogHistogram::bucketLo(lo);
     const uint64_t bhi = LogHistogram::bucketHi(lo);
     const double below = lo > 0 ? survivalPrefix_[lo - 1] : 0.0;
-    const double surv = hist_.survival(LogHistogram::bucketMid(lo));
+    const double surv = survivalAtBucketMid(lo);
     if (surv <= 0.0)
         return bhi;
     const double offset = (target - below) / surv;

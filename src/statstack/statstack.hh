@@ -69,7 +69,20 @@ class StatStack
     bool empty() const { return hist_.totalFinite() == 0; }
 
   private:
+    /**
+     * survival() restricted to bucket midpoints, computed from the
+     * precomputed suffix counts in O(1) instead of re-walking the
+     * histogram — this is what makes construction O(#buckets) rather
+     * than O(#buckets^2). Produces bit-identical values to
+     * LogHistogram::survival(bucketMid(idx)): the suffix sums are exact
+     * integer arithmetic in the same association order.
+     */
+    double survivalAtBucketMid(size_t idx) const;
+
     LogHistogram hist_;
+    // suffixCounts_[i]: infinite samples plus all finite samples in
+    // buckets strictly after i.
+    std::vector<uint64_t> suffixCounts_;
     // survivalPrefix_[i]: sum over j in [0, bucketHi(i)] of survival(j),
     // i.e. the expected stack distance of a reuse distance at the end of
     // bucket i. Interpolated within buckets on query.

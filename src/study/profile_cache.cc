@@ -108,7 +108,7 @@ ProfileCache::getOrCompute(const std::string &workload,
         if (!path.empty() && std::filesystem::exists(path)) {
             try {
                 auto loaded = std::make_shared<const WorkloadProfile>(
-                    loadProfileFromFile(path));
+                    loadProfileBinaryFromFile(path));
                 // Guard against sanitized-name collisions (distinct
                 // workloads mapping to one file): the artifact must
                 // actually be the requested workload's profile.
@@ -117,8 +117,8 @@ ProfileCache::getOrCompute(const std::string &workload,
                     from_disk = true;
                 }
             } catch (const std::exception &) {
-                // Corrupt or stale artifact: treat as a miss and
-                // overwrite it below.
+                // Corrupt, old-version or legacy text-format artifact:
+                // treat as a miss and overwrite it below (self-healing).
             }
         }
         if (!profile) {
@@ -133,7 +133,7 @@ ProfileCache::getOrCompute(const std::string &workload,
                         path + ".tmp." +
                         std::to_string(
                             static_cast<unsigned long>(::getpid()));
-                    saveProfileToFile(*profile, tmp);
+                    saveProfileBinaryToFile(*profile, tmp);
                     std::filesystem::rename(tmp, path);
                 } catch (const std::exception &) {
                     // The disk tier is an optimization: a write failure

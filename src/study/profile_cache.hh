@@ -9,12 +9,14 @@
  * ablation study's no-invalidation variant) occupies distinct entries.
  *
  * When a directory is configured, misses first try to load a previously
- * serialized profile ("RPPMPROF 1" format, see profile/serialize.hh) and
- * freshly computed profiles are written back, making profiles durable
- * across processes. Serialization round-trips exactly with respect to
- * predictions, so a disk hit yields bit-identical results to an
- * in-memory one. Corrupt artifacts are treated as misses and
- * overwritten; write failures degrade silently to memory-only caching.
+ * serialized profile (binary "RPPMPRF" container, see
+ * profile/serialize.hh) and freshly computed profiles are written back,
+ * making profiles durable across processes. Serialization round-trips
+ * exactly with respect to predictions, so a disk hit yields bit-identical
+ * results to an in-memory one. Corrupt artifacts, artifacts from an
+ * older/newer format version, and pre-binary text-format artifacts are
+ * all treated as misses and overwritten in place (self-healing); write
+ * failures degrade silently to memory-only caching.
  *
  * Caveat: the key carries no fingerprint of the workload's *content*.
  * If a workload changes but keeps its name, delete its artifacts (or

@@ -16,7 +16,8 @@ struct WorkloadSource::State
     std::shared_ptr<const WorkloadProfile> fixedProfile;
 
     std::mutex mutex;
-    std::optional<WorkloadTrace> trace; ///< guarded by mutex until set
+    std::optional<WorkloadTrace> trace;    ///< guarded by mutex until set
+    std::optional<ColumnarTrace> columnar; ///< guarded by mutex until set
 };
 
 WorkloadSource::WorkloadSource(WorkloadSpec spec)
@@ -69,6 +70,20 @@ WorkloadSource::trace() const
     return *s.trace;
 }
 
+const ColumnarTrace &
+WorkloadSource::columnar() const
+{
+    // Ensure the AoS trace exists first (takes and releases the mutex),
+    // then build the columnar view under the lock. Both optionals are
+    // write-once, so returning references is safe.
+    const WorkloadTrace &aos = trace();
+    State &s = *state_;
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!s.columnar)
+        s.columnar = ColumnarTrace::fromWorkload(aos);
+    return *s.columnar;
+}
+
 std::shared_ptr<const WorkloadProfile>
 WorkloadSource::profile(const ProfilerOptions &opts,
                         ProfileCache &cache) const
@@ -76,7 +91,7 @@ WorkloadSource::profile(const ProfilerOptions &opts,
     if (state_->fixedProfile)
         return state_->fixedProfile;
     return cache.getOrCompute(name(), opts, [this, &opts] {
-        return profileWorkload(trace(), opts);
+        return profileWorkload(columnar(), opts);
     });
 }
 

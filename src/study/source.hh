@@ -21,6 +21,7 @@
 
 #include "profile/epoch_profile.hh"
 #include "profile/profiler.hh"
+#include "trace/columnar.hh"
 #include "trace/trace.hh"
 #include "workload/workload.hh"
 
@@ -52,6 +53,14 @@ class WorkloadSource
      * Thread-safe; throws std::logic_error on a profile-only source.
      */
     const WorkloadTrace &trace() const;
+
+    /**
+     * The columnar view of the trace, built (and cached) on first call —
+     * the representation the fused profiler consumes, so a Study grid
+     * converts each workload at most once. Thread-safe; throws
+     * std::logic_error on a profile-only source.
+     */
+    const ColumnarTrace &columnar() const;
 
     /**
      * The workload profile for @p opts, produced through @p cache.

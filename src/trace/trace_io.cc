@@ -1,0 +1,115 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/binio.hh"
+
+namespace rppm {
+
+namespace {
+
+constexpr char kTraceMagic[8] = {'R', 'P', 'P', 'M', 'T', 'R', 'C', '\0'};
+
+// Column tags ("fourcc" style, stable across versions).
+enum ColumnTag : uint32_t
+{
+    kTagOp = 0x4f500000,      // 'OP'
+    kTagPc = 0x50430000,      // 'PC'
+    kTagDep1 = 0x44503100,    // 'DP1'
+    kTagDep2 = 0x44503200,    // 'DP2'
+    kTagAddr = 0x41445200,    // 'ADR'
+    kTagTaken = 0x544b4e00,   // 'TKN'
+    kTagSyncPos = 0x53504f00, // 'SPO'
+    kTagSyncTyp = 0x53545900, // 'STY'
+    kTagSyncArg = 0x53415200, // 'SAR'
+};
+
+} // namespace
+
+void
+saveTrace(const ColumnarTrace &trace, std::ostream &os)
+{
+    BinWriter out(kTraceMagic, kTraceFormatVersion);
+    out.str(trace.name);
+    out.u64(trace.threads.size());
+    for (const ThreadColumns &cols : trace.threads) {
+        out.u64(cols.numRecords());
+        out.column(kTagOp, cols.op);
+        out.column(kTagPc, cols.pc);
+        out.column(kTagDep1, cols.dep1);
+        out.column(kTagDep2, cols.dep2);
+        out.column(kTagAddr, cols.addr);
+        out.column(kTagTaken, cols.taken);
+        out.column(kTagSyncPos, cols.syncPos);
+        out.column(kTagSyncTyp, cols.syncType);
+        out.column(kTagSyncArg, cols.syncArg);
+    }
+    os.write(out.data().data(),
+             static_cast<std::streamsize>(out.data().size()));
+    if (!os)
+        throw std::runtime_error("trace write failed");
+}
+
+ColumnarTrace
+loadTrace(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string data = buf.str();
+
+    BinReader in(data, kTraceMagic, kTraceFormatVersion);
+    ColumnarTrace trace;
+    trace.name = in.str("name");
+    const uint64_t threads = in.u64("thread count");
+    // An absurd thread count means corruption; fail before allocating.
+    if (threads > data.size())
+        in.fail("thread count exceeds file size");
+    trace.threads.resize(threads);
+    for (uint64_t t = 0; t < threads; ++t) {
+        ThreadColumns &cols = trace.threads[t];
+        const uint64_t records = in.u64("record count");
+        cols.op = in.column<OpClass>(kTagOp, "op column");
+        cols.pc = in.column<uint32_t>(kTagPc, "pc column");
+        cols.dep1 = in.column<uint16_t>(kTagDep1, "dep1 column");
+        cols.dep2 = in.column<uint16_t>(kTagDep2, "dep2 column");
+        cols.addr = in.column<uint64_t>(kTagAddr, "addr column");
+        cols.taken = in.column<uint8_t>(kTagTaken, "taken column");
+        cols.syncPos = in.column<uint64_t>(kTagSyncPos, "syncPos column");
+        cols.syncType =
+            in.column<SyncType>(kTagSyncTyp, "syncType column");
+        cols.syncArg = in.column<uint32_t>(kTagSyncArg, "syncArg column");
+        if (cols.op.size() != records)
+            in.fail("record count does not match op column");
+    }
+    if (!in.atEnd())
+        in.fail("trailing bytes after last thread");
+    // Cross-check dense/sparse column consistency (also throws
+    // std::invalid_argument) before handing the trace to consumers that
+    // index the sparse columns blindly.
+    trace.validateColumnConsistency();
+    return trace;
+}
+
+void
+saveTraceToFile(const ColumnarTrace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        throw std::runtime_error("cannot open " + path + " for writing");
+    saveTrace(trace, os);
+}
+
+ColumnarTrace
+loadTraceFromFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    return loadTrace(is);
+}
+
+} // namespace rppm

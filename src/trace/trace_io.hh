@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Versioned binary serialization of ColumnarTrace ("RPPMTRC" format).
+ *
+ * The file is an RPPM binary container (common/binio.hh): a fixed header
+ * (magic, endianness marker, version), the workload name, the thread
+ * count, then per thread a small count block followed by one block per
+ * column. Blocks are 8-byte aligned with sizes declared up front, so the
+ * format is mmap-friendly: a reader can map the file and point into the
+ * column payloads directly.
+ *
+ * Loading validates everything the sequential consumers rely on: magic,
+ * byte order and version (old or future versions are rejected, never
+ * half-decoded), per-column tags and element sizes, sync positions
+ * strictly ascending and in range, enum values in range, and sparse
+ * column lengths consistent with the dense op column. Malformed input
+ * throws std::invalid_argument; I/O failures throw std::runtime_error.
+ */
+
+#ifndef RPPM_TRACE_TRACE_IO_HH
+#define RPPM_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/columnar.hh"
+
+namespace rppm {
+
+/** Current RPPMTRC format version. */
+constexpr uint32_t kTraceFormatVersion = 1;
+
+/** Serialize @p trace to @p os; throws std::runtime_error on I/O error. */
+void saveTrace(const ColumnarTrace &trace, std::ostream &os);
+
+/** Parse a trace from @p is; throws std::invalid_argument on bad input. */
+ColumnarTrace loadTrace(std::istream &is);
+
+/** Convenience wrappers over file paths. */
+void saveTraceToFile(const ColumnarTrace &trace, const std::string &path);
+ColumnarTrace loadTraceFromFile(const std::string &path);
+
+} // namespace rppm
+
+#endif // RPPM_TRACE_TRACE_IO_HH

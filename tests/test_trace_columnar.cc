@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Tests for the columnar trace engine and the fused profiler:
+ *
+ *  - AoS <-> columnar conversion is lossless;
+ *  - binary trace serialization round-trips bit-identically and rejects
+ *    old-version, truncated and corrupt input cleanly;
+ *  - the fused single-pass profiler produces profiles bit-identical to
+ *    the legacy multi-pass reference on every workload kernel of the
+ *    suite (byte-compared through the deterministic text serializer);
+ *  - the binary profile format round-trips exactly (predictions and
+ *    bytes) and the ProfileCache self-heals corrupt or legacy-format
+ *    artifacts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "profile/profiler.hh"
+#include "profile/serialize.hh"
+#include "rppm/predictor.hh"
+#include "sim/sync_state.hh"
+#include "study/profile_cache.hh"
+#include "trace/columnar.hh"
+#include "trace/trace_builder.hh"
+#include "trace/trace_io.hh"
+#include "workload/suite.hh"
+#include "workload/workload.hh"
+
+namespace rppm {
+namespace {
+
+/** A small but structurally rich workload (barriers, critical sections,
+ *  a producer-consumer queue, shared data). */
+WorkloadSpec
+richSpec(const char *name = "columnar-test")
+{
+    WorkloadSpec spec = barrierLoopSpec(3, 4, 2500);
+    spec.name = name;
+    spec.csPerEpoch = 2;
+    spec.queueItems = 5;
+    spec.kernel.sharedFrac = 0.2;
+    spec.kernel.branchEntropy = 0.1;
+    return spec;
+}
+
+std::string
+serializeTrace(const ColumnarTrace &trace)
+{
+    std::stringstream ss;
+    saveTrace(trace, ss);
+    return ss.str();
+}
+
+std::string
+serializeProfileText(const WorkloadProfile &profile)
+{
+    std::stringstream ss;
+    saveProfile(profile, ss);
+    return ss.str();
+}
+
+TEST(Columnar, ConversionIsLossless)
+{
+    const WorkloadTrace trace = generateWorkload(richSpec());
+    const ColumnarTrace cols = ColumnarTrace::fromWorkload(trace);
+
+    EXPECT_EQ(cols.numThreads(), trace.numThreads());
+    EXPECT_EQ(cols.totalOps(), trace.totalOps());
+    for (SyncType type :
+         {SyncType::BarrierWait, SyncType::MutexLock, SyncType::QueuePush,
+          SyncType::ThreadCreate, SyncType::ThreadJoin}) {
+        EXPECT_EQ(cols.countSync(type), trace.countSync(type))
+            << syncTypeName(type);
+    }
+
+    // AoS -> columnar -> AoS -> columnar is a fixed point.
+    const WorkloadTrace back = cols.toWorkload();
+    EXPECT_EQ(back.name, trace.name);
+    ASSERT_EQ(back.threads.size(), trace.threads.size());
+    EXPECT_TRUE(ColumnarTrace::fromWorkload(back) == cols);
+}
+
+TEST(Columnar, CursorWalksRecordsInOrder)
+{
+    WorkloadTrace trace;
+    trace.name = "cursor";
+    trace.threads.resize(1);
+    ThreadTraceBuilder b(trace.threads[0]);
+    b.op(OpClass::IntAlu, 0x10);
+    b.load(0x1000, 0x14, 1);
+    b.sync(SyncType::MutexLock, 7);
+    b.store(0x1040, 0x18);
+    b.branch(0x1c, true, 2);
+    b.sync(SyncType::MutexUnlock, 7);
+
+    const ColumnarTrace cols = ColumnarTrace::fromWorkload(trace);
+    ColumnCursor cur(cols.threads[0]);
+
+    EXPECT_FALSE(cur.atSync());
+    EXPECT_EQ(cur.op(), OpClass::IntAlu);
+    cur.advance();
+    EXPECT_EQ(cur.op(), OpClass::Load);
+    EXPECT_EQ(cur.addr(), 0x1000u);
+    EXPECT_EQ(cur.dep1(), 1);
+    cur.advance();
+    ASSERT_TRUE(cur.atSync());
+    EXPECT_EQ(cur.syncType(), SyncType::MutexLock);
+    EXPECT_EQ(cur.syncArg(), 7u);
+    cur.advance();
+    EXPECT_EQ(cur.op(), OpClass::Store);
+    EXPECT_EQ(cur.addr(), 0x1040u);
+    cur.advance();
+    EXPECT_EQ(cur.op(), OpClass::Branch);
+    EXPECT_TRUE(cur.taken());
+    cur.advance();
+    ASSERT_TRUE(cur.atSync());
+    EXPECT_EQ(cur.syncType(), SyncType::MutexUnlock);
+    cur.advance();
+    EXPECT_TRUE(cur.atEnd());
+}
+
+TEST(Columnar, ValidateMatchesAoSValidate)
+{
+    const WorkloadTrace good = generateWorkload(richSpec());
+    EXPECT_NO_THROW(good.validate());
+    EXPECT_NO_THROW(
+        ColumnarTrace::fromWorkload(good).validateAndBarrierPopulations());
+
+    // Unbalanced mutex: both representations must reject it.
+    WorkloadTrace bad;
+    bad.threads.resize(1);
+    ThreadTraceBuilder b(bad.threads[0]);
+    b.op(OpClass::IntAlu, 0);
+    b.sync(SyncType::MutexLock, 1);
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    EXPECT_THROW(
+        ColumnarTrace::fromWorkload(bad).validateAndBarrierPopulations(),
+        std::invalid_argument);
+}
+
+TEST(Columnar, BarrierPopulationsMatchLegacyScan)
+{
+    const WorkloadTrace trace = generateWorkload(richSpec());
+    const auto legacy = barrierPopulations(trace);
+    const auto fused = ColumnarTrace::fromWorkload(trace)
+                           .validateAndBarrierPopulations();
+    EXPECT_EQ(fused, legacy);
+}
+
+// ------------------------------------------------- binary trace I/O ---
+
+TEST(TraceIo, RoundTripIsBitIdentical)
+{
+    const ColumnarTrace original =
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec()));
+    const std::string bytes = serializeTrace(original);
+
+    std::stringstream in(bytes);
+    const ColumnarTrace loaded = loadTrace(in);
+    EXPECT_TRUE(loaded == original);
+
+    // save(load(save(t))) == save(t), byte for byte.
+    EXPECT_TRUE(serializeTrace(loaded) == bytes);
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const ColumnarTrace original =
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec()));
+    const std::string path = "/tmp/rppm_test_trace.rppmtrc";
+    saveTraceToFile(original, path);
+    const ColumnarTrace loaded = loadTraceFromFile(path);
+    EXPECT_TRUE(loaded == original);
+    std::filesystem::remove(path);
+}
+
+TEST(TraceIo, RejectsBadMagic)
+{
+    std::stringstream ss("definitely not a trace file");
+    EXPECT_THROW(loadTrace(ss), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsOldVersion)
+{
+    std::string bytes = serializeTrace(
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec())));
+    // The version field sits after the 8-byte magic and the 4-byte
+    // endianness marker.
+    bytes[12] = static_cast<char>(kTraceFormatVersion + 1);
+    std::stringstream in(bytes);
+    EXPECT_THROW(loadTrace(in), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsTruncatedInput)
+{
+    const std::string bytes = serializeTrace(
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec())));
+    for (const double frac : {0.25, 0.5, 0.9}) {
+        std::stringstream in(bytes.substr(
+            0, static_cast<size_t>(static_cast<double>(bytes.size()) *
+                                   frac)));
+        EXPECT_THROW(loadTrace(in), std::invalid_argument) << frac;
+    }
+}
+
+TEST(TraceIo, RejectsTrailingGarbage)
+{
+    std::string bytes = serializeTrace(
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec())));
+    bytes += "garbage.";
+    std::stringstream in(bytes);
+    EXPECT_THROW(loadTrace(in), std::invalid_argument);
+}
+
+// ------------------------------------ fused vs. legacy equivalence ---
+
+TEST(FusedProfiler, BitIdenticalToLegacyOnEveryKernel)
+{
+    // The acceptance bar of the refactor: one text-serialized byte
+    // mismatch anywhere in mix, histograms, micro-traces, branch counts
+    // or sync structure fails this test. Kernels are scaled down to keep
+    // the test fast; every suite entry is covered.
+    for (const SuiteEntry &entry : fullSuite()) {
+        WorkloadSpec spec = entry.spec;
+        spec.opsPerEpoch = std::max<uint64_t>(1, spec.opsPerEpoch / 20);
+        spec.initOps = std::max<uint64_t>(1, spec.initOps / 20);
+        spec.finalOps = std::max<uint64_t>(1, spec.finalOps / 20);
+        spec.itemOps = std::max<uint64_t>(1, spec.itemOps / 20);
+        const WorkloadTrace trace = generateWorkload(spec);
+
+        const WorkloadProfile legacy = profileWorkloadLegacy(trace);
+        const WorkloadProfile fused = profileWorkload(trace);
+        // EXPECT_TRUE rather than EXPECT_EQ: on failure gtest would try
+        // to print two multi-hundred-kB strings.
+        EXPECT_TRUE(serializeProfileText(fused) ==
+                    serializeProfileText(legacy))
+            << spec.name;
+    }
+}
+
+TEST(FusedProfiler, ColumnarOverloadMatchesAoSOverload)
+{
+    const WorkloadTrace trace = generateWorkload(richSpec());
+    const ColumnarTrace cols = ColumnarTrace::fromWorkload(trace);
+    EXPECT_TRUE(serializeProfileText(profileWorkload(cols)) ==
+                serializeProfileText(profileWorkload(trace)));
+}
+
+TEST(FusedProfiler, RespectsProfilerOptions)
+{
+    // The options that change profile content must keep fused == legacy.
+    ProfilerOptions opts;
+    opts.detectInvalidation = false;
+    opts.quantum = 17;
+    opts.microTraceLength = 64;
+    opts.microTraceInterval = 500;
+    const WorkloadTrace trace = generateWorkload(richSpec());
+    EXPECT_TRUE(serializeProfileText(profileWorkload(trace, opts)) ==
+                serializeProfileText(profileWorkloadLegacy(trace, opts)));
+}
+
+// ----------------------------------------------- binary profile I/O ---
+
+TEST(ProfileBinary, RoundTripPredictsIdentically)
+{
+    const WorkloadProfile original =
+        profileWorkload(generateWorkload(richSpec()));
+    std::stringstream ss;
+    saveProfileBinary(original, ss);
+    const WorkloadProfile copy = loadProfileBinary(ss);
+
+    for (const MulticoreConfig &cfg : tableIvConfigs()) {
+        const RppmPrediction a = predict(original, cfg);
+        const RppmPrediction b = predict(copy, cfg);
+        EXPECT_DOUBLE_EQ(a.totalCycles, b.totalCycles) << cfg.name;
+    }
+}
+
+TEST(ProfileBinary, DoubleRoundTripIsByteStable)
+{
+    const WorkloadProfile original =
+        profileWorkload(generateWorkload(richSpec()));
+    std::stringstream once, twice;
+    saveProfileBinary(original, once);
+    const WorkloadProfile copy = loadProfileBinary(once);
+    saveProfileBinary(copy, twice);
+    EXPECT_TRUE(once.str() == twice.str());
+}
+
+TEST(ProfileBinary, RejectsBadInput)
+{
+    const WorkloadProfile original =
+        profileWorkload(generateWorkload(richSpec()));
+    std::stringstream ss;
+    saveProfileBinary(original, ss);
+    std::string bytes = ss.str();
+
+    {   // Old/newer version.
+        std::string old = bytes;
+        old[12] = static_cast<char>(kProfileFormatVersion + 3);
+        std::stringstream in(old);
+        EXPECT_THROW(loadProfileBinary(in), std::invalid_argument);
+    }
+    {   // Truncation.
+        std::stringstream in(bytes.substr(0, bytes.size() / 2));
+        EXPECT_THROW(loadProfileBinary(in), std::invalid_argument);
+    }
+    {   // Text-format profile fed to the binary loader.
+        std::stringstream text;
+        saveProfile(original, text);
+        std::stringstream in(text.str());
+        EXPECT_THROW(loadProfileBinary(in), std::invalid_argument);
+    }
+}
+
+TEST(ProfileBinary, CacheSelfHealsCorruptAndLegacyArtifacts)
+{
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "rppm_columnar_heal";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const WorkloadSpec spec = richSpec("heal-me");
+    const WorkloadTrace trace = generateWorkload(spec);
+    const WorkloadProfile reference = profileWorkload(trace);
+
+    ProfileCache cache;
+    cache.setDirectory(dir.string());
+    const std::string path = cache.pathFor(spec.name, {});
+
+    // Seed the artifact with a *legacy text-format* profile (what a
+    // pre-binary checkout would have written), as the interesting case
+    // of "old version on disk".
+    saveProfileToFile(reference, path);
+
+    int computations = 0;
+    const auto healed = cache.getOrCompute(spec.name, {}, [&] {
+        ++computations;
+        return profileWorkload(trace);
+    });
+    EXPECT_EQ(computations, 1); // text artifact rejected, recomputed
+    EXPECT_EQ(cache.stats().diskHits, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(healed->totalOps(), reference.totalOps());
+
+    // The artifact was overwritten in the binary format: a fresh cache
+    // now hits disk and predicts identically.
+    ProfileCache fresh;
+    fresh.setDirectory(dir.string());
+    const auto from_disk = fresh.getOrCompute(spec.name, {}, [&] {
+        ADD_FAILURE() << "should have loaded from disk";
+        return profileWorkload(trace);
+    });
+    EXPECT_EQ(fresh.stats().diskHits, 1u);
+    const RppmPrediction a = predict(reference, baseConfig());
+    const RppmPrediction b = predict(*from_disk, baseConfig());
+    EXPECT_DOUBLE_EQ(a.totalCycles, b.totalCycles);
+
+    // Plain corruption self-heals the same way.
+    {
+        std::ofstream os(path, std::ios::binary);
+        os << "corrupted beyond recognition";
+    }
+    ProfileCache corrupt;
+    corrupt.setDirectory(dir.string());
+    int recomputed = 0;
+    corrupt.getOrCompute(spec.name, {}, [&] {
+        ++recomputed;
+        return profileWorkload(trace);
+    });
+    EXPECT_EQ(recomputed, 1);
+
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace rppm
