@@ -9,10 +9,14 @@
  * regression — this is what the CI perf-smoke job runs.
  *
  * Usage:
- *   bench_perf [--kernels a,b,c | --kernels all] [--scale F]
- *              [--repeat N] [--jobs N] [--out FILE]
+ *   bench_perf [--kernels a,b,c | --kernels all] [--filter REGEX]
+ *              [--scale F] [--repeat N] [--jobs N] [--out FILE]
  *              [--baseline FILE [--max-regression F]]
  *              [--min-profile-speedup F] [--write-baseline FILE]
+ *
+ * --filter selects kernels whose name matches REGEX (case-insensitive,
+ * std::regex search). On its own it filters the full 26-kernel suite;
+ * combined with --kernels it narrows that explicit set.
  *
  * Timings are best-of-N (N = --repeat, default 3) to shave scheduler
  * noise; the regression check compares the normalized ns/op metrics
@@ -25,6 +29,7 @@
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <regex>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -434,6 +439,8 @@ int
 main(int argc, char **argv)
 {
     std::string kernels = kDefaultKernels;
+    bool kernels_given = false;
+    std::string filter;
     // Default to the gitignored scratch name so casual local runs never
     // clobber the committed full-scale BENCH_results.json; CI and
     // intentional refreshes pass --out BENCH_results.json explicitly.
@@ -458,6 +465,9 @@ main(int argc, char **argv)
         };
         if (arg == "--kernels") {
             kernels = next();
+            kernels_given = true;
+        } else if (arg == "--filter") {
+            filter = next();
         } else if (arg == "--scale") {
             scale = std::stod(next());
         } else if (arg == "--repeat") {
@@ -487,7 +497,8 @@ main(int argc, char **argv)
     }
 
     std::vector<SuiteEntry> entries;
-    if (kernels == "all") {
+    if (kernels == "all" || (!filter.empty() && !kernels_given)) {
+        // --filter on its own selects from the whole suite.
         entries = fullSuite();
     } else {
         for (const std::string &name : splitCsv(kernels)) {
@@ -498,6 +509,25 @@ main(int argc, char **argv)
                 return 2;
             }
             entries.push_back(*entry);
+        }
+    }
+    if (!filter.empty()) {
+        std::regex re;
+        try {
+            re.assign(filter, std::regex::icase);
+        } catch (const std::regex_error &e) {
+            std::fprintf(stderr, "bench_perf: bad --filter regex: %s\n",
+                         e.what());
+            return 2;
+        }
+        std::erase_if(entries, [&re](const SuiteEntry &e) {
+            return !std::regex_search(e.spec.name, re);
+        });
+        if (entries.empty()) {
+            std::fprintf(stderr,
+                         "bench_perf: --filter '%s' matches no kernel\n",
+                         filter.c_str());
+            return 2;
         }
     }
 

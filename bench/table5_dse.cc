@@ -40,16 +40,16 @@ main()
             t.addRow(cells);
         };
         row("frequency [GHz]", [](const MulticoreConfig &c) {
-            return fmt(c.core.frequencyGHz, 2);
+            return fmt(c.core().frequencyGHz, 2);
         });
         row("dispatch width", [](const MulticoreConfig &c) {
-            return std::to_string(c.core.dispatchWidth);
+            return std::to_string(c.core().dispatchWidth);
         });
         row("ROB size", [](const MulticoreConfig &c) {
-            return std::to_string(c.core.robSize);
+            return std::to_string(c.core().robSize);
         });
         row("issue queue size", [](const MulticoreConfig &c) {
-            return std::to_string(c.core.issueQueueSize);
+            return std::to_string(c.core().issueQueueSize);
         });
         std::printf("%s\n", t.render().c_str());
     }

@@ -35,11 +35,12 @@ main()
             MulticoreConfig cfg = baseConfig();
             cfg.name = "w" + std::to_string(width) + "-llc" +
                 std::to_string(mb) + "M";
-            cfg.core.dispatchWidth = width;
-            cfg.core.robSize = 32 * width;
-            cfg.core.issueQueueSize = 16 * width;
-            cfg.core.fus[static_cast<size_t>(OpClass::IntAlu)].count =
-                width;
+            cfg.eachCore([width](CoreConfig &c) {
+                c.dispatchWidth = width;
+                c.robSize = 32 * width;
+                c.issueQueueSize = 16 * width;
+                c.fus[static_cast<size_t>(OpClass::IntAlu)].count = width;
+            });
             cfg.llc.sizeBytes = mb * 1024 * 1024;
             configs.push_back(cfg);
         }
@@ -67,7 +68,7 @@ main()
         const Evaluation &cell =
             result.at(benchmark.spec.name, cfg.name, "rppm");
         table.addRow({cfg.name,
-                      std::to_string(cfg.core.dispatchWidth),
+                      std::to_string(cfg.core().dispatchWidth),
                       std::to_string(cfg.llc.sizeBytes >> 20) + " MB",
                       fmt(cell.seconds * 1e3, 3)});
         if (cell.seconds < best_seconds) {

@@ -30,8 +30,10 @@ atFrequency(double ghz)
 {
     MulticoreConfig cfg = baseConfig();
     cfg.name = "base@" + fmt(ghz, 2) + "GHz";
-    cfg.core.frequencyGHz = ghz;
-    cfg.memLatency = static_cast<uint32_t>(80.0 * ghz + 0.5);
+    cfg.eachCore([ghz](CoreConfig &c) {
+        c.frequencyGHz = ghz;
+        c.memLatency = static_cast<uint32_t>(80.0 * ghz + 0.5);
+    });
     return cfg;
 }
 

@@ -67,8 +67,8 @@ main()
         for (const MulticoreConfig &cfg : tableIvConfigs()) {
             const Evaluation &cell =
                 result.at(benchmark.spec.name, cfg.name, "rppm");
-            table.addRow({cfg.name, fmt(cfg.core.frequencyGHz, 2) + " GHz",
-                          std::to_string(cfg.core.dispatchWidth),
+            table.addRow({cfg.name, fmt(cfg.core().frequencyGHz, 2) + " GHz",
+                          std::to_string(cfg.core().dispatchWidth),
                           fmt(cell.seconds * 1e3, 3)});
         }
         std::printf("%s\n", table.render().c_str());

@@ -55,7 +55,7 @@ main()
         result.at(benchmark.spec.name, cfg.name, "sim");
     std::printf("RPPM predicts %.2f Mcycles (%.3f ms at %.2f GHz)\n",
                 pred.cycles / 1e6, pred.seconds * 1e3,
-                cfg.core.frequencyGHz);
+                cfg.core().frequencyGHz);
     std::printf("simulator says    %.2f Mcycles -> prediction error %s\n",
                 sim.cycles / 1e6,
                 fmtPct((pred.cycles - sim.cycles) / sim.cycles).c_str());

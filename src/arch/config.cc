@@ -23,36 +23,97 @@ CoreConfig::defaultFus()
 }
 
 void
-MulticoreConfig::validate() const
+CoreConfig::validate() const
 {
-    RPPM_REQUIRE(numCores >= 1, "need at least one core");
-    RPPM_REQUIRE(core.dispatchWidth >= 1, "dispatch width must be >= 1");
-    RPPM_REQUIRE(core.robSize >= core.dispatchWidth,
+    RPPM_REQUIRE(dispatchWidth >= 1, "dispatch width must be >= 1");
+    RPPM_REQUIRE(robSize >= dispatchWidth,
                  "ROB must hold at least one dispatch group");
-    RPPM_REQUIRE(core.issueQueueSize >= 1, "issue queue must be >= 1");
-    RPPM_REQUIRE(core.frequencyGHz > 0.0, "frequency must be positive");
-    for (const CacheConfig *c : {&l1i, &l1d, &l2, &llc}) {
+    RPPM_REQUIRE(issueQueueSize >= 1, "issue queue must be >= 1");
+    RPPM_REQUIRE(frequencyGHz > 0.0, "frequency must be positive");
+    for (const CacheConfig *c : {&l1i, &l1d, &l2}) {
         RPPM_REQUIRE(c->lineBytes > 0 && c->assoc > 0 && c->sizeBytes > 0,
                      "cache parameters must be positive");
         RPPM_REQUIRE(c->sizeBytes % (c->assoc * c->lineBytes) == 0,
                      "cache size must be a whole number of sets");
     }
     RPPM_REQUIRE(l1i.lineBytes == l1d.lineBytes &&
-                 l1d.lineBytes == l2.lineBytes &&
-                 l2.lineBytes == llc.lineBytes,
-                 "all cache levels must share one line size");
+                 l1d.lineBytes == l2.lineBytes,
+                 "private cache levels must share one line size");
+}
+
+std::string
+ThreadMapping::label() const
+{
+    if (threadToCore.empty())
+        return "id";
+    // Any multi-digit core id switches the whole label to '.'-separated
+    // form; mixing the two would make labels ambiguous.
+    const bool wide = std::any_of(threadToCore.begin(), threadToCore.end(),
+                                  [](uint32_t c) { return c > 9; });
+    std::string out;
+    for (size_t t = 0; t < threadToCore.size(); ++t) {
+        if (wide && t > 0)
+            out += '.';
+        out += std::to_string(threadToCore[t]);
+    }
+    return out;
+}
+
+void
+ThreadMapping::validate(uint32_t numCores) const
+{
+    for (uint32_t core : threadToCore) {
+        RPPM_REQUIRE(core < numCores,
+                     "thread mapping references a core index beyond the "
+                     "core table");
+    }
+}
+
+bool
+MulticoreConfig::homogeneous() const
+{
+    for (const CoreConfig &c : cores) {
+        if (!(c == cores.front()))
+            return false;
+    }
+    return true;
+}
+
+MulticoreConfig &
+MulticoreConfig::setNumCores(uint32_t n)
+{
+    RPPM_REQUIRE(!cores.empty(), "core table is empty");
+    cores.resize(n, cores.front());
+    return *this;
+}
+
+void
+MulticoreConfig::validate() const
+{
+    RPPM_REQUIRE(!cores.empty(), "need at least one core (empty core table)");
+    for (const CoreConfig &c : cores)
+        c.validate();
+    RPPM_REQUIRE(llc.lineBytes > 0 && llc.assoc > 0 && llc.sizeBytes > 0,
+                 "cache parameters must be positive");
+    RPPM_REQUIRE(llc.sizeBytes % (llc.assoc * llc.lineBytes) == 0,
+                 "cache size must be a whole number of sets");
+    for (const CoreConfig &c : cores) {
+        RPPM_REQUIRE(c.l1d.lineBytes == llc.lineBytes,
+                     "all cache levels of all cores must share one line "
+                     "size");
+    }
+    mapping.validate(numCores());
 }
 
 MulticoreConfig
 baseConfig()
 {
-    MulticoreConfig cfg;
-    cfg.name = "Base";
-    cfg.numCores = 4;
-    cfg.core.frequencyGHz = 2.5;
-    cfg.core.dispatchWidth = 4;
-    cfg.core.robSize = 128;
-    cfg.core.issueQueueSize = 64;
+    CoreConfig core;
+    core.frequencyGHz = 2.5;
+    core.dispatchWidth = 4;
+    core.robSize = 128;
+    core.issueQueueSize = 64;
+    MulticoreConfig cfg("Base", 4, core);
     cfg.validate();
     return cfg;
 }
@@ -79,32 +140,176 @@ tableIvConfigs()
 
     std::vector<MulticoreConfig> configs;
     for (const Row &row : rows) {
-        MulticoreConfig cfg;
-        cfg.name = row.name;
-        cfg.numCores = 4;
-        cfg.core.frequencyGHz = row.freq;
-        cfg.core.dispatchWidth = row.width;
-        cfg.core.robSize = row.rob;
-        cfg.core.issueQueueSize = row.iq;
+        CoreConfig core;
+        core.frequencyGHz = row.freq;
+        core.dispatchWidth = row.width;
+        core.robSize = row.rob;
+        core.issueQueueSize = row.iq;
         // Off-chip DRAM latency is constant in wall-clock time (80 ns,
         // i.e. 200 cycles at the 2.5 GHz Base), so high-frequency design
         // points pay more core cycles per miss. On-chip cache latencies
         // stay constant in cycles (SRAM pipelines track the clock).
-        cfg.memLatency = static_cast<uint32_t>(80.0 * row.freq + 0.5);
+        core.memLatency = static_cast<uint32_t>(80.0 * row.freq + 0.5);
         // Execution resources scale with width so every design point can
         // actually sustain its peak dispatch rate (the iso-throughput
         // premise of the case study).
-        cfg.core.fus[static_cast<size_t>(OpClass::IntAlu)].count =
-            row.width;
+        core.fus[static_cast<size_t>(OpClass::IntAlu)].count = row.width;
         const uint32_t half = std::max<uint32_t>(2, (row.width + 1) / 2);
         for (OpClass cls : {OpClass::FpAdd, OpClass::FpMul, OpClass::Load,
                             OpClass::Store, OpClass::Branch}) {
-            cfg.core.fus[static_cast<size_t>(cls)].count = half;
+            core.fus[static_cast<size_t>(cls)].count = half;
         }
+        MulticoreConfig cfg(row.name, 4, core);
         cfg.validate();
-        configs.push_back(cfg);
+        configs.push_back(std::move(cfg));
     }
     return configs;
+}
+
+MulticoreConfig
+bigLittleConfig(uint32_t numBig, uint32_t numLittle, std::string name)
+{
+    RPPM_REQUIRE(numBig >= 1, "big.LITTLE needs at least one big core");
+    RPPM_REQUIRE(numLittle >= 1,
+                 "big.LITTLE needs at least one little core");
+
+    // Big: the paper's Base core.
+    const CoreConfig big = baseConfig().core();
+
+    // Little: narrow, slow clock, shallow window, small private caches —
+    // an efficiency core. DRAM latency keeps the same 80 ns wall-clock
+    // cost in the little clock domain.
+    CoreConfig little;
+    little.frequencyGHz = 1.25;
+    little.dispatchWidth = 2;
+    little.robSize = 32;
+    little.issueQueueSize = 16;
+    little.frontendDepth = 4;
+    little.mshrs = 8;
+    little.fus[static_cast<size_t>(OpClass::IntAlu)].count = 2;
+    little.branch.totalBytes = 1024;
+    little.branch.historyBits = 8;
+    little.l1i = {"L1I", 16 * 1024, 4, 64, 1};
+    little.l1d = {"L1D", 16 * 1024, 4, 64, 2};
+    little.l2 = {"L2", 128 * 1024, 8, 64, 8};
+    little.memLatency =
+        static_cast<uint32_t>(80.0 * little.frequencyGHz + 0.5);
+
+    MulticoreConfig cfg;
+    cfg.name = name.empty() ?
+        "bigLITTLE-" + std::to_string(numBig) + "+" +
+            std::to_string(numLittle) :
+        std::move(name);
+    cfg.cores.assign(numBig, big);
+    cfg.cores.insert(cfg.cores.end(), numLittle, little);
+    cfg.validate();
+    return cfg;
+}
+
+MulticoreConfig
+dvfsConfig(const MulticoreConfig &base, const std::vector<double> &perCoreGHz,
+           std::string name)
+{
+    RPPM_REQUIRE(perCoreGHz.size() == base.cores.size(),
+                 "one frequency required per core");
+    MulticoreConfig cfg = base;
+    for (size_t i = 0; i < cfg.cores.size(); ++i) {
+        CoreConfig &c = cfg.cores[i];
+        RPPM_REQUIRE(perCoreGHz[i] > 0.0, "frequency must be positive");
+        // Constant wall-clock DRAM latency: rescale the cycle count to
+        // the new clock.
+        const double mem_ns =
+            static_cast<double>(c.memLatency) / c.frequencyGHz;
+        c.frequencyGHz = perCoreGHz[i];
+        c.memLatency =
+            static_cast<uint32_t>(mem_ns * perCoreGHz[i] + 0.5);
+    }
+    if (!name.empty())
+        cfg.name = std::move(name);
+    cfg.validate();
+    return cfg;
+}
+
+std::vector<MulticoreConfig>
+heterogeneousConfigs()
+{
+    std::vector<MulticoreConfig> configs;
+    configs.push_back(bigLittleConfig(2, 2));
+    configs.push_back(bigLittleConfig(1, 3));
+    const MulticoreConfig base = baseConfig();
+    configs.push_back(
+        dvfsConfig(base, {2.5, 2.0, 1.5, 1.0}, "DVFS-ladder"));
+    configs.push_back(
+        dvfsConfig(base, {2.5, 2.5, 1.25, 1.25}, "DVFS-split"));
+    return configs;
+}
+
+std::vector<MulticoreConfig>
+mappingSweep(const MulticoreConfig &base, uint32_t numThreads)
+{
+    base.validate();
+    RPPM_REQUIRE(numThreads >= 1, "need at least one thread");
+    const uint32_t n = base.numCores();
+
+    // Group interchangeable cores into classes; placements that differ
+    // only by a permutation of equal cores are the same design point,
+    // so the sweep enumerates *distinct class sequences* directly
+    // (multiset permutations, one emitted config each) instead of
+    // walking all n! core orderings.
+    std::vector<std::vector<uint32_t>> classes; // core ids per class
+    for (uint32_t c = 0; c < n; ++c) {
+        size_t k = 0;
+        while (k < classes.size() &&
+               !(base.cores[classes[k].front()] == base.cores[c]))
+            ++k;
+        if (k == classes.size())
+            classes.emplace_back();
+        classes[k].push_back(c);
+    }
+
+    // Threads beyond the core count wrap onto the same placement
+    // (thread t shares thread t-n's core), mirroring the identity
+    // mapping's modulo semantics.
+    const uint32_t len = std::min(numThreads, n);
+    std::vector<MulticoreConfig> sweep;
+    std::vector<size_t> seq;                    // class per position
+    std::vector<uint32_t> used(classes.size(), 0);
+
+    auto emit = [&]() {
+        std::vector<uint32_t> map(numThreads);
+        std::vector<uint32_t> taken(classes.size(), 0);
+        for (uint32_t t = 0; t < numThreads; ++t) {
+            if (t < len) {
+                const size_t k = seq[t];
+                map[t] = classes[k][taken[k]++]; // distinct physical core
+            } else {
+                map[t] = map[t % len];
+            }
+        }
+        MulticoreConfig cfg = base;
+        cfg.mapping = ThreadMapping(std::move(map));
+        cfg.name = base.name + "#" + cfg.mapping.label();
+        sweep.push_back(std::move(cfg));
+    };
+    // DFS over class sequences, bounded by each class's core count so
+    // no placement oversubscribes a core.
+    auto rec = [&](auto &&self) -> void {
+        if (seq.size() == len) {
+            emit();
+            return;
+        }
+        for (size_t k = 0; k < classes.size(); ++k) {
+            if (used[k] == classes[k].size())
+                continue;
+            ++used[k];
+            seq.push_back(k);
+            self(self);
+            seq.pop_back();
+            --used[k];
+        }
+    };
+    rec(rec);
+    return sweep;
 }
 
 } // namespace rppm

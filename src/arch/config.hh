@@ -7,6 +7,20 @@
  * branch predictor. Both the golden-reference simulator and the RPPM
  * analytical model consume the same MulticoreConfig, so a single profile
  * can be evaluated against any configuration ("profile once, predict many").
+ *
+ * A MulticoreConfig is a per-core table of CoreConfigs plus the shared
+ * resources (LLC, memory bus), so heterogeneous machines — big.LITTLE
+ * pairings, per-core DVFS ladders — are first-class design points. A
+ * ThreadMapping places software threads onto cores; the default identity
+ * mapping reproduces the classic homogeneous behaviour. Time bookkeeping
+ * with mixed clock domains:
+ *
+ *  - per-core times are expressed in that core's own cycles;
+ *  - multicore-level times (sync events, total execution time,
+ *    bottlegraph activity) are expressed in *reference cycles*, i.e.
+ *    cycles of core 0's clock, via timeScale(). For a homogeneous
+ *    machine every scale factor is exactly 1.0, so predictions are
+ *    bit-identical to the uniform-core code path.
  */
 
 #ifndef RPPM_ARCH_CONFIG_HH
@@ -15,6 +29,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "trace/trace.hh"
@@ -27,6 +42,8 @@ struct FuConfig
     uint32_t latency = 1;    ///< execution latency in cycles
     uint32_t count = 1;      ///< number of units
     uint32_t interval = 1;   ///< issue interval per unit (1 = pipelined)
+
+    bool operator==(const FuConfig &) const = default;
 };
 
 /** One cache level. */
@@ -40,6 +57,8 @@ struct CacheConfig
 
     uint32_t numSets() const { return sizeBytes / (assoc * lineBytes); }
     uint32_t numLines() const { return sizeBytes / lineBytes; }
+
+    bool operator==(const CacheConfig &) const = default;
 };
 
 /** Branch predictor configuration (tournament, as in Table IV). */
@@ -50,9 +69,16 @@ struct BranchPredictorConfig
 
     /** 2-bit counters per table; budget split across three tables. */
     uint32_t tableEntries() const { return totalBytes * 8 / 2 / 3; }
+
+    bool operator==(const BranchPredictorConfig &) const = default;
 };
 
-/** Out-of-order core configuration. */
+/**
+ * Out-of-order core configuration, including the core's private cache
+ * levels and its view of DRAM latency (in this core's cycles), so
+ * asymmetric designs can give big and little cores different memory
+ * front ends.
+ */
 struct CoreConfig
 {
     double frequencyGHz = 2.5;
@@ -65,38 +91,173 @@ struct CoreConfig
 
     BranchPredictorConfig branch;
 
-    /** Default functional-unit latencies (Skylake-like integers). */
-    static std::array<FuConfig, kNumOpClasses> defaultFus();
-};
-
-/** Whole multicore: identical cores, private L1I/L1D/L2, shared LLC. */
-struct MulticoreConfig
-{
-    std::string name = "base";
-    uint32_t numCores = 4;
-    CoreConfig core;
+    /** Private cache levels (the LLC is shared, see MulticoreConfig). */
     CacheConfig l1i{"L1I", 32 * 1024, 4, 64, 1};
     CacheConfig l1d{"L1D", 32 * 1024, 4, 64, 3};
     CacheConfig l2{"L2", 256 * 1024, 8, 64, 10};
+
+    /** DRAM access latency as seen by this core, in this core's cycles
+     *  (off-chip latency is constant in wall-clock time, so cores at
+     *  different frequencies pay different cycle counts). */
+    uint32_t memLatency = 200;
+
+    /** Default functional-unit latencies (Skylake-like integers). */
+    static std::array<FuConfig, kNumOpClasses> defaultFus();
+
+    /** Throws std::invalid_argument on inconsistent core parameters. */
+    void validate() const;
+
+    bool operator==(const CoreConfig &) const = default;
+};
+
+/**
+ * Thread-to-core placement. An empty table is the identity mapping
+ * (thread t runs on core t mod numCores); a non-empty table maps thread
+ * t to threadToCore[t mod table-size]. Only the *parameters* of the
+ * mapped core are applied — the model keeps the paper's assumption that
+ * concurrently active threads do not time-share a core.
+ */
+struct ThreadMapping
+{
+    std::vector<uint32_t> threadToCore;
+
+    ThreadMapping() = default;
+    explicit ThreadMapping(std::vector<uint32_t> map)
+        : threadToCore(std::move(map))
+    {}
+
+    bool isIdentity() const { return threadToCore.empty(); }
+
+    /** Core index thread @p thread is placed on. */
+    uint32_t coreOf(uint32_t thread, uint32_t numCores) const
+    {
+        if (threadToCore.empty())
+            return numCores > 0 ? thread % numCores : 0;
+        return threadToCore[thread % threadToCore.size()];
+    }
+
+    /** Compact label ("t0>c2 t1>c0 ..." shortened to "2031"). */
+    std::string label() const;
+
+    /** Throws std::invalid_argument on out-of-range core indices. */
+    void validate(uint32_t numCores) const;
+
+    bool operator==(const ThreadMapping &) const = default;
+};
+
+/**
+ * Whole multicore: a per-core table of (possibly different) CoreConfigs
+ * with private L1I/L1D/L2 each, one shared LLC, and a thread-to-core
+ * mapping. The default constructor and the (name, numCores, core)
+ * convenience constructor build the classic homogeneous machine.
+ */
+struct MulticoreConfig
+{
+    std::string name = "base";
+
+    /** One entry per core; validate() rejects an empty table. */
+    std::vector<CoreConfig> cores = std::vector<CoreConfig>(4);
+
+    /** Thread placement; default identity. */
+    ThreadMapping mapping;
+
     CacheConfig llc{"LLC", 8 * 1024 * 1024, 16, 64, 30};
-    uint32_t memLatency = 200;      ///< DRAM access latency in cycles
 
     /**
-     * Cycles the shared memory bus is occupied per DRAM transfer;
-     * concurrent misses from different cores queue behind each other.
-     * 0 disables bus contention (infinite bandwidth), which matches the
-     * paper's simulation setup; set >0 to study bandwidth interference.
+     * Cycles the shared memory bus is occupied per DRAM transfer, in
+     * reference (core 0) cycles; concurrent misses from different cores
+     * queue behind each other. 0 disables bus contention (infinite
+     * bandwidth), which matches the paper's simulation setup; set >0 to
+     * study bandwidth interference.
      */
     uint32_t memBusCycles = 0;
 
-    /** Throws if internally inconsistent. */
+    MulticoreConfig() = default;
+
+    /** Uniform machine: @p n identical copies of @p core. */
+    MulticoreConfig(std::string name_, uint32_t n, CoreConfig core_ = {})
+        : name(std::move(name_)), cores(n, core_)
+    {}
+
+    uint32_t numCores() const
+    {
+        return static_cast<uint32_t>(cores.size());
+    }
+
+    /** Core @p i's configuration (core 0 by default: the homogeneous
+     *  "template" core and the machine's reference clock domain). */
+    CoreConfig &core(uint32_t i = 0) { return cores.at(i); }
+    const CoreConfig &core(uint32_t i = 0) const { return cores.at(i); }
+
+    /** True when every core equals core 0. */
+    bool homogeneous() const;
+
+    /** Resize the core table to @p n cores replicating core 0. */
+    MulticoreConfig &setNumCores(uint32_t n);
+
+    /** Apply @p fn to every core (uniform tweaks in one line). */
+    template <typename Fn>
+    MulticoreConfig &
+    eachCore(Fn &&fn)
+    {
+        for (CoreConfig &c : cores)
+            fn(c);
+        return *this;
+    }
+
+    /** Core index thread @p thread is mapped to. */
+    uint32_t coreOf(uint32_t thread) const
+    {
+        return mapping.coreOf(thread, numCores());
+    }
+
+    /** Configuration of the core thread @p thread is mapped to. */
+    const CoreConfig &threadCore(uint32_t thread) const
+    {
+        return cores[coreOf(thread)];
+    }
+
+    /** The reference clock domain (core 0's frequency). */
+    double referenceGHz() const { return cores.front().frequencyGHz; }
+
+    /**
+     * Reference cycles per cycle of core @p i: multiply a core-local
+     * cycle count by this to express it on the common (core 0) time
+     * base. Exactly 1.0 when the frequencies match.
+     */
+    double
+    timeScale(uint32_t i) const
+    {
+        return referenceGHz() / cores[i].frequencyGHz;
+    }
+
+    /** timeScale() of the core thread @p thread is mapped to. */
+    double
+    threadTimeScale(uint32_t thread) const
+    {
+        return timeScale(coreOf(thread));
+    }
+
+    /** Convert a cycle count on core @p i's clock to nanoseconds. */
+    double
+    cyclesToNs(double cycles, uint32_t i = 0) const
+    {
+        return cycles / cores[i].frequencyGHz;
+    }
+
+    /** Convert reference cycles (the multicore time base) to seconds. */
+    double
+    refCyclesToSeconds(double refCycles) const
+    {
+        return refCycles / (referenceGHz() * 1e9);
+    }
+
+    /** Throws if internally inconsistent (empty core table, invalid
+     *  core or cache parameters, mixed line sizes, out-of-range thread
+     *  mapping). */
     void validate() const;
 
-    /** Convert a cycle count on this config to nanoseconds. */
-    double cyclesToNs(double cycles) const
-    {
-        return cycles / core.frequencyGHz;
-    }
+    bool operator==(const MulticoreConfig &) const = default;
 };
 
 /**
@@ -108,6 +269,45 @@ std::vector<MulticoreConfig> tableIvConfigs();
 
 /** The paper's Base configuration (middle column of Table IV). */
 MulticoreConfig baseConfig();
+
+// ------------------------------------------- heterogeneous design axes ---
+
+/**
+ * Asymmetric big.LITTLE machine: @p numBig Base-class cores (cores
+ * 0..numBig-1) followed by @p numLittle in-order-ish little cores
+ * (narrow, slow clock, small private caches). Core 0 is a big core, so
+ * reference time stays on the big clock domain.
+ */
+MulticoreConfig bigLittleConfig(uint32_t numBig, uint32_t numLittle,
+                                std::string name = "");
+
+/**
+ * Per-core DVFS scenario: copy of @p base with core i clocked at
+ * @p perCoreGHz[i] (the vector must have one entry per core). Each
+ * core's DRAM latency is rescaled so the wall-clock DRAM latency is
+ * preserved — the paper's constant-80ns assumption, per core.
+ */
+MulticoreConfig dvfsConfig(const MulticoreConfig &base,
+                           const std::vector<double> &perCoreGHz,
+                           std::string name = "");
+
+/**
+ * A named family of heterogeneous scenarios to sweep alongside
+ * tableIvConfigs(): big.LITTLE pairings and per-core DVFS ladders on
+ * the Base machine.
+ */
+std::vector<MulticoreConfig> heterogeneousConfigs();
+
+/**
+ * Thread-placement design space: one config per *distinct* placement of
+ * @p numThreads threads onto @p base's cores (permutations of the core
+ * order, deduplicated by the per-thread core parameters they induce, so
+ * symmetric cores do not multiply the space). Each config is named
+ * "<base>#<mapping label>" and can be fed straight to Study::addConfigs
+ * or exploreDesignSpace as design points.
+ */
+std::vector<MulticoreConfig> mappingSweep(const MulticoreConfig &base,
+                                          uint32_t numThreads);
 
 } // namespace rppm
 

@@ -7,13 +7,14 @@
 namespace rppm {
 
 CacheHierarchy::CacheHierarchy(const MulticoreConfig &cfg)
-    : cfg_(cfg), stats_(cfg.numCores)
+    : cfg_(cfg), stats_(cfg.numCores())
 {
     cfg_.validate();
-    for (uint32_t c = 0; c < cfg_.numCores; ++c) {
-        l1i_.push_back(std::make_unique<Cache>(cfg_.l1i));
-        l1d_.push_back(std::make_unique<Cache>(cfg_.l1d));
-        l2_.push_back(std::make_unique<Cache>(cfg_.l2));
+    for (uint32_t c = 0; c < cfg_.numCores(); ++c) {
+        const CoreConfig &core = cfg_.core(c);
+        l1i_.push_back(std::make_unique<Cache>(core.l1i));
+        l1d_.push_back(std::make_unique<Cache>(core.l1d));
+        l2_.push_back(std::make_unique<Cache>(core.l2));
     }
     llc_ = std::make_unique<Cache>(cfg_.llc);
 }
@@ -22,7 +23,7 @@ bool
 CacheHierarchy::invalidateRemote(uint32_t writer, uint64_t addr)
 {
     bool any = false;
-    for (uint32_t c = 0; c < cfg_.numCores; ++c) {
+    for (uint32_t c = 0; c < cfg_.numCores(); ++c) {
         if (c == writer)
             continue;
         bool inv = l1d_[c]->invalidate(addr);
@@ -39,10 +40,11 @@ AccessResult
 CacheHierarchy::dataAccess(uint32_t core, uint64_t addr, bool is_write,
                            double now)
 {
-    RPPM_ASSERT(core < cfg_.numCores);
+    RPPM_ASSERT(core < cfg_.numCores());
+    const CoreConfig &cc = cfg_.core(core);
     CoreMemStats &st = stats_[core];
     AccessResult result;
-    const uint64_t line = addr / cfg_.l1d.lineBytes;
+    const uint64_t line = addr / cfg_.llc.lineBytes;
 
     // A write must invalidate every remote private copy before this core
     // can own the line — do this regardless of local hit/miss so the tag
@@ -53,7 +55,7 @@ CacheHierarchy::dataAccess(uint32_t core, uint64_t addr, bool is_write,
     ++st.l1dAccesses;
     if (l1d_[core]->access(addr, is_write)) {
         result.level = HitLevel::L1;
-        result.latency = cfg_.l1d.latency;
+        result.latency = cc.l1d.latency;
         if (is_write)
             lastWriter_[line] = core + 1;
         return result;
@@ -70,7 +72,7 @@ CacheHierarchy::dataAccess(uint32_t core, uint64_t addr, bool is_write,
     ++st.l2Accesses;
     if (l2_[core]->access(addr, is_write)) {
         result.level = HitLevel::L2;
-        result.latency = cfg_.l1d.latency + cfg_.l2.latency;
+        result.latency = cc.l1d.latency + cc.l2.latency;
         if (is_write)
             lastWriter_[line] = core + 1;
         return result;
@@ -81,26 +83,31 @@ CacheHierarchy::dataAccess(uint32_t core, uint64_t addr, bool is_write,
     if (llc_->access(addr, is_write)) {
         result.level = HitLevel::LLC;
         result.latency =
-            cfg_.l1d.latency + cfg_.l2.latency + cfg_.llc.latency;
+            cc.l1d.latency + cc.l2.latency + cfg_.llc.latency;
         result.coherenceMiss = remote_written;
     } else {
         ++st.llcMisses;
         result.level = HitLevel::Memory;
-        result.latency = cfg_.l1d.latency + cfg_.l2.latency +
-            cfg_.llc.latency + cfg_.memLatency;
+        result.latency = cc.l1d.latency + cc.l2.latency +
+            cfg_.llc.latency + cc.memLatency;
         result.coherenceMiss = remote_written;
         // Shared memory bus: concurrent DRAM transfers from different
         // cores serialize on the bus; the queueing delay adds to the
         // miss latency (negative bandwidth interference). The backlog
         // drains as observed time advances and grows by one service
-        // time per transfer.
+        // time per transfer. Bus state lives on the reference (core 0)
+        // clock; core-local timestamps and the returned penalty are
+        // converted through the core's timeScale (exactly 1.0 on a
+        // homogeneous machine).
         if (cfg_.memBusCycles > 0) {
-            if (now > busLastNow_) {
+            const double scale = cfg_.timeScale(core);
+            const double now_ref = now * scale;
+            if (now_ref > busLastNow_) {
                 busBacklog_ = std::max(0.0, busBacklog_ -
-                                       (now - busLastNow_));
-                busLastNow_ = now;
+                                       (now_ref - busLastNow_));
+                busLastNow_ = now_ref;
             }
-            result.latency += static_cast<uint32_t>(busBacklog_);
+            result.latency += static_cast<uint32_t>(busBacklog_ / scale);
             busBacklog_ += static_cast<double>(cfg_.memBusCycles);
         }
     }
@@ -114,7 +121,8 @@ CacheHierarchy::dataAccess(uint32_t core, uint64_t addr, bool is_write,
 uint32_t
 CacheHierarchy::instrFetch(uint32_t core, uint64_t pc)
 {
-    RPPM_ASSERT(core < cfg_.numCores);
+    RPPM_ASSERT(core < cfg_.numCores());
+    const CoreConfig &cc = cfg_.core(core);
     CoreMemStats &st = stats_[core];
     ++st.l1iAccesses;
     if (l1i_[core]->access(pc, false))
@@ -122,10 +130,10 @@ CacheHierarchy::instrFetch(uint32_t core, uint64_t pc)
     ++st.l1iMisses;
     // Instruction misses are served by the unified L2 / LLC path.
     if (l2_[core]->access(pc, false))
-        return cfg_.l2.latency;
+        return cc.l2.latency;
     if (llc_->access(pc, false))
-        return cfg_.l2.latency + cfg_.llc.latency;
-    return cfg_.l2.latency + cfg_.llc.latency + cfg_.memLatency;
+        return cc.l2.latency + cfg_.llc.latency;
+    return cc.l2.latency + cfg_.llc.latency + cc.memLatency;
 }
 
 } // namespace rppm

@@ -54,9 +54,12 @@ struct CoreMemStats
 /**
  * The full memory hierarchy for one multicore.
  *
- * All timing is expressed in core clock cycles of the owning config.
- * Instruction fetches go through dataless L1I lookups; data accesses walk
- * L1D -> L2 -> LLC -> memory, filling on the way back.
+ * Private levels are built per core from that core's CoreConfig, so
+ * heterogeneous machines give each core its own cache geometry. Returned
+ * latencies are in the *accessing core's* clock cycles; shared-bus
+ * queueing state is kept on the reference (core 0) clock and converted
+ * per access. Instruction fetches go through dataless L1I lookups; data
+ * accesses walk L1D -> L2 -> LLC -> memory, filling on the way back.
  */
 class CacheHierarchy
 {

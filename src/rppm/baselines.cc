@@ -11,18 +11,26 @@ double
 predictMain(const WorkloadProfile &profile, const MulticoreConfig &cfg)
 {
     RPPM_REQUIRE(!profile.threads.empty(), "profile has no threads");
-    // Thread 0 is the thread initiated at program start.
-    return predictThread(profile.threads[0], cfg).activeCycles;
+    // Thread 0 is the thread initiated at program start; evaluate it on
+    // its mapped core and report reference cycles.
+    return predictThread(profile.threads[0], cfg, cfg.threadCore(0))
+               .activeCycles *
+        cfg.threadTimeScale(0);
 }
 
 double
 predictCrit(const WorkloadProfile &profile, const MulticoreConfig &cfg)
 {
     RPPM_REQUIRE(!profile.threads.empty(), "profile has no threads");
+    // The critical thread is the slowest in wall-clock terms, so each
+    // thread's cycles are compared on the common reference time base.
     double worst = 0.0;
-    for (const ThreadProfile &thread : profile.threads) {
-        worst = std::max(worst,
-                         predictThread(thread, cfg).activeCycles);
+    for (uint32_t t = 0; t < profile.threads.size(); ++t) {
+        worst = std::max(
+            worst,
+            predictThread(profile.threads[t], cfg, cfg.threadCore(t))
+                    .activeCycles *
+                cfg.threadTimeScale(t));
     }
     return worst;
 }

@@ -21,11 +21,13 @@
 
 namespace rppm {
 
-/** MAIN baseline: predicted cycles of the main thread only. */
+/** MAIN baseline: predicted cycles of the main thread only, evaluated
+ *  on its mapped core and reported in reference cycles. */
 double predictMain(const WorkloadProfile &profile,
                    const MulticoreConfig &cfg);
 
-/** CRIT baseline: predicted cycles of the slowest thread. */
+/** CRIT baseline: predicted reference cycles of the slowest thread
+ *  (each thread evaluated on its mapped core). */
 double predictCrit(const WorkloadProfile &profile,
                    const MulticoreConfig &cfg);
 

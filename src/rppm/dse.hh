@@ -73,6 +73,12 @@ struct DseOptions
  * times, both through the Evaluator interface (no caller-supplied
  * timing vectors). The workload is profiled at most once. Design
  * points are a Study grid axis, so every config needs a distinct name.
+ *
+ * Any MulticoreConfig is a design point — including heterogeneous
+ * machines and thread placements: feed mappingSweep() or
+ * heterogeneousConfigs() output here to pick the best thread-to-core
+ * mapping or DVFS scenario from one profile (see
+ * examples/heterogeneous_mapping.cpp).
  */
 DseResult exploreDesignSpace(const WorkloadSource &workload,
                              const std::vector<MulticoreConfig> &configs,

@@ -6,16 +6,17 @@ namespace rppm {
 
 EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
                                    const MulticoreConfig &cfg,
+                                   const CoreConfig &core,
                                    bool llc_uses_global_rd)
-    : epoch_(epoch), cfg_(cfg),
+    : epoch_(epoch), cfg_(cfg), core_(core),
       localStack_(epoch.localRd),
       globalStack_(llc_uses_global_rd ? epoch.globalRd : epoch.localRd),
       loadLocalStack_(epoch.loadLocalRd),
       loadGlobalStack_(llc_uses_global_rd ? epoch.loadGlobalRd
                                           : epoch.loadLocalRd),
       llcUsesGlobalRd_(llc_uses_global_rd),
-      l1Lines_(cfg.l1d.numLines()),
-      l2Lines_(cfg.l2.numLines()),
+      l1Lines_(core.l1d.numLines()),
+      l2Lines_(core.l2.numLines()),
       llcLines_(cfg.llc.numLines())
 {
     // Private levels from the per-thread distribution; shared LLC from
@@ -37,13 +38,13 @@ EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
     // instruction reuse distances drive all levels.
     if (epoch.numOps > 0 && epoch.instrRd.total() > 0) {
         StatStack istack(epoch.instrRd);
-        const double l1i_miss = istack.missRate(cfg.l1i.numLines());
+        const double l1i_miss = istack.missRate(core.l1i.numLines());
         const double l2i_miss = istack.missRate(l2Lines_);
         const double llci_miss = istack.missRate(llcLines_);
         const double per_fetch =
-            l1i_miss * static_cast<double>(cfg.l2.latency) +
+            l1i_miss * static_cast<double>(core.l2.latency) +
             l2i_miss * static_cast<double>(cfg.llc.latency) +
-            llci_miss * static_cast<double>(cfg.memLatency);
+            llci_miss * static_cast<double>(core.memLatency);
         icacheCycles_ = per_fetch * static_cast<double>(epoch.numOps);
     }
 }
@@ -60,16 +61,16 @@ EpochMemoryModel::expectedLatency(const MicroTraceOp &op) const
     // Walk the hierarchy with per-access hit/miss decisions derived from
     // the access's own reuse distances. DRAM latency is excluded: the
     // long-latency load stall is Eq. 1's separate D-component.
-    const double l1 = static_cast<double>(cfg_.l1d.latency);
+    const double l1 = static_cast<double>(core_.l1d.latency);
     if (op.op == OpClass::Store)
         return static_cast<double>(
-            cfg_.core.fus[static_cast<size_t>(OpClass::Store)].latency);
+            core_.fus[static_cast<size_t>(OpClass::Store)].latency);
 
     const double sd_local = localStack_.stackDistance(op.localRd);
     const double sd_global = globalStack_.stackDistance(llcRd(op));
     double latency = l1;
     if (sd_local >= static_cast<double>(l1Lines_)) {
-        latency += static_cast<double>(cfg_.l2.latency);
+        latency += static_cast<double>(core_.l2.latency);
         if (sd_local >= static_cast<double>(l2Lines_)) {
             latency += static_cast<double>(cfg_.llc.latency);
             (void)sd_global; // DRAM handled in expectedLatencyFull()
@@ -89,7 +90,7 @@ EpochMemoryModel::expectedLatencyFull(const MicroTraceOp &op) const
         // shared LLC (its interleaved reuse must exceed the LLC reach).
         if (sd_local >= static_cast<double>(l2Lines_) &&
             sd_global >= static_cast<double>(llcLines_)) {
-            latency += static_cast<double>(cfg_.memLatency);
+            latency += static_cast<double>(core_.memLatency);
         }
     }
     return latency;
@@ -100,8 +101,8 @@ EpochMemoryModel::expectedLatencyL1Only(const MicroTraceOp &op) const
 {
     if (op.op == OpClass::Store)
         return static_cast<double>(
-            cfg_.core.fus[static_cast<size_t>(OpClass::Store)].latency);
-    return static_cast<double>(cfg_.l1d.latency);
+            core_.fus[static_cast<size_t>(OpClass::Store)].latency);
+    return static_cast<double>(core_.l1d.latency);
 }
 
 } // namespace rppm

@@ -24,16 +24,24 @@ namespace rppm {
 struct EpochMemoryModel
 {
     /**
-     * Build the statistical cache model for @p epoch on @p cfg.
-     * Holds references to the epoch's histograms; the epoch must outlive
-     * the model.
+     * Build the statistical cache model for @p epoch running on core
+     * @p core of @p cfg (private levels and DRAM latency come from the
+     * core, the shared LLC from the multicore). Holds references to the
+     * epoch's histograms and both configs; they must outlive the model.
      *
      * @param llc_uses_global_rd predict the shared LLC from the global
      *        interleaved reuse distances (full model); false falls back
      *        to the per-thread distances (ablation: no interference)
      */
     EpochMemoryModel(const EpochProfile &epoch, const MulticoreConfig &cfg,
+                     const CoreConfig &core,
                      bool llc_uses_global_rd = true);
+
+    /** Convenience: model for core 0 (uniform machines). */
+    EpochMemoryModel(const EpochProfile &epoch, const MulticoreConfig &cfg,
+                     bool llc_uses_global_rd = true)
+        : EpochMemoryModel(epoch, cfg, cfg.core(0), llc_uses_global_rd)
+    {}
 
     /** Miss rates (per access) at each level. */
     double l1dMissRate() const { return l1dMiss_; }
@@ -89,6 +97,7 @@ struct EpochMemoryModel
 
     const EpochProfile &epoch_;
     const MulticoreConfig &cfg_;
+    const CoreConfig &core_;
     StatStack localStack_;
     StatStack globalStack_;
     StatStack loadLocalStack_;

@@ -36,18 +36,28 @@ predict(const WorkloadProfile &profile, const MulticoreConfig &cfg,
     pred.workload = profile.name;
     pred.config = cfg.name;
 
-    // Phase 1: per-epoch active execution times for every thread.
+    // Phase 1: per-epoch active execution times for every thread,
+    // evaluated against the core the thread is mapped to.
     pred.threads.reserve(profile.numThreads);
-    for (const ThreadProfile &thread : profile.threads)
-        pred.threads.push_back(predictThread(thread, cfg, opts.eq1));
+    pred.threadCoreIds.reserve(profile.numThreads);
+    for (uint32_t t = 0; t < profile.numThreads; ++t) {
+        pred.threadCoreIds.push_back(cfg.coreOf(t));
+        pred.threads.push_back(predictThread(profile.threads[t], cfg,
+                                             cfg.threadCore(t), opts.eq1));
+    }
 
-    // Phase 2: symbolic execution of the synchronization trace.
+    // Phase 2: symbolic execution of the synchronization trace on the
+    // common reference time base.
     const SyncModelResult sync =
-        runSyncModel(profile, pred.threads, opts.sync);
+        runSyncModel(profile, pred.threads, cfg, opts.sync);
     pred.totalCycles = sync.totalCycles;
-    pred.totalSeconds = sync.totalCycles / (cfg.core.frequencyGHz * 1e9);
+    pred.totalSeconds = cfg.refCyclesToSeconds(sync.totalCycles);
     pred.threadIdle = sync.threadIdle;
     pred.activity = sync.activity;
+    pred.threadSeconds.reserve(profile.numThreads);
+    for (uint32_t t = 0; t < profile.numThreads; ++t)
+        pred.threadSeconds.push_back(
+            cfg.refCyclesToSeconds(sync.threadFinish[t]));
     return pred;
 }
 

@@ -22,7 +22,14 @@
 
 namespace rppm {
 
-/** Full RPPM prediction for one configuration. */
+/**
+ * Full RPPM prediction for one configuration.
+ *
+ * totalCycles (and activity) are in reference cycles — core 0's clock
+ * domain — so heterogeneous per-core frequencies share one time base;
+ * per-thread phase-1 results are in each thread's mapped core's own
+ * cycles (threadCoreIds records the mapping used).
+ */
 struct RppmPrediction
 {
     std::string workload;
@@ -32,6 +39,8 @@ struct RppmPrediction
     std::vector<ThreadPrediction> threads; ///< phase-1 results
     std::vector<double> threadIdle;        ///< phase-2 sync idle/thread
     std::vector<std::vector<ActivityInterval>> activity;
+    std::vector<uint32_t> threadCoreIds;   ///< core each thread ran on
+    std::vector<double> threadSeconds;     ///< per-thread finish time (s)
 
     /**
      * Average per-thread CPI stack, normalized per instruction, with the

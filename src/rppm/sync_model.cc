@@ -7,10 +7,45 @@
 
 namespace rppm {
 
+namespace detail {
+
+/** Algorithm 2 with an explicit per-thread reference-cycles-per-own-
+ *  cycle conversion factor (all 1.0 = single clock domain). */
+SyncModelResult
+runSyncModelScaled(const WorkloadProfile &profile,
+                   const std::vector<ThreadPrediction> &threads,
+                   const std::vector<double> &scales,
+                   const SyncModelOptions &opts);
+
+} // namespace detail
+
 SyncModelResult
 runSyncModel(const WorkloadProfile &profile,
              const std::vector<ThreadPrediction> &threads,
              const SyncModelOptions &opts)
+{
+    const std::vector<double> scales(profile.numThreads, 1.0);
+    return detail::runSyncModelScaled(profile, threads, scales, opts);
+}
+
+SyncModelResult
+runSyncModel(const WorkloadProfile &profile,
+             const std::vector<ThreadPrediction> &threads,
+             const MulticoreConfig &cfg, const SyncModelOptions &opts)
+{
+    std::vector<double> scales(profile.numThreads, 1.0);
+    for (uint32_t t = 0; t < profile.numThreads; ++t)
+        scales[t] = cfg.threadTimeScale(t);
+    return detail::runSyncModelScaled(profile, threads, scales, opts);
+}
+
+namespace detail {
+
+SyncModelResult
+runSyncModelScaled(const WorkloadProfile &profile,
+                   const std::vector<ThreadPrediction> &threads,
+                   const std::vector<double> &scales,
+                   const SyncModelOptions &opts)
 {
     const uint32_t num_threads = profile.numThreads;
     RPPM_REQUIRE(threads.size() == num_threads,
@@ -39,7 +74,9 @@ runSyncModel(const WorkloadProfile &profile,
         for (const auto &[tid, when] : out.released) {
             Cursor &c = cursors[tid];
             if (when > c.time) {
-                result.threadIdle[tid] += when - c.time;
+                // Reference-cycle gap, booked in the thread's own clock
+                // so it stacks onto the thread's CPI components.
+                result.threadIdle[tid] += (when - c.time) / scales[tid];
                 c.time = when;
             }
             c.activeStart = c.time;
@@ -68,8 +105,9 @@ runSyncModel(const WorkloadProfile &profile,
         const ThreadPrediction &pred = threads[pick];
         RPPM_ASSERT(cur.epoch < tp.epochs.size());
 
-        // Advance through the epoch's active execution time.
-        cur.time += pred.epochs[cur.epoch].cycles;
+        // Advance through the epoch's active execution time (converted
+        // from the thread's core cycles to the reference time base).
+        cur.time += pred.epochs[cur.epoch].cycles * scales[pick];
         const EpochProfile &epoch = tp.epochs[cur.epoch];
         ++cur.epoch;
 
@@ -85,9 +123,9 @@ runSyncModel(const WorkloadProfile &profile,
             continue;
         }
 
-        // Synchronization operations cost real cycles, mirroring the
-        // simulator's per-event overhead.
-        cur.time += opts.syncOpCost;
+        // Synchronization operations cost real cycles on the thread's
+        // own clock, mirroring the simulator's per-event overhead.
+        cur.time += opts.syncOpCost * scales[pick];
 
         // Close the activity interval at every sync event: a release may
         // move this thread's activeStart (e.g. when it is the last
@@ -111,5 +149,7 @@ runSyncModel(const WorkloadProfile &profile,
                                       result.threadFinish[t]);
     return result;
 }
+
+} // namespace detail
 
 } // namespace rppm

@@ -31,20 +31,37 @@ struct SyncModelOptions
     double syncOpCost = 40.0;
 };
 
-/** Result of the phase-2 symbolic execution. */
+/**
+ * Result of the phase-2 symbolic execution.
+ *
+ * Multicore-level times (totalCycles, threadFinish, activity) are in
+ * reference cycles — cycles of core 0's clock when a MulticoreConfig
+ * drives the execution, which coincide with plain cycles on homogeneous
+ * machines. threadIdle is in each thread's *own* core cycles so it can
+ * be stacked onto the thread's CPI components directly.
+ */
 struct SyncModelResult
 {
     double totalCycles = 0.0;          ///< predicted execution time
     std::vector<double> threadFinish;  ///< per-thread completion times
-    std::vector<double> threadIdle;    ///< per-thread sync idle cycles
+    std::vector<double> threadIdle;    ///< sync idle, own-core cycles
     /** Per-thread busy intervals, for predicted bottlegraphs. */
     std::vector<std::vector<ActivityInterval>> activity;
 };
 
 /**
  * Run Algorithm 2 over @p profile with per-epoch durations from
- * @p threads (one ThreadPrediction per profiled thread).
+ * @p threads (one ThreadPrediction per profiled thread), each thread's
+ * cycles converted to the common reference time base through
+ * @p cfg.threadTimeScale() — this is what lets threads on cores with
+ * different clocks synchronize consistently.
  */
+SyncModelResult runSyncModel(const WorkloadProfile &profile,
+                             const std::vector<ThreadPrediction> &threads,
+                             const MulticoreConfig &cfg,
+                             const SyncModelOptions &opts = {});
+
+/** Convenience: single clock domain (all time scales 1). */
 SyncModelResult runSyncModel(const WorkloadProfile &profile,
                              const std::vector<ThreadPrediction> &threads,
                              const SyncModelOptions &opts = {});

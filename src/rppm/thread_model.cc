@@ -21,19 +21,23 @@ namespace {
  * @param cycles predicted epoch length (for the arrival rate)
  */
 double
-busAdjustedDram(const MulticoreConfig &cfg, double misses, double cycles,
-                double dram_cycles)
+busAdjustedDram(const MulticoreConfig &cfg, const CoreConfig &core,
+                double misses, double cycles, double dram_cycles)
 {
     if (cfg.memBusCycles == 0 || misses <= 0.0 || cycles <= 0.0)
         return dram_cycles;
-    const double service = static_cast<double>(cfg.memBusCycles);
-    const double cores = static_cast<double>(cfg.numCores);
+    // memBusCycles is defined on the reference (core 0) clock; this
+    // epoch's quantities are in @p core's own cycles, so convert the
+    // service time (exact /1.0 on a homogeneous machine).
+    const double service = static_cast<double>(cfg.memBusCycles) /
+        (cfg.referenceGHz() / core.frequencyGHz);
+    const double cores = static_cast<double>(cfg.numCores());
 
     // Light/moderate load: M/D/1 queueing delay per transfer.
     const double rho = std::min(0.95, misses / cycles * cores * service);
     const double wait = 0.5 * service * rho / (1.0 - rho);
     const double inflated = dram_cycles *
-        (1.0 + wait / static_cast<double>(cfg.memLatency));
+        (1.0 + wait / static_cast<double>(core.memLatency));
 
     // Saturation: the bus serializes every core's transfers, so the
     // epoch cannot drain its misses faster than the aggregate service
@@ -48,36 +52,43 @@ EpochPrediction
 predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
              const Eq1Options &opts)
 {
+    return predictEpoch(epoch, cfg, cfg.core(0), opts);
+}
+
+EpochPrediction
+predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
+             const CoreConfig &core, const Eq1Options &opts)
+{
     EpochPrediction pred;
     if (epoch.numOps == 0)
         return pred;
 
     const double n = static_cast<double>(epoch.numOps);
-    EpochMemoryModel mem(epoch, cfg, opts.llcUsesGlobalRd);
+    EpochMemoryModel mem(epoch, cfg, core, opts.llcUsesGlobalRd);
 
     if (!opts.ilpReplay) {
         // Ablation: no ILP modeling. Dispatch at full front-end width and
         // stack the miss components additively on top (the pre-interval-
         // model view of processor performance).
-        const double width = static_cast<double>(cfg.core.dispatchWidth);
+        const double width = static_cast<double>(core.dispatchWidth);
         pred.deff = width;
         pred.stack[CpiComponent::Base] = n / width;
         const double mem_accesses =
             static_cast<double>(epoch.numLoads + epoch.numStores);
         pred.stack[CpiComponent::MemL2] = mem_accesses *
-            mem.l1dMissRate() * static_cast<double>(cfg.l2.latency);
+            mem.l1dMissRate() * static_cast<double>(core.l2.latency);
         pred.stack[CpiComponent::MemLLC] = mem_accesses *
             mem.l2MissRate() * static_cast<double>(cfg.llc.latency);
         const double mlp = opts.mlpOverlap ?
-            epochMlp(epoch, cfg.core, mem.llcLoadMissRate()) : 1.0;
+            epochMlp(epoch, core, mem.llcLoadMissRate()) : 1.0;
         pred.mlp = mlp;
         pred.stack[CpiComponent::MemDram] = mem.llcLoadMisses() *
-            static_cast<double>(cfg.memLatency) / mlp;
+            static_cast<double>(core.memLatency) / mlp;
         pred.stack[CpiComponent::ICache] = mem.icacheCycles();
         if (opts.branch) {
             const BranchComponent branch = branchComponent(
-                epoch, cfg.core,
-                static_cast<double>(cfg.core.frontendDepth) + 10.0);
+                epoch, core,
+                static_cast<double>(core.frontendDepth) + 10.0);
             pred.stack[CpiComponent::Branch] = branch.cycles;
         }
         pred.cycles = pred.stack.total();
@@ -96,49 +107,49 @@ predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
                                : mem.expectedLatency(op);
     };
     const double miss_rate_pred =
-        opts.branch ? epochBranchMissRate(epoch, cfg.core) : 0.0;
+        opts.branch ? epochBranchMissRate(epoch, core) : 0.0;
 
     if (!opts.decompose) {
         // Fast path: only the final replay (full memory + I-cache
         // stalls + branch flushes). Identical total to the decomposed
         // path up to clamping; everything reported as Base.
-        const IlpResult ilp = epochIlp(epoch, cfg.core, full_latency_fn,
+        const IlpResult ilp = epochIlp(epoch, core, full_latency_fn,
                                        mem.icachePerFetch(),
                                        miss_rate_pred);
         pred.deff = ilp.ipc;
         double cycles = n / ilp.ipc;
         if (!opts.mlpOverlap)
             cycles += mem.llcLoadMisses() *
-                static_cast<double>(cfg.memLatency);
+                static_cast<double>(core.memLatency);
         // Bus contention: treat the whole epoch as the DRAM share for
         // the fast path (slightly conservative under moderate load).
-        cycles = busAdjustedDram(cfg, mem.dramTransfers(), cycles, cycles);
+        cycles = busAdjustedDram(cfg, core, mem.dramTransfers(), cycles, cycles);
         pred.stack[CpiComponent::Base] = cycles;
         pred.cycles = cycles;
-        pred.mlp = epochMlp(epoch, cfg.core, mem.llcLoadMissRate());
+        pred.mlp = epochMlp(epoch, core, mem.llcLoadMissRate());
         return pred;
     }
 
     const IlpResult ilp_l1 = epochIlp(
-        epoch, cfg.core,
+        epoch, core,
         [&mem](const MicroTraceOp &op) {
             return mem.expectedLatencyL1Only(op);
         });
     const IlpResult ilp_hit = epochIlp(
-        epoch, cfg.core,
+        epoch, core,
         [&mem](const MicroTraceOp &op) { return mem.expectedLatency(op); });
     const IlpResult ilp_full =
-        epochIlp(epoch, cfg.core, full_latency_fn);
+        epochIlp(epoch, core, full_latency_fn);
     // Fourth replay: add the expected I-cache front-end stalls on top of
     // the full memory behaviour, so instruction misses only cost what
     // the back end does not hide.
     const IlpResult ilp_fetch =
-        epochIlp(epoch, cfg.core, full_latency_fn, mem.icachePerFetch());
+        epochIlp(epoch, core, full_latency_fn, mem.icachePerFetch());
     // Fifth replay: emulate front-end flushes at the entropy-predicted
     // misprediction rate, capturing redirect latency plus window ramp-up
     // (Eq. 1's mbpred x (cres + cfr) term, evaluated mechanistically).
     const IlpResult ilp_flush = epochIlp(
-        epoch, cfg.core, full_latency_fn, mem.icachePerFetch(),
+        epoch, core, full_latency_fn, mem.icachePerFetch(),
         miss_rate_pred);
 
     const double base_cycles = n / ilp_l1.ipc;
@@ -151,24 +162,24 @@ predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
     // hit replay and every DRAM access is charged serially: mLLC x cmem.
     double dram_cycles = opts.mlpOverlap ?
         std::max(0.0, full_cycles - hit_cycles) :
-        mem.llcLoadMisses() * static_cast<double>(cfg.memLatency);
+        mem.llcLoadMisses() * static_cast<double>(core.memLatency);
     // Shared-bus queueing (no-op unless memBusCycles > 0).
-    dram_cycles = busAdjustedDram(cfg, mem.dramTransfers(), flush_cycles,
-                                  dram_cycles);
+    dram_cycles = busAdjustedDram(cfg, core, mem.dramTransfers(),
+                                  flush_cycles, dram_cycles);
     pred.deff = ilp_full.ipc;
 
     // Effective MLP implied by the window model, reported for analysis:
     // raw miss latency over the overlapped stall it produced.
     const double raw_dram =
-        mem.llcLoadMisses() * static_cast<double>(cfg.memLatency);
+        mem.llcLoadMisses() * static_cast<double>(core.memLatency);
     pred.mlp = dram_cycles > 0.0 ?
         std::max(1.0, raw_dram / dram_cycles) :
-        epochMlp(epoch, cfg.core, mem.llcLoadMissRate());
+        epochMlp(epoch, core, mem.llcLoadMissRate());
 
     // Split the near-memory cycles between L2 and LLC by their predicted
     // extra-latency contributions.
     const double l2_weight = mem.l1dMissRate() *
-        static_cast<double>(cfg.l2.latency);
+        static_cast<double>(core.l2.latency);
     const double llc_weight = mem.l2MissRate() *
         static_cast<double>(cfg.llc.latency);
     const double weight_sum = l2_weight + llc_weight;
@@ -197,10 +208,17 @@ ThreadPrediction
 predictThread(const ThreadProfile &thread, const MulticoreConfig &cfg,
               const Eq1Options &opts)
 {
+    return predictThread(thread, cfg, cfg.core(0), opts);
+}
+
+ThreadPrediction
+predictThread(const ThreadProfile &thread, const MulticoreConfig &cfg,
+              const CoreConfig &core, const Eq1Options &opts)
+{
     ThreadPrediction result;
     result.epochs.reserve(thread.epochs.size());
     for (const EpochProfile &epoch : thread.epochs) {
-        EpochPrediction pred = predictEpoch(epoch, cfg, opts);
+        EpochPrediction pred = predictEpoch(epoch, cfg, core, opts);
         result.activeCycles += pred.cycles;
         result.stack.add(pred.stack);
         result.instructions += epoch.numOps;

@@ -62,7 +62,18 @@ struct EpochPrediction
     double mlp = 1.0;      ///< memory-level parallelism used
 };
 
-/** Evaluate Eq. 1 for @p epoch on @p cfg. */
+/**
+ * Evaluate Eq. 1 for @p epoch running on core @p core of @p cfg. The
+ * core supplies width/ROB/IQ/FU/branch/private-cache parameters; the
+ * multicore supplies the shared LLC and bus. Resulting cycles are in
+ * @p core's own clock domain.
+ */
+EpochPrediction predictEpoch(const EpochProfile &epoch,
+                             const MulticoreConfig &cfg,
+                             const CoreConfig &core,
+                             const Eq1Options &opts = {});
+
+/** Convenience: evaluate on core 0 (uniform machines). */
 EpochPrediction predictEpoch(const EpochProfile &epoch,
                              const MulticoreConfig &cfg,
                              const Eq1Options &opts = {});
@@ -76,7 +87,14 @@ struct ThreadPrediction
     uint64_t instructions = 0;
 };
 
-/** Phase 1 for a whole thread: predict every epoch independently. */
+/** Phase 1 for a whole thread on core @p core: predict every epoch
+ *  independently. Cycles are in @p core's own clock domain. */
+ThreadPrediction predictThread(const ThreadProfile &thread,
+                               const MulticoreConfig &cfg,
+                               const CoreConfig &core,
+                               const Eq1Options &opts = {});
+
+/** Convenience: predict on core 0 (uniform machines). */
 ThreadPrediction predictThread(const ThreadProfile &thread,
                                const MulticoreConfig &cfg,
                                const Eq1Options &opts = {});

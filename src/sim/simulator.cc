@@ -93,20 +93,43 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
     // threads than cores (e.g. main + numCores workers) as long as the
     // *concurrently active* thread count stays at numCores, which the
     // paper's setups guarantee (the main thread blocks in join while the
-    // workers run).
+    // workers run). The expanded hierarchy config has one slot per
+    // thread carrying the *mapped* core's parameters, so heterogeneous
+    // machines give each thread the caches of the core it is placed on.
     MulticoreConfig hier_cfg = cfg;
-    hier_cfg.numCores = std::max(cfg.numCores, num_threads);
+    const uint32_t slots = std::max(cfg.numCores(), num_threads);
+    hier_cfg.cores.clear();
+    hier_cfg.cores.reserve(slots);
+    for (uint32_t t = 0; t < slots; ++t)
+        hier_cfg.cores.push_back(cfg.threadCore(t));
+    hier_cfg.mapping = ThreadMapping();
+    // memBusCycles is defined on the *original* config's reference
+    // (core 0) clock, but the hierarchy's internal bus clock is its own
+    // slot 0 = threadCore(0); rescale the service time into that domain
+    // (factor exactly 1.0 unless thread 0 sits on a different clock).
+    hier_cfg.memBusCycles = static_cast<uint32_t>(
+        cfg.memBusCycles *
+            (hier_cfg.cores.front().frequencyGHz / cfg.referenceGHz()) +
+        0.5);
     CacheHierarchy hierarchy(hier_cfg);
+
+    // Per-thread conversion to the common time base (reference cycles,
+    // i.e. cycles of the *original* config's core 0); exactly 1.0
+    // everywhere on a homogeneous machine.
+    std::vector<double> scale(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t)
+        scale[t] = cfg.threadTimeScale(t);
+
     std::vector<std::unique_ptr<CoreMemoryAdapter>> mems;
     std::vector<std::unique_ptr<TournamentPredictor>> preds;
     std::vector<std::unique_ptr<BranchAdapter>> branch_adapters;
     std::vector<std::unique_ptr<CoreModel>> cores;
     for (uint32_t t = 0; t < num_threads; ++t) {
+        const CoreConfig &tc = cfg.threadCore(t);
         mems.push_back(std::make_unique<CoreMemoryAdapter>(hierarchy, t));
-        preds.push_back(
-            std::make_unique<TournamentPredictor>(cfg.core.branch));
+        preds.push_back(std::make_unique<TournamentPredictor>(tc.branch));
         branch_adapters.push_back(std::make_unique<BranchAdapter>(*preds[t]));
-        cores.push_back(std::make_unique<CoreModel>(cfg.core, *mems[t],
+        cores.push_back(std::make_unique<CoreModel>(tc, *mems[t],
                                                     *branch_adapters[t]));
     }
 
@@ -126,13 +149,16 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
 
     auto handle_releases = [&](const SyncOutcome &out) {
         for (const auto &[tid, when] : out.released) {
-            cores[tid]->idleUntil(when);
+            // @p when is reference cycles; the core idles on its own
+            // clock.
+            cores[tid]->idleUntil(when / scale[tid]);
             cursors[tid].activeStart = when;
         }
     };
 
-    // Main loop: advance the runnable thread with the smallest local time
-    // by a batch of records (up to its next sync event).
+    // Main loop: advance the runnable thread with the smallest global
+    // (reference-cycle) time by a batch of records (up to its next sync
+    // event).
     constexpr size_t kBatch = 64;
     uint32_t live = num_threads;
     while (live > 0) {
@@ -142,8 +168,8 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
         for (uint32_t t = 0; t < num_threads; ++t) {
             if (cursors[t].done || sync.blocked(t))
                 continue;
-            if (cores[t]->now() < best) {
-                best = cores[t]->now();
+            if (cores[t]->now() * scale[t] < best) {
+                best = cores[t]->now() * scale[t];
                 pick = t;
             }
         }
@@ -156,11 +182,12 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
         while (cur.next < records.size() && steps < kBatch) {
             const TraceRecord &rec = records[cur.next];
             if (rec.isSync()) {
-                // Sync ops cost real cycles (atomics, futex path) before
-                // their semantic effect happens.
+                // Sync ops cost real cycles (atomics, futex path) on the
+                // thread's own clock before their semantic effect
+                // happens.
                 if (rec.sync != SyncType::CondMarker)
                     cores[pick]->syncOverhead(opts.syncOpCost);
-                const double now = cores[pick]->now();
+                const double now = cores[pick]->now() * scale[pick];
                 // Close this thread's activity interval before applying
                 // the event: a release may advance its activeStart (last
                 // arrival at a barrier), which would drop the interval.
@@ -187,7 +214,7 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
         if (cur.next >= records.size() && !cur.done && !sync.blocked(pick)) {
             cur.done = true;
             --live;
-            const double now = cores[pick]->now();
+            const double now = cores[pick]->now() * scale[pick];
             close_activity(pick, now);
             result.threads[pick].finishTime = now;
             handle_releases(sync.finish(pick, now));
@@ -197,16 +224,18 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
     double total = 0.0;
     for (uint32_t t = 0; t < num_threads; ++t) {
         ThreadResult &tr = result.threads[t];
+        tr.core = cfg.coreOf(t);
         tr.instructions = cores[t]->instructions();
         tr.cpi = cores[t]->cpiStack();
         tr.activeCycles = cores[t]->activeCycles();
         tr.syncCycles = tr.cpi[CpiComponent::Sync];
+        tr.finishSeconds = cfg.refCyclesToSeconds(tr.finishTime);
         total = std::max(total, tr.finishTime);
         result.mem.push_back(hierarchy.coreStats(t));
         result.branch.push_back(preds[t]->stats());
     }
     result.totalCycles = total;
-    result.totalSeconds = total / (cfg.core.frequencyGHz * 1e9);
+    result.totalSeconds = cfg.refCyclesToSeconds(total);
     return result;
 }
 

@@ -38,12 +38,21 @@ struct ActivityInterval
     double end = 0.0;
 };
 
-/** Per-thread simulation results. */
+/**
+ * Per-thread simulation results.
+ *
+ * finishTime and activity are in reference cycles (core 0's clock
+ * domain) so threads on cores with different frequencies share one time
+ * base; activeCycles, syncCycles and the CPI stack are in the thread's
+ * own core's cycles. On a homogeneous machine the two coincide.
+ */
 struct ThreadResult
 {
     double finishTime = 0.0;       ///< cycle the thread exhausted its trace
+    double finishSeconds = 0.0;    ///< finishTime in wall-clock seconds
     double activeCycles = 0.0;     ///< busy (non-idle) cycles
     double syncCycles = 0.0;       ///< idle cycles waiting on sync
+    uint32_t core = 0;             ///< core this thread was mapped to
     uint64_t instructions = 0;
     CpiStack cpi;                  ///< absolute cycle budget by component
     std::vector<ActivityInterval> activity; ///< for bottlegraphs
@@ -54,8 +63,8 @@ struct SimResult
 {
     std::string workload;
     std::string config;
-    double totalCycles = 0.0;      ///< overall execution time (cycles)
-    double totalSeconds = 0.0;     ///< at the config's clock frequency
+    double totalCycles = 0.0;      ///< execution time (reference cycles)
+    double totalSeconds = 0.0;     ///< at the reference clock frequency
     std::vector<ThreadResult> threads;
     std::vector<CoreMemStats> mem; ///< per-core cache statistics
     std::vector<BranchStats> branch;

@@ -104,9 +104,12 @@ class BranchPredictorIf
 /**
  * Timing model for a single hardware thread/core.
  *
- * Times are in core cycles, represented as double so the multicore
- * scheduler can merge them with sync idle times; all intra-core schedule
- * decisions happen on integral cycles.
+ * Times are in *this core's own* clock cycles, represented as double so
+ * the multicore scheduler can merge them with sync idle times; all
+ * intra-core schedule decisions happen on integral cycles. On
+ * heterogeneous machines the multicore scheduler converts between this
+ * core-local domain and the shared reference time base via
+ * MulticoreConfig::timeScale(); the core model itself is clock-agnostic.
  */
 class CoreModel
 {

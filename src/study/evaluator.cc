@@ -14,7 +14,7 @@ namespace {
 double
 cyclesToSeconds(double cycles, const MulticoreConfig &cfg)
 {
-    return cycles / (cfg.core.frequencyGHz * 1e9);
+    return cfg.refCyclesToSeconds(cycles);
 }
 
 } // namespace
@@ -40,6 +40,7 @@ RppmEvaluator::evaluate(const EvalContext &ctx,
     result.prediction = predict(*profile, cfg, opts);
     result.cycles = result.prediction->totalCycles;
     result.seconds = result.prediction->totalSeconds;
+    result.threadSeconds = result.prediction->threadSeconds;
     return result;
 }
 
@@ -51,6 +52,9 @@ SimEvaluator::evaluate(const EvalContext &ctx,
     result.sim = simulate(ctx.workload.trace(), cfg, ctx.options.sim);
     result.cycles = result.sim->totalCycles;
     result.seconds = result.sim->totalSeconds;
+    result.threadSeconds.reserve(result.sim->threads.size());
+    for (const ThreadResult &t : result.sim->threads)
+        result.threadSeconds.push_back(t.finishSeconds);
     return result;
 }
 

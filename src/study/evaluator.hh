@@ -70,8 +70,12 @@ struct Evaluation
     std::string workload;
     std::string config;
     std::string evaluator;
-    double cycles = 0.0;
+    double cycles = 0.0;    ///< reference cycles (core 0's clock)
     double seconds = 0.0;
+
+    /** Per-thread finish time in seconds on the thread's mapped core
+     *  (heterogeneity-aware backends: rppm, sim; empty otherwise). */
+    std::vector<double> threadSeconds;
 
     /** Backend detail, populated by the evaluators that produce it. */
     std::optional<RppmPrediction> prediction; ///< RppmEvaluator

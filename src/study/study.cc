@@ -3,8 +3,6 @@
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/stats.hh"
 #include "study/executor.hh"
@@ -115,8 +113,14 @@ StudyResult::errorVs(const std::string &workload, const std::string &config,
                      const std::string &evaluator,
                      const std::string &oracle) const
 {
+    const double oracleCycles = at(workload, config, oracle).cycles;
+    if (oracleCycles == 0.0) {
+        throw std::domain_error(
+            "errorVs: oracle cell (" + workload + ", " + config + ", " +
+            oracle + ") has zero cycles; relative error is undefined");
+    }
     return absRelativeError(at(workload, config, evaluator).cycles,
-                            at(workload, config, oracle).cycles);
+                            oracleCycles);
 }
 
 std::string
@@ -145,8 +149,15 @@ StudyResult::json() const
            << "\", \"config\": \"" << jsonEscape(cell.config)
            << "\", \"evaluator\": \"" << jsonEscape(cell.evaluator)
            << "\", \"cycles\": " << cell.cycles
-           << ", \"seconds\": " << cell.seconds << '}'
-           << (i + 1 < cells_.size() ? "," : "") << '\n';
+           << ", \"seconds\": " << cell.seconds;
+        if (!cell.threadSeconds.empty()) {
+            os << ", \"thread_seconds\": [";
+            for (size_t t = 0; t < cell.threadSeconds.size(); ++t) {
+                os << (t > 0 ? ", " : "") << cell.threadSeconds[t];
+            }
+            os << ']';
+        }
+        os << '}' << (i + 1 < cells_.size() ? "," : "") << '\n';
     }
     os << "  ]\n}\n";
     return os.str();
@@ -183,9 +194,32 @@ StudyResult::saveJson(const std::string &path) const
 
 Study::Study() = default;
 
+namespace {
+
+/** Names are registry keys; a duplicate would silently shadow the
+ *  earlier axis entry in every name-keyed StudyResult lookup. */
+void
+requireFresh(const std::vector<std::string> &names, const std::string &name,
+             const char *axis)
+{
+    for (const std::string &existing : names) {
+        if (existing == name) {
+            throw std::invalid_argument(
+                std::string("duplicate ") + axis + " label '" + name +
+                "' in study");
+        }
+    }
+}
+
+} // namespace
+
 Study &
 Study::add(WorkloadSource source)
 {
+    std::vector<std::string> names;
+    for (const WorkloadSource &existing : sources_)
+        names.push_back(existing.name());
+    requireFresh(names, source.name(), "workload");
     sources_.push_back(std::move(source));
     return *this;
 }
@@ -225,6 +259,10 @@ Study::addSuite(const std::vector<SuiteEntry> &entries)
 Study &
 Study::addConfig(MulticoreConfig cfg)
 {
+    std::vector<std::string> names;
+    for (const MulticoreConfig &existing : configs_)
+        names.push_back(existing.name);
+    requireFresh(names, cfg.name, "config");
     configs_.push_back(std::move(cfg));
     return *this;
 }
@@ -248,6 +286,10 @@ Study::addEvaluator(std::unique_ptr<Evaluator> evaluator)
 {
     if (!evaluator)
         throw std::invalid_argument("null evaluator");
+    std::vector<std::string> names;
+    for (const auto &existing : evaluators_)
+        names.push_back(existing->label());
+    requireFresh(names, evaluator->label(), "evaluator");
     evaluators_.push_back(std::move(evaluator));
     return *this;
 }
@@ -313,18 +355,9 @@ Study::run()
     if (evaluators_.empty())
         throw std::invalid_argument("study has no evaluators");
 
-    // Reject duplicate axis labels early: lookups would be ambiguous.
-    auto checkUnique = [](const std::vector<std::string> &labels,
-                          const char *axis) {
-        std::unordered_set<std::string> seen;
-        for (const std::string &label : labels) {
-            if (!seen.insert(label).second) {
-                throw std::invalid_argument(
-                    std::string("duplicate ") + axis + " label '" + label +
-                    "' in study");
-            }
-        }
-    };
+    // Duplicate axis labels are rejected at insertion time (add,
+    // addConfig, addEvaluator), so the axes are unique by construction
+    // here.
     std::vector<std::string> workloadNames, configNames, evaluatorNames;
     for (const WorkloadSource &source : sources_)
         workloadNames.push_back(source.name());
@@ -332,9 +365,6 @@ Study::run()
         configNames.push_back(cfg.name);
     for (const auto &evaluator : evaluators_)
         evaluatorNames.push_back(evaluator->label());
-    checkUnique(workloadNames, "workload");
-    checkUnique(configNames, "config");
-    checkUnique(evaluatorNames, "evaluator");
 
     // Trace-consuming backends cannot serve profile-only sources.
     for (const auto &evaluator : evaluators_) {

@@ -79,7 +79,8 @@ class StudyResult
 
     /**
      * Absolute relative cycle error of @p evaluator versus @p oracle on
-     * one grid point: |eval - oracle| / oracle.
+     * one grid point: |eval - oracle| / oracle. Throws std::domain_error
+     * when the oracle cell reports zero cycles (the error is undefined).
      */
     double errorVs(const std::string &workload, const std::string &config,
                    const std::string &evaluator,
@@ -105,7 +106,10 @@ class Study
   public:
     Study();
 
-    // --- Workload axis.
+    // --- Workload axis. Axis entries are keyed by name in StudyResult
+    // lookups, so every add* overload (and addConfig/addEvaluator below)
+    // throws std::invalid_argument on a duplicate name instead of
+    // silently shadowing the earlier entry.
     Study &add(WorkloadSource source);
     Study &addWorkload(const WorkloadSpec &spec);
     Study &addWorkload(const SuiteEntry &entry);

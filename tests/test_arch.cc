@@ -14,9 +14,9 @@ namespace {
 TEST(Config, BaseConfigIsValid)
 {
     const MulticoreConfig cfg = baseConfig();
-    EXPECT_EQ(cfg.numCores, 4u);
-    EXPECT_EQ(cfg.core.dispatchWidth, 4u);
-    EXPECT_EQ(cfg.core.robSize, 128u);
+    EXPECT_EQ(cfg.numCores(), 4u);
+    EXPECT_EQ(cfg.core().dispatchWidth, 4u);
+    EXPECT_EQ(cfg.core().robSize, 128u);
     EXPECT_NO_THROW(cfg.validate());
 }
 
@@ -26,7 +26,7 @@ TEST(Config, TableIvHasFiveIsoThroughputPoints)
     ASSERT_EQ(configs.size(), 5u);
     // Peak throughput (width x frequency) is ~constant (10 Gops/s).
     for (const auto &cfg : configs) {
-        const double peak = cfg.core.dispatchWidth * cfg.core.frequencyGHz;
+        const double peak = cfg.core().dispatchWidth * cfg.core().frequencyGHz;
         EXPECT_NEAR(peak, 10.0, 0.05) << cfg.name;
     }
 }
@@ -35,13 +35,13 @@ TEST(Config, TableIvScalesWindowWithWidth)
 {
     const auto configs = tableIvConfigs();
     for (size_t i = 1; i < configs.size(); ++i) {
-        EXPECT_GT(configs[i].core.dispatchWidth,
-                  configs[i - 1].core.dispatchWidth);
-        EXPECT_GT(configs[i].core.robSize, configs[i - 1].core.robSize);
-        EXPECT_GT(configs[i].core.issueQueueSize,
-                  configs[i - 1].core.issueQueueSize);
-        EXPECT_LT(configs[i].core.frequencyGHz,
-                  configs[i - 1].core.frequencyGHz);
+        EXPECT_GT(configs[i].core().dispatchWidth,
+                  configs[i - 1].core().dispatchWidth);
+        EXPECT_GT(configs[i].core().robSize, configs[i - 1].core().robSize);
+        EXPECT_GT(configs[i].core().issueQueueSize,
+                  configs[i - 1].core().issueQueueSize);
+        EXPECT_LT(configs[i].core().frequencyGHz,
+                  configs[i - 1].core().frequencyGHz);
     }
 }
 
@@ -50,9 +50,9 @@ TEST(Config, TableIvBaseMatchesPaper)
     const auto configs = tableIvConfigs();
     const auto &base = configs[2];
     EXPECT_EQ(base.name, "Base");
-    EXPECT_DOUBLE_EQ(base.core.frequencyGHz, 2.5);
-    EXPECT_EQ(base.core.robSize, 128u);
-    EXPECT_EQ(base.core.issueQueueSize, 64u);
+    EXPECT_DOUBLE_EQ(base.core().frequencyGHz, 2.5);
+    EXPECT_EQ(base.core().robSize, 128u);
+    EXPECT_EQ(base.core().issueQueueSize, 64u);
 }
 
 TEST(Config, CacheGeometry)
@@ -62,39 +62,39 @@ TEST(Config, CacheGeometry)
     EXPECT_EQ(c.numSets(), 128u);
 }
 
-TEST(Config, ValidateRejectsZeroCores)
+TEST(Config, ValidateRejectsEmptyCoreTable)
 {
     MulticoreConfig cfg = baseConfig();
-    cfg.numCores = 0;
+    cfg.cores.clear();
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(Config, ValidateRejectsRobSmallerThanWidth)
 {
     MulticoreConfig cfg = baseConfig();
-    cfg.core.robSize = 2;
-    cfg.core.dispatchWidth = 4;
+    cfg.core().robSize = 2;
+    cfg.core().dispatchWidth = 4;
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(Config, ValidateRejectsMismatchedLineSizes)
 {
     MulticoreConfig cfg = baseConfig();
-    cfg.l2.lineBytes = 128;
+    cfg.core().l2.lineBytes = 128;
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(Config, ValidateRejectsNonIntegralSets)
 {
     MulticoreConfig cfg = baseConfig();
-    cfg.l1d.sizeBytes = 1000; // not a multiple of assoc * line
+    cfg.core().l1d.sizeBytes = 1000; // not a multiple of assoc * line
     EXPECT_THROW(cfg.validate(), std::invalid_argument);
 }
 
 TEST(Config, CyclesToNs)
 {
     MulticoreConfig cfg = baseConfig();
-    cfg.core.frequencyGHz = 2.0;
+    cfg.eachCore([](CoreConfig &c) { c.frequencyGHz = 2.0; });
     EXPECT_DOUBLE_EQ(cfg.cyclesToNs(2000.0), 1000.0);
 }
 

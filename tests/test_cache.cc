@@ -133,12 +133,14 @@ MulticoreConfig
 smallHierarchyConfig()
 {
     MulticoreConfig cfg = baseConfig();
-    cfg.numCores = 2;
-    cfg.l1d = {"L1D", 1024, 2, 64, 3};
-    cfg.l1i = {"L1I", 1024, 2, 64, 1};
-    cfg.l2 = {"L2", 4096, 4, 64, 10};
+    cfg.setNumCores(2);
+    cfg.eachCore([](CoreConfig &c) {
+        c.l1d = {"L1D", 1024, 2, 64, 3};
+        c.l1i = {"L1I", 1024, 2, 64, 1};
+        c.l2 = {"L2", 4096, 4, 64, 10};
+        c.memLatency = 200;
+    });
     cfg.llc = {"LLC", 16384, 8, 64, 30};
-    cfg.memLatency = 200;
     return cfg;
 }
 

@@ -97,19 +97,19 @@ TEST(MemoryModel, ExpectedLatencyFollowsReuseDistance)
     cold.globalRd = LogHistogram::kInfinity;
 
     EXPECT_DOUBLE_EQ(mem.expectedLatency(hot),
-                     static_cast<double>(cfg.l1d.latency));
+                     static_cast<double>(cfg.core().l1d.latency));
     EXPECT_DOUBLE_EQ(mem.expectedLatency(l2_load),
-                     static_cast<double>(cfg.l1d.latency + cfg.l2.latency));
+                     static_cast<double>(cfg.core().l1d.latency + cfg.core().l2.latency));
     // Hit-path latency is capped at the LLC...
     EXPECT_DOUBLE_EQ(
         mem.expectedLatency(cold),
-        static_cast<double>(cfg.l1d.latency + cfg.l2.latency +
+        static_cast<double>(cfg.core().l1d.latency + cfg.core().l2.latency +
                             cfg.llc.latency));
     // ...and the full latency adds DRAM.
     EXPECT_DOUBLE_EQ(
         mem.expectedLatencyFull(cold),
-        static_cast<double>(cfg.l1d.latency + cfg.l2.latency +
-                            cfg.llc.latency + cfg.memLatency));
+        static_cast<double>(cfg.core().l1d.latency + cfg.core().l2.latency +
+                            cfg.llc.latency + cfg.core().memLatency));
 }
 
 TEST(MemoryModel, StoresUseStoreLatency)
@@ -122,7 +122,7 @@ TEST(MemoryModel, StoresUseStoreLatency)
     store.localRd = LogHistogram::kInfinity;
     store.globalRd = LogHistogram::kInfinity;
     const double lat = static_cast<double>(
-        cfg.core.fus[static_cast<size_t>(OpClass::Store)].latency);
+        cfg.core().fus[static_cast<size_t>(OpClass::Store)].latency);
     EXPECT_DOUBLE_EQ(mem.expectedLatency(store), lat);
     EXPECT_DOUBLE_EQ(mem.expectedLatencyFull(store), lat);
 }
@@ -224,7 +224,7 @@ TEST(PredictEpoch, MlpReportedInBounds)
         const EpochPrediction pred = predictEpoch(epoch, cfg);
         EXPECT_GE(pred.mlp, 1.0);
         // The implied overlap cannot exceed what the window can expose.
-        EXPECT_LE(pred.mlp, static_cast<double>(cfg.core.robSize));
+        EXPECT_LE(pred.mlp, static_cast<double>(cfg.core().robSize));
     }
 }
 

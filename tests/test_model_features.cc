@@ -49,7 +49,7 @@ branchyTrace(size_t n, int branch_every)
 TEST(FlushReplay, ZeroMissRateMatchesPlainReplay)
 {
     const MicroTrace mt = branchyTrace(2000, 5);
-    const CoreConfig core = baseConfig().core;
+    const CoreConfig core = baseConfig().core();
     const auto lat = [](const MicroTraceOp &) { return 3.0; };
     const IlpResult plain = replayMicroTrace(mt, core, lat);
     const IlpResult flush = replayMicroTrace(mt, core, lat, 0.0, 0.0);
@@ -59,7 +59,7 @@ TEST(FlushReplay, ZeroMissRateMatchesPlainReplay)
 TEST(FlushReplay, MissRateLowersIpc)
 {
     const MicroTrace mt = branchyTrace(2000, 5);
-    const CoreConfig core = baseConfig().core;
+    const CoreConfig core = baseConfig().core();
     const auto lat = [](const MicroTraceOp &) { return 3.0; };
     const double ipc_perfect =
         replayMicroTrace(mt, core, lat, 0.0, 0.0).ipc;
@@ -72,7 +72,7 @@ TEST(FlushReplay, MissRateLowersIpc)
 TEST(FlushReplay, MonotoneInMissRate)
 {
     const MicroTrace mt = branchyTrace(3000, 4);
-    const CoreConfig core = baseConfig().core;
+    const CoreConfig core = baseConfig().core();
     const auto lat = [](const MicroTraceOp &) { return 3.0; };
     double prev = 1e9;
     for (double rate : {0.0, 0.1, 0.2, 0.4, 0.8}) {
@@ -85,7 +85,7 @@ TEST(FlushReplay, MonotoneInMissRate)
 TEST(FlushReplay, FetchStallLowersIpc)
 {
     const MicroTrace mt = branchyTrace(2000, 100);
-    const CoreConfig core = baseConfig().core;
+    const CoreConfig core = baseConfig().core();
     const auto lat = [](const MicroTraceOp &) { return 3.0; };
     const double fast = replayMicroTrace(mt, core, lat, 0.0).ipc;
     const double slow = replayMicroTrace(mt, core, lat, 1.0).ipc;
@@ -97,7 +97,7 @@ TEST(FlushReplay, FetchStallLowersIpc)
 TEST(FlushReplay, BranchPenaltyBoundedByResolutionPlusRefill)
 {
     const MicroTrace mt = branchyTrace(2000, 5);
-    const CoreConfig core = baseConfig().core;
+    const CoreConfig core = baseConfig().core();
     const auto lat = [](const MicroTraceOp &) { return 3.0; };
     const IlpResult r = replayMicroTrace(mt, core, lat);
     EXPECT_GE(r.branchPenalty, 0.0);
@@ -111,7 +111,7 @@ TEST(BranchMissRate, ZeroForBranchlessEpoch)
 {
     EpochProfile epoch;
     epoch.numOps = 100;
-    EXPECT_DOUBLE_EQ(epochBranchMissRate(epoch, baseConfig().core), 0.0);
+    EXPECT_DOUBLE_EQ(epochBranchMissRate(epoch, baseConfig().core()), 0.0);
 }
 
 TEST(BranchMissRate, GrowsWithEntropy)
@@ -123,8 +123,8 @@ TEST(BranchMissRate, GrowsWithEntropy)
         low.branches.record(0x100, true);           // biased
         high.branches.record(0x100, i % 2 == 0);    // coin flip
     }
-    EXPECT_LT(epochBranchMissRate(low, baseConfig().core),
-              epochBranchMissRate(high, baseConfig().core));
+    EXPECT_LT(epochBranchMissRate(low, baseConfig().core()),
+              epochBranchMissRate(high, baseConfig().core()));
 }
 
 // ------------------------------------------------------ ablation switches ---
@@ -189,7 +189,7 @@ TEST_F(AblationTest, NoIlpReplayStillPositive)
             if (epoch.cycles > 0.0) { // empty epochs keep the default
                 EXPECT_DOUBLE_EQ(
                     epoch.deff,
-                    static_cast<double>(baseConfig().core.dispatchWidth));
+                    static_cast<double>(baseConfig().core().dispatchWidth));
             }
         }
     }

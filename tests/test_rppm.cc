@@ -49,7 +49,7 @@ TEST(IlpModel, IndependentOpsReachWidth)
 {
     const MicroTrace mt = makeMicroTrace(1000, OpClass::IntAlu, 0);
     const IlpResult r =
-        replayMicroTrace(mt, baseConfig().core, fixedLatency(3.0));
+        replayMicroTrace(mt, baseConfig().core(), fixedLatency(3.0));
     EXPECT_NEAR(r.ipc, 4.0, 0.3);
 }
 
@@ -57,7 +57,7 @@ TEST(IlpModel, SerialChainIpcOne)
 {
     const MicroTrace mt = makeMicroTrace(1000, OpClass::IntAlu, 1);
     const IlpResult r =
-        replayMicroTrace(mt, baseConfig().core, fixedLatency(3.0));
+        replayMicroTrace(mt, baseConfig().core(), fixedLatency(3.0));
     EXPECT_NEAR(r.ipc, 1.0, 0.1);
 }
 
@@ -71,9 +71,9 @@ TEST(IlpModel, WiderCoreHigherIpc)
         op.dep1 = i % 2 ? 3 : 0;
         mt.ops.push_back(op);
     }
-    CoreConfig narrow = baseConfig().core;
+    CoreConfig narrow = baseConfig().core();
     narrow.dispatchWidth = 2;
-    CoreConfig wide = baseConfig().core;
+    CoreConfig wide = baseConfig().core();
     wide.dispatchWidth = 6;
     const double ipc_narrow =
         replayMicroTrace(mt, narrow, fixedLatency(3.0)).ipc;
@@ -91,7 +91,7 @@ TEST(IlpModel, MemoryLatencyLowersIpc)
         op.dep1 = 1;
         mt.ops.push_back(op);
     }
-    const CoreConfig core = baseConfig().core;
+    const CoreConfig core = baseConfig().core();
     const double fast = replayMicroTrace(mt, core, fixedLatency(3.0)).ipc;
     const double slow = replayMicroTrace(mt, core, fixedLatency(40.0)).ipc;
     EXPECT_GT(fast, slow * 2.0);
@@ -101,7 +101,7 @@ TEST(IlpModel, IpcNeverExceedsWidth)
 {
     const MicroTrace mt = makeMicroTrace(2000, OpClass::IntAlu, 0);
     for (uint32_t width : {2u, 4u, 6u}) {
-        CoreConfig core = baseConfig().core;
+        CoreConfig core = baseConfig().core();
         core.dispatchWidth = width;
         const double ipc = replayMicroTrace(mt, core, fixedLatency(3.0)).ipc;
         EXPECT_LE(ipc, static_cast<double>(width) + 1e-9);
@@ -118,7 +118,7 @@ TEST(IlpModel, BranchResolutionPositiveWithBranches)
         mt.ops.push_back(op);
     }
     const IlpResult r =
-        replayMicroTrace(mt, baseConfig().core, fixedLatency(3.0));
+        replayMicroTrace(mt, baseConfig().core(), fixedLatency(3.0));
     EXPECT_GT(r.branchResolution, 0.0);
 }
 
@@ -126,7 +126,7 @@ TEST(IlpModel, EmptyTraceSafe)
 {
     const MicroTrace mt;
     const IlpResult r =
-        replayMicroTrace(mt, baseConfig().core, fixedLatency(3.0));
+        replayMicroTrace(mt, baseConfig().core(), fixedLatency(3.0));
     EXPECT_GT(r.ipc, 0.0);
 }
 
@@ -137,7 +137,7 @@ TEST(IlpModel, EpochAggregatesMicroTraces)
     epoch.microTraces.push_back(makeMicroTrace(1000, OpClass::IntAlu, 0));
     epoch.microTraces.push_back(makeMicroTrace(1000, OpClass::IntAlu, 1));
     const IlpResult r =
-        epochIlp(epoch, baseConfig().core, fixedLatency(3.0));
+        epochIlp(epoch, baseConfig().core(), fixedLatency(3.0));
     // Harmonic-style mean of ~4 and ~1: 2000 / (250 + 1000) = 1.6.
     EXPECT_GT(r.ipc, 1.2);
     EXPECT_LT(r.ipc, 2.2);
@@ -149,7 +149,7 @@ TEST(MlpModel, NoLoadsGivesOne)
 {
     EpochProfile epoch;
     epoch.numOps = 1000;
-    EXPECT_DOUBLE_EQ(epochMlp(epoch, baseConfig().core, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(epochMlp(epoch, baseConfig().core(), 0.5), 1.0);
 }
 
 TEST(MlpModel, DenseMissesGiveHighMlp)
@@ -159,7 +159,7 @@ TEST(MlpModel, DenseMissesGiveHighMlp)
     epoch.numLoads = 250;
     for (int i = 0; i < 250; ++i)
         epoch.loadGap.add(3);
-    const double mlp = epochMlp(epoch, baseConfig().core, 1.0);
+    const double mlp = epochMlp(epoch, baseConfig().core(), 1.0);
     EXPECT_GT(mlp, 4.0);
 }
 
@@ -171,7 +171,7 @@ TEST(MlpModel, PointerChasingKillsMlp)
     epoch.loadsDependingOnLoad = 250; // fully serialized
     for (int i = 0; i < 250; ++i)
         epoch.loadGap.add(3);
-    EXPECT_DOUBLE_EQ(epochMlp(epoch, baseConfig().core, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(epochMlp(epoch, baseConfig().core(), 1.0), 1.0);
 }
 
 TEST(MlpModel, CappedByMshrs)
@@ -181,7 +181,7 @@ TEST(MlpModel, CappedByMshrs)
     epoch.numLoads = 5000;
     for (int i = 0; i < 5000; ++i)
         epoch.loadGap.add(1);
-    CoreConfig core = baseConfig().core;
+    CoreConfig core = baseConfig().core();
     core.mshrs = 4;
     EXPECT_LE(epochMlp(epoch, core, 1.0), 4.0);
 }
@@ -193,9 +193,9 @@ TEST(MlpModel, GrowsWithRob)
     epoch.numLoads = 1000;
     for (int i = 0; i < 1000; ++i)
         epoch.loadGap.add(9);
-    CoreConfig small = baseConfig().core;
+    CoreConfig small = baseConfig().core();
     small.robSize = 32;
-    CoreConfig big = baseConfig().core;
+    CoreConfig big = baseConfig().core();
     big.robSize = 288;
     EXPECT_GT(epochMlp(epoch, big, 0.5), epochMlp(epoch, small, 0.5));
 }
@@ -446,7 +446,7 @@ TEST(Predictor, FrequencyOnlyChangesSeconds)
     const WorkloadTrace trace = generateWorkload(spec);
     const WorkloadProfile prof = profileWorkload(trace);
     MulticoreConfig fast = baseConfig();
-    fast.core.frequencyGHz = 5.0;
+    fast.eachCore([](CoreConfig &c) { c.frequencyGHz = 5.0; });
     const RppmPrediction base = predict(prof, baseConfig());
     const RppmPrediction faster = predict(prof, fast);
     EXPECT_NEAR(base.totalCycles, faster.totalCycles, 1e-6);

@@ -336,7 +336,7 @@ TEST(Simulator, HigherFrequencyShortensSeconds)
 {
     const WorkloadTrace trace = tinyWorkload(2, 2000, 1);
     MulticoreConfig fast = baseConfig();
-    fast.core.frequencyGHz = 5.0;
+    fast.eachCore([](CoreConfig &c) { c.frequencyGHz = 5.0; });
     const SimResult base = simulate(trace, baseConfig());
     const SimResult faster = simulate(trace, fast);
     // Same cycle count (frequency does not change cycle behaviour here
@@ -348,8 +348,10 @@ TEST(Simulator, WiderCoreIsFaster)
 {
     const WorkloadTrace trace = tinyWorkload(2, 5000, 1);
     MulticoreConfig narrow = baseConfig();
-    narrow.core.dispatchWidth = 1;
-    narrow.core.issueQueueSize = 16;
+    narrow.eachCore([](CoreConfig &c) {
+        c.dispatchWidth = 1;
+        c.issueQueueSize = 16;
+    });
     const SimResult wide = simulate(trace, baseConfig());
     const SimResult slim = simulate(trace, narrow);
     EXPECT_GT(slim.totalCycles, wide.totalCycles * 1.5);

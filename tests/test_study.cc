@@ -49,9 +49,11 @@ threeConfigs()
 
     MulticoreConfig narrow = base;
     narrow.name = "narrow";
-    narrow.core.dispatchWidth = 2;
-    narrow.core.robSize = 64;
-    narrow.core.issueQueueSize = 32;
+    narrow.eachCore([](CoreConfig &c) {
+        c.dispatchWidth = 2;
+        c.robSize = 64;
+        c.issueQueueSize = 32;
+    });
     configs.push_back(narrow);
 
     MulticoreConfig smallLlc = base;
@@ -222,12 +224,46 @@ TEST(Study, ValidatesItsInputs)
     noEvaluators.addWorkload(smallSpec("w", 1)).addConfig(baseConfig());
     EXPECT_THROW(noEvaluators.run(), std::invalid_argument);
 
+    // Duplicate axis names throw at insertion time: letting them in
+    // would silently shadow the earlier entry in name-keyed lookups.
     Study duplicate;
-    duplicate.addWorkload(smallSpec("w", 1))
-        .addWorkload(smallSpec("w", 2))
-        .addConfig(baseConfig())
-        .addEvaluator("rppm");
-    EXPECT_THROW(duplicate.run(), std::invalid_argument);
+    duplicate.addWorkload(smallSpec("w", 1));
+    EXPECT_THROW(duplicate.addWorkload(smallSpec("w", 2)),
+                 std::invalid_argument);
+
+    Study dupConfig;
+    dupConfig.addConfig(baseConfig());
+    EXPECT_THROW(dupConfig.addConfig(baseConfig()), std::invalid_argument);
+    MulticoreConfig renamed = baseConfig();
+    renamed.name = "Base-2";
+    EXPECT_NO_THROW(dupConfig.addConfig(renamed));
+
+    Study dupEvaluator;
+    dupEvaluator.addEvaluator("rppm");
+    EXPECT_THROW(dupEvaluator.addEvaluator("rppm"), std::invalid_argument);
+    EXPECT_NO_THROW(dupEvaluator.addEvaluator("sim"));
+}
+
+TEST(Study, ErrorVsRejectsZeroCycleOracle)
+{
+    // Hand-built registry: a 1x1x2 grid whose oracle cell is zero.
+    Evaluation model;
+    model.workload = "w";
+    model.config = "c";
+    model.evaluator = "rppm";
+    model.cycles = 100.0;
+    Evaluation oracle = model;
+    oracle.evaluator = "sim";
+    oracle.cycles = 0.0;
+    const StudyResult grid({"w"}, {"c"}, {"rppm", "sim"},
+                           {model, oracle});
+    EXPECT_THROW(grid.errorVs("w", "c", "rppm", "sim"), std::domain_error);
+    // A non-zero oracle still works.
+    Evaluation goodOracle = oracle;
+    goodOracle.cycles = 50.0;
+    const StudyResult ok({"w"}, {"c"}, {"rppm", "sim"},
+                         {model, goodOracle});
+    EXPECT_DOUBLE_EQ(ok.errorVs("w", "c", "rppm", "sim"), 1.0);
 }
 
 TEST(Study, ProfileOnlySourceServesModelButNotSim)
