@@ -2,7 +2,8 @@
  * @file
  * Performance micro-harness for the hot path: trace build, columnar
  * conversion, profiling (fused vs. legacy reference), single prediction
- * and a full Study-grid evaluation, per workload kernel.
+ * and a full Study sweep-grid evaluation (naive per-point vs. memoized
+ * component engine), per workload kernel.
  *
  * Emits machine-readable JSON (schema "rppm-bench-perf-1") and can check
  * the measurements against a committed baseline, failing the process on
@@ -12,18 +13,29 @@
  *   bench_perf [--kernels a,b,c | --kernels all] [--filter REGEX]
  *              [--scale F] [--repeat N] [--jobs N] [--out FILE]
  *              [--baseline FILE [--max-regression F]]
- *              [--min-profile-speedup F] [--write-baseline FILE]
+ *              [--min-profile-speedup F] [--min-grid-speedup F]
+ *              [--write-baseline FILE]
  *
  * --filter selects kernels whose name matches REGEX (case-insensitive,
  * std::regex search). On its own it filters the full 26-kernel suite;
  * combined with --kernels it narrows that explicit set.
  *
- * Timings are best-of-N (N = --repeat, default 3) to shave scheduler
- * noise; the regression check compares the normalized ns/op metrics
- * (profile_fused, predict, grid) against the baseline with a relative
- * tolerance (default 0.25 = fail when >25% slower). The fused/legacy
- * profile speedup is a machine-independent ratio and can be gated with
- * --min-profile-speedup.
+ * Timings are the median of N repeats (N = --repeat, default 3): robust
+ * against one noisy CI iteration in either direction, unlike best-of
+ * (which a lucky run biases) or the mean (which a descheduled run
+ * poisons). The regression check compares the normalized ns/op metrics
+ * (profile_fused, predict, grid, grid_memo) against the baseline with a
+ * relative tolerance (default 0.25 = fail when >25% slower). The
+ * fused/legacy profile speedup and the grid memoization speedup are
+ * machine-independent ratios and can be gated with
+ * --min-profile-speedup / --min-grid-speedup.
+ *
+ * The grid phases evaluate the standard sweep grid — the Table-IV design
+ * points, a per-core DVFS ladder on Base and every distinct thread
+ * placement on a 2+2 big.LITTLE machine — end to end through a cold
+ * Study (profiling included). "grid" forces the naive per-point path
+ * (Study::memoization(false)); "grid_memo" is the default memoized
+ * engine; grid_speedup is their ratio.
  */
 
 #include <algorithm>
@@ -66,9 +78,10 @@ struct KernelResult
     std::string suite;
     uint32_t threads = 0;
     uint64_t ops = 0;
-    // Wall milliseconds, best of N.
+    // Wall milliseconds, median of N repeats.
     std::map<std::string, double> ms;
     double profileSpeedup = 0.0;
+    double gridSpeedup = 0.0;
 
     double
     nsPerOp(const std::string &metric) const
@@ -86,19 +99,61 @@ elapsedMs(Clock::time_point from, Clock::time_point to)
     return std::chrono::duration<double, std::milli>(to - from).count();
 }
 
-/** Best-of-N wall time of @p fn in milliseconds. */
+/**
+ * Median-of-N wall time of @p fn in milliseconds. The median tolerates a
+ * single outlier repeat in either direction, so one descheduled (or one
+ * suspiciously lucky) CI iteration cannot trip the regression gate.
+ */
 template <typename Fn>
 double
-bestOf(int repeat, Fn &&fn)
+medianOf(int repeat, Fn &&fn)
 {
-    double best = 1e300;
+    std::vector<double> samples;
+    samples.reserve(repeat);
     for (int r = 0; r < repeat; ++r) {
         const auto t0 = Clock::now();
         fn();
         const auto t1 = Clock::now();
-        best = std::min(best, elapsedMs(t0, t1));
+        samples.push_back(elapsedMs(t0, t1));
     }
-    return best;
+    std::sort(samples.begin(), samples.end());
+    const size_t n = samples.size();
+    return n % 2 == 1 ? samples[n / 2]
+                      : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/**
+ * The standard sweep grid of the grid phases: design points multiply
+ * across heterogeneous axes (configs x DVFS states x placements), which
+ * is exactly the shape the memoized component engine exists for.
+ */
+std::vector<MulticoreConfig>
+sweepConfigs(uint32_t numThreads)
+{
+    std::vector<MulticoreConfig> grid = tableIvConfigs();
+
+    // Per-core DVFS ladder on Base: cores 1..3 take every combination of
+    // three frequency levels (core 0 pins the reference clock domain).
+    const MulticoreConfig base = baseConfig();
+    const double levels[] = {1.67, 2.5, 3.33};
+    for (double a : levels) {
+        for (double b : levels) {
+            for (double c : levels) {
+                char name[48];
+                std::snprintf(name, sizeof name, "dvfs-%.2f-%.2f-%.2f",
+                              a, b, c);
+                grid.push_back(dvfsConfig(base, {2.5, a, b, c}, name));
+            }
+        }
+    }
+
+    // Every distinct placement of the kernel's threads on a 2+2
+    // big.LITTLE machine.
+    for (const MulticoreConfig &m :
+         mappingSweep(bigLittleConfig(2, 2), numThreads)) {
+        grid.push_back(m);
+    }
+    return grid;
 }
 
 KernelResult
@@ -112,21 +167,21 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
     result.threads = spec.numThreads();
 
     WorkloadTrace trace;
-    result.ms["build"] = bestOf(repeat, [&] {
+    result.ms["build"] = medianOf(repeat, [&] {
         trace = generateWorkload(spec);
     });
     result.ops = trace.totalOps();
 
     ColumnarTrace cols;
-    result.ms["columnar"] = bestOf(repeat, [&] {
+    result.ms["columnar"] = medianOf(repeat, [&] {
         cols = ColumnarTrace::fromWorkload(trace);
     });
 
     WorkloadProfile profile;
-    result.ms["profile_fused"] = bestOf(repeat, [&] {
+    result.ms["profile_fused"] = medianOf(repeat, [&] {
         profile = profileWorkload(cols);
     });
-    result.ms["profile_legacy"] = bestOf(repeat, [&] {
+    result.ms["profile_legacy"] = medianOf(repeat, [&] {
         WorkloadProfile legacy = profileWorkloadLegacy(trace);
         if (legacy.totalOps() != profile.totalOps())
             std::fprintf(stderr, "warning: legacy/fused op mismatch\n");
@@ -135,24 +190,32 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
         result.ms["profile_legacy"] / result.ms["profile_fused"];
 
     const MulticoreConfig base = baseConfig();
-    result.ms["predict"] = bestOf(repeat, [&] {
+    result.ms["predict"] = medianOf(repeat, [&] {
         const RppmPrediction pred = predict(profile, base);
         if (pred.totalCycles <= 0.0)
             std::fprintf(stderr, "warning: degenerate prediction\n");
     });
 
-    // Full facade path: fresh Study per repeat (profiling included) so
-    // the number reflects what a cold grid evaluation actually costs.
-    result.ms["grid"] = bestOf(repeat, [&] {
+    // Full facade path over the standard sweep grid: fresh Study per
+    // repeat (profiling included) so the numbers reflect what a cold
+    // grid evaluation actually costs. "grid" forces the naive per-point
+    // predictor; "grid_memo" is the default memoized component engine —
+    // bit-identical predictions, gated as a ratio below.
+    const std::vector<MulticoreConfig> sweep = sweepConfigs(spec.numThreads());
+    const auto runGrid = [&](bool memoize) {
         Study study;
         study.addWorkload(trace)
-            .addConfigs(tableIvConfigs())
+            .addConfigs(sweep)
             .addEvaluator("rppm")
+            .memoization(memoize)
             .jobs(jobs);
         const StudyResult grid = study.run();
         if (grid.cells().empty())
             std::fprintf(stderr, "warning: empty grid\n");
-    });
+    };
+    result.ms["grid"] = medianOf(repeat, [&] { runGrid(false); });
+    result.ms["grid_memo"] = medianOf(repeat, [&] { runGrid(true); });
+    result.gridSpeedup = result.ms["grid"] / result.ms["grid_memo"];
 
     return result;
 }
@@ -196,7 +259,8 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
                << "      \"" << metric << "_ns_per_op\": "
                << r.nsPerOp(metric) << ",\n";
         }
-        os << "      \"profile_speedup\": " << r.profileSpeedup << "\n"
+        os << "      \"profile_speedup\": " << r.profileSpeedup << ",\n"
+           << "      \"grid_speedup\": " << r.gridSpeedup << "\n"
            << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
@@ -342,12 +406,13 @@ class BaselineParser
 /** Metrics gated against the baseline (normalized per-op, so trace size
  *  changes show up too). */
 const char *kGatedMetrics[] = {"profile_fused_ns_per_op",
-                               "predict_ns_per_op", "grid_ns_per_op"};
+                               "predict_ns_per_op", "grid_ns_per_op",
+                               "grid_memo_ns_per_op"};
 
 int
 checkRegressions(const std::vector<KernelResult> &results,
                  const std::string &baseline_path, double max_regression,
-                 double min_profile_speedup)
+                 double min_profile_speedup, double min_grid_speedup)
 {
     std::ifstream is(baseline_path);
     if (!is) {
@@ -395,6 +460,12 @@ checkRegressions(const std::vector<KernelResult> &results,
                         "  REGRESSION\n",
                         r.name.c_str(), r.profileSpeedup,
                         min_profile_speedup);
+            ++failures;
+        }
+        if (min_grid_speedup > 0.0 && r.gridSpeedup < min_grid_speedup) {
+            std::printf("  %-16s grid_speedup %.2fx < required %.2fx"
+                        "  REGRESSION\n",
+                        r.name.c_str(), r.gridSpeedup, min_grid_speedup);
             ++failures;
         }
     }
@@ -450,6 +521,7 @@ main(int argc, char **argv)
     double scale = 0.25;
     double max_regression = 0.25;
     double min_profile_speedup = 0.0;
+    double min_grid_speedup = 0.0;
     int repeat = 3;
     unsigned jobs = 1;
 
@@ -483,6 +555,8 @@ main(int argc, char **argv)
             max_regression = std::stod(next());
         } else if (arg == "--min-profile-speedup") {
             min_profile_speedup = std::stod(next());
+        } else if (arg == "--min-grid-speedup") {
+            min_grid_speedup = std::stod(next());
         } else if (arg == "--write-baseline") {
             write_baseline_path = next();
         } else if (arg == "--list") {
@@ -531,17 +605,19 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("bench_perf: %zu kernel(s), scale %.2f, best of %d\n",
+    std::printf("bench_perf: %zu kernel(s), scale %.2f, median of %d\n",
                 entries.size(), scale, repeat);
     std::vector<KernelResult> results;
     for (const SuiteEntry &entry : entries) {
         KernelResult r = measureKernel(entry, scale, repeat, jobs);
         std::printf("  %-16s ops=%8llu build=%7.1fms profile=%7.1fms "
-                    "(legacy %7.1fms, %.2fx) predict=%6.2fms grid=%7.1fms\n",
+                    "(legacy %7.1fms, %.2fx) predict=%6.2fms "
+                    "grid=%7.1fms (memo %7.1fms, %.2fx)\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.ops), r.ms["build"],
                     r.ms["profile_fused"], r.ms["profile_legacy"],
-                    r.profileSpeedup, r.ms["predict"], r.ms["grid"]);
+                    r.profileSpeedup, r.ms["predict"], r.ms["grid"],
+                    r.ms["grid_memo"], r.gridSpeedup);
         results.push_back(std::move(r));
     }
 
@@ -556,7 +632,7 @@ main(int argc, char **argv)
 
     if (!baseline_path.empty()) {
         return checkRegressions(results, baseline_path, max_regression,
-                                min_profile_speedup);
+                                min_profile_speedup, min_grid_speedup);
     }
     return 0;
 }

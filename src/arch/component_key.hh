@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Parameter-subset keys for the memoized component-evaluation engine.
+ *
+ * Eq. 1 (phase 1 of an RPPM prediction) reads only a subset of a
+ * MulticoreConfig, and each of its model components reads a smaller
+ * subset still. A component key is a compact binary encoding of exactly
+ * the fields one component reads, so two design points whose keys match
+ * are guaranteed — by construction, not by comparison of outputs — to
+ * produce bit-identical component results, and a cache keyed on them is
+ * sound. Fields a component derives (e.g. line counts from
+ * size/assoc/line bytes) are encoded in derived form, so configs that
+ * differ only in parameters the model never distinguishes share keys.
+ *
+ * The components and their invalidating fields:
+ *
+ *  - memory  cache geometry the StatStack model sees (L1I/L1D/L2/LLC
+ *            line counts, hit latencies), the core's DRAM latency and
+ *            the store FU latency
+ *  - branch  predictor budget + history length (the entropy-model
+ *            calibration inputs)
+ *  - core    the window-replay term: width, ROB, IQ, front-end depth,
+ *            MSHRs and every FU (latency/count/interval)
+ *  - bus     memBusCycles, plus — only when bus contention is on —
+ *            the clock-domain fields the M/D/1 model reads (core and
+ *            reference frequency, core count). With the bus off a
+ *            frequency-only sweep therefore shares phase-1 results
+ *            across the entire axis.
+ *
+ * Core frequency is deliberately absent from every component except the
+ * bus term: phase 1 works in the core's own cycle domain, so frequency
+ * only enters a prediction through phase 2's time scales and the final
+ * cycles-to-seconds conversions, which are never cached.
+ */
+
+#ifndef RPPM_ARCH_COMPONENT_KEY_HH
+#define RPPM_ARCH_COMPONENT_KEY_HH
+
+#include <string>
+
+#include "arch/config.hh"
+
+namespace rppm {
+
+/** Append one double to a binary key buffer (fixed 8 bytes, the bit
+ *  pattern little-endian — the shared convention of every key built
+ *  here and of the prediction engine's derived cache keys). */
+void appendKeyF64(std::string &buf, double v);
+
+/** The per-component keys of one (multicore, core) pair. */
+struct ComponentKeys
+{
+    std::string memory;
+    std::string branch;
+    std::string core;
+    std::string bus;
+
+    /** Concatenation: the full phase-1 invalidation key of a thread
+     *  mapped to this core. */
+    std::string full() const { return memory + branch + core + bus; }
+};
+
+/** Extract the component keys for a thread running on @p core of
+ *  @p cfg. */
+ComponentKeys componentKeys(const MulticoreConfig &cfg,
+                            const CoreConfig &core);
+
+/** full() of the core thread @p thread is mapped to. */
+std::string threadComponentKey(const MulticoreConfig &cfg, uint32_t thread);
+
+/**
+ * Whole-config ordering key for grid sharding: the per-core full keys in
+ * core-table order, the thread mapping and the frequency table. Configs
+ * sorted by this key place design points that share component-cache
+ * entries next to each other, and equal keys mark design points that are
+ * identical in every field any model component reads.
+ */
+std::string configComponentKey(const MulticoreConfig &cfg);
+
+} // namespace rppm
+
+#endif // RPPM_ARCH_COMPONENT_KEY_HH

@@ -15,6 +15,10 @@ const EntropyMissRateModel &
 BranchModelCache::get(const BranchPredictorConfig &cfg)
 {
     const auto key = std::make_pair(cfg.totalBytes, cfg.historyBits);
+    // std::map iterators are insert-stable, so the reference returned
+    // here survives later insertions; the lock only guards the lookup
+    // and the (idempotent) first-use calibration.
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = models_.find(key);
     if (it == models_.end()) {
         it = models_.emplace(

@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "arch/config.hh"
 #include "branch/entropy.hh"
@@ -24,6 +25,9 @@ namespace rppm {
 /**
  * Caches EntropyMissRateModel calibrations per predictor configuration so
  * design-space sweeps pay the calibration cost once per predictor.
+ * Thread-safe: grid workers share the process-wide instance. Returned
+ * references stay valid for the cache's lifetime (entries are never
+ * evicted).
  */
 class BranchModelCache
 {
@@ -35,6 +39,7 @@ class BranchModelCache
     static BranchModelCache &instance();
 
   private:
+    std::mutex mutex_;
     std::map<std::pair<uint32_t, uint32_t>,
              std::unique_ptr<EntropyMissRateModel>> models_;
 };

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/assert.hh"
+#include "rppm/memo.hh"
 #include "rppm/predictor.hh"
 #include "study/study.hh"
 
@@ -101,15 +102,15 @@ exploreDesignSpace(const WorkloadProfile &profile,
 
     // Deliberately positional (not via Study): the legacy contract
     // indexes design points by position and accepts duplicate or
-    // unnamed configurations, which name-keyed grids reject.
+    // unnamed configurations, which name-keyed grids reject. Design
+    // points share one memoized engine; the key property — the same
+    // profile serves every design point — now extends to every model
+    // component the points have in common.
     DseResult result;
     result.workload = profile.name;
     result.simulatedSeconds = simulated_seconds;
-    for (const MulticoreConfig &cfg : configs) {
-        // Key property: the same profile serves every design point.
-        result.predictedSeconds.push_back(
-            predict(profile, cfg).totalSeconds);
-    }
+    for (const RppmPrediction &pred : predictGrid(profile, configs))
+        result.predictedSeconds.push_back(pred.totalSeconds);
     return result;
 }
 

@@ -13,6 +13,20 @@ replayMicroTrace(const MicroTrace &mt, const CoreConfig &core,
                  const LoadLatencyFn &mem_latency,
                  double fetch_stall_per_op, double branch_miss_rate)
 {
+    return replayMicroTrace(
+        mt, 0, core,
+        [&mem_latency](const MicroTraceOp &op, uint32_t, uint32_t) {
+            return mem_latency(op);
+        },
+        fetch_stall_per_op, branch_miss_rate);
+}
+
+IlpResult
+replayMicroTrace(const MicroTrace &mt, uint32_t trace,
+                 const CoreConfig &core,
+                 const IndexedLatencyFn &mem_latency,
+                 double fetch_stall_per_op, double branch_miss_rate)
+{
     IlpResult result;
     const size_t n = mt.ops.size();
     if (n == 0)
@@ -76,7 +90,7 @@ replayMicroTrace(const MicroTrace &mt, const CoreConfig &core,
 
         double latency = static_cast<double>(core.fus[cls].latency);
         if (isMemory(op.op))
-            latency = mem_latency(op);
+            latency = mem_latency(op, trace, static_cast<uint32_t>(i));
 
         // MSHR constraint: a load cannot issue before the MSHR ring has
         // a free slot, bounding memory-level parallelism the same way
@@ -137,16 +151,31 @@ epochIlp(const EpochProfile &epoch, const CoreConfig &core,
          const LoadLatencyFn &mem_latency, double fetch_stall_per_op,
          double branch_miss_rate)
 {
+    return epochIlp(
+        epoch, core,
+        [&mem_latency](const MicroTraceOp &op, uint32_t, uint32_t) {
+            return mem_latency(op);
+        },
+        fetch_stall_per_op, branch_miss_rate);
+}
+
+IlpResult
+epochIlp(const EpochProfile &epoch, const CoreConfig &core,
+         const IndexedLatencyFn &mem_latency, double fetch_stall_per_op,
+         double branch_miss_rate)
+{
     double weighted_cycles = 0.0;
     double branch_res_sum = 0.0;
     double branch_pen_sum = 0.0;
     uint64_t ops = 0;
     uint64_t traces_with_branches = 0;
-    for (const MicroTrace &mt : epoch.microTraces) {
+    for (size_t t = 0; t < epoch.microTraces.size(); ++t) {
+        const MicroTrace &mt = epoch.microTraces[t];
         if (mt.ops.empty())
             continue;
         const IlpResult r = replayMicroTrace(
-            mt, core, mem_latency, fetch_stall_per_op, branch_miss_rate);
+            mt, static_cast<uint32_t>(t), core, mem_latency,
+            fetch_stall_per_op, branch_miss_rate);
         weighted_cycles += static_cast<double>(mt.ops.size()) / r.ipc;
         ops += mt.ops.size();
         if (r.branchResolution > 0.0) {

@@ -31,6 +31,15 @@ namespace rppm {
 using LoadLatencyFn =
     std::function<double(const MicroTraceOp &op)>;
 
+/**
+ * Indexed flavour: additionally receives the micro-trace index within
+ * the epoch and the op index within the trace, so implementations can
+ * serve precomputed per-op quantities (see EpochStacks::microSd) instead
+ * of re-deriving them on every replay. Same contract otherwise.
+ */
+using IndexedLatencyFn = std::function<double(
+    const MicroTraceOp &op, uint32_t trace, uint32_t idx)>;
+
 /** Result of replaying one micro-trace. */
 struct IlpResult
 {
@@ -65,6 +74,14 @@ IlpResult replayMicroTrace(const MicroTrace &mt, const CoreConfig &core,
                            double fetch_stall_per_op = 0.0,
                            double branch_miss_rate = 0.0);
 
+/** Indexed variant: @p trace is the micro-trace's index within its
+ *  epoch, forwarded (with each op's index) to @p mem_latency. */
+IlpResult replayMicroTrace(const MicroTrace &mt, uint32_t trace,
+                           const CoreConfig &core,
+                           const IndexedLatencyFn &mem_latency,
+                           double fetch_stall_per_op = 0.0,
+                           double branch_miss_rate = 0.0);
+
 /**
  * Effective dispatch rate of an epoch: micro-op-weighted average over the
  * epoch's micro-traces. Falls back to a mix/width heuristic when the
@@ -72,6 +89,12 @@ IlpResult replayMicroTrace(const MicroTrace &mt, const CoreConfig &core,
  */
 IlpResult epochIlp(const EpochProfile &epoch, const CoreConfig &core,
                    const LoadLatencyFn &mem_latency,
+                   double fetch_stall_per_op = 0.0,
+                   double branch_miss_rate = 0.0);
+
+/** Indexed variant (see IndexedLatencyFn). */
+IlpResult epochIlp(const EpochProfile &epoch, const CoreConfig &core,
+                   const IndexedLatencyFn &mem_latency,
                    double fetch_stall_per_op = 0.0,
                    double branch_miss_rate = 0.0);
 

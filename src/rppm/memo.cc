@@ -1,0 +1,250 @@
+#include "rppm/memo.hh"
+
+#include <sstream>
+
+#include "arch/component_key.hh"
+#include "common/assert.hh"
+
+namespace rppm {
+
+namespace {
+
+/** Eq1Options ablation switches, packed for the cache key. */
+char
+eq1OptionsBits(const Eq1Options &opts)
+{
+    return static_cast<char>(
+        (opts.ilpReplay ? 1 : 0) | (opts.llcUsesGlobalRd ? 2 : 0) |
+        (opts.mlpOverlap ? 4 : 0) | (opts.branch ? 8 : 0) |
+        (opts.decompose ? 16 : 0));
+}
+
+void
+appendU32(std::string &buf, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+} // namespace
+
+// ------------------------------------------------------------ MemoStats ---
+
+void
+MemoStats::add(const MemoStats &other)
+{
+    predictions += other.predictions;
+    threadEvals += other.threadEvals;
+    threadHits += other.threadHits;
+    syncRuns += other.syncRuns;
+    syncHits += other.syncHits;
+    stacksBuilt += other.stacksBuilt;
+    curvePoints += other.curvePoints;
+    curveHits += other.curveHits;
+}
+
+std::string
+MemoStats::summary() const
+{
+    std::ostringstream os;
+    os << predictions << " predictions: thread evals " << threadEvals
+       << " performed / " << threadHits << " saved; sync " << syncRuns
+       << " / " << syncHits << "; miss-curve points " << curvePoints
+       << " / " << curveHits << "; stack bundles " << stacksBuilt;
+    return os.str();
+}
+
+// ------------------------------------------------------- PredictionMemo ---
+
+PredictionMemo::PredictionMemo(
+    std::shared_ptr<const WorkloadProfile> profile)
+    : profile_(std::move(profile))
+{
+    RPPM_REQUIRE(profile_ != nullptr, "null profile");
+}
+
+std::shared_ptr<const EpochStacks>
+PredictionMemo::stacksFor(uint32_t thread, size_t epoch, bool llc_global)
+{
+    const uint64_t key = ((static_cast<uint64_t>(thread) << 32 |
+                          static_cast<uint64_t>(epoch)) << 1) |
+        (llc_global ? 1 : 0);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = stacks_.find(key);
+        if (it != stacks_.end())
+            return it->second;
+    }
+    auto built = std::make_shared<const EpochStacks>(
+        profile_->threads[thread].epochs[epoch], llc_global);
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = stacks_.emplace(key, std::move(built));
+    if (inserted)
+        ++stats_.stacksBuilt;
+    return it->second;
+}
+
+std::shared_ptr<const ThreadPrediction>
+PredictionMemo::threadFor(uint32_t thread, const std::string &key,
+                          const MulticoreConfig &cfg,
+                          const CoreConfig &core, const Eq1Options &opts)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = threads_.find(key);
+        if (it != threads_.end()) {
+            ++stats_.threadHits;
+            return it->second;
+        }
+    }
+    auto pred = std::make_shared<const ThreadPrediction>(predictThread(
+        profile_->threads[thread], cfg, core, opts,
+        [this, thread, &opts](size_t epoch) {
+            return stacksFor(thread, epoch, opts.llcUsesGlobalRd);
+        }));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto [it, inserted] = threads_.emplace(key, std::move(pred));
+    ++stats_.threadEvals;
+    return it->second;
+}
+
+RppmPrediction
+PredictionMemo::predict(const MulticoreConfig &cfg, const RppmOptions &opts)
+{
+    cfg.validate();
+    RppmPrediction pred;
+    pred.workload = profile_->name;
+    pred.config = cfg.name;
+
+    // Phase 1 through the component cache: each distinct per-thread
+    // sub-config (mapped core x shared LLC/bus x options) is evaluated
+    // exactly once per grid, then copied into place.
+    const char opt_bits = eq1OptionsBits(opts.eq1);
+    std::string sync_key;
+    pred.threads.reserve(profile_->numThreads);
+    pred.threadCoreIds.reserve(profile_->numThreads);
+    for (uint32_t t = 0; t < profile_->numThreads; ++t) {
+        std::string key = threadComponentKey(cfg, t);
+        key.push_back(opt_bits);
+        appendU32(key, t);
+        sync_key += key;
+        appendKeyF64(sync_key, cfg.threadTimeScale(t));
+        pred.threadCoreIds.push_back(cfg.coreOf(t));
+        pred.threads.push_back(
+            *threadFor(t, key, cfg, cfg.threadCore(t), opts.eq1));
+    }
+    appendKeyF64(sync_key, opts.sync.syncOpCost);
+
+    // Phase 2: reused only when every input that feeds the symbolic
+    // execution matches — the per-thread predictions (via their keys),
+    // the per-thread reference time scales and the sync-op cost.
+    std::shared_ptr<const SyncModelResult> sync;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = sync_.find(sync_key);
+        if (it != sync_.end()) {
+            ++stats_.syncHits;
+            sync = it->second;
+        }
+    }
+    if (!sync) {
+        auto run = std::make_shared<const SyncModelResult>(
+            runSyncModel(*profile_, pred.threads, cfg, opts.sync));
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto [it, inserted] = sync_.emplace(sync_key, std::move(run));
+        ++stats_.syncRuns;
+        sync = it->second;
+    }
+
+    pred.totalCycles = sync->totalCycles;
+    pred.totalSeconds = cfg.refCyclesToSeconds(sync->totalCycles);
+    pred.threadIdle = sync->threadIdle;
+    pred.activity = sync->activity;
+    pred.threadSeconds.reserve(profile_->numThreads);
+    for (uint32_t t = 0; t < profile_->numThreads; ++t)
+        pred.threadSeconds.push_back(
+            cfg.refCyclesToSeconds(sync->threadFinish[t]));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.predictions;
+    return pred;
+}
+
+MemoStats
+PredictionMemo::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoStats out = stats_;
+    for (const auto &[key, stacks] : stacks_) {
+        out.curvePoints += stacks->curvePoints();
+        out.curveHits += stacks->curveHits();
+    }
+    return out;
+}
+
+// --------------------------------------------------- PredictionMemoPool ---
+
+std::shared_ptr<PredictionMemo>
+PredictionMemoPool::forProfile(std::shared_ptr<const WorkloadProfile> profile)
+{
+    RPPM_REQUIRE(profile != nullptr, "null profile");
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = engines_.find(profile.get());
+    if (it == engines_.end()) {
+        it = engines_
+                 .emplace(profile.get(),
+                          std::make_shared<PredictionMemo>(profile))
+                 .first;
+    }
+    return it->second;
+}
+
+MemoStats
+PredictionMemoPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MemoStats out;
+    for (const auto &[key, engine] : engines_)
+        out.add(engine->stats());
+    return out;
+}
+
+bool
+PredictionMemoPool::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return engines_.empty();
+}
+
+// ----------------------------------------------------------- grid APIs ---
+
+std::vector<RppmPrediction>
+predictGrid(const WorkloadProfile &profile,
+            const std::vector<MulticoreConfig> &configs,
+            const RppmOptions &opts, MemoStats *stats)
+{
+    // Non-owning alias: the engine only lives for this call.
+    PredictionMemo memo(std::shared_ptr<const WorkloadProfile>(
+        std::shared_ptr<const WorkloadProfile>(), &profile));
+    std::vector<RppmPrediction> out;
+    out.reserve(configs.size());
+    for (const MulticoreConfig &cfg : configs)
+        out.push_back(memo.predict(cfg, opts));
+    if (stats)
+        *stats = memo.stats();
+    return out;
+}
+
+std::vector<RppmPrediction>
+predictLegacyGrid(const WorkloadProfile &profile,
+                  const std::vector<MulticoreConfig> &configs,
+                  const RppmOptions &opts)
+{
+    std::vector<RppmPrediction> out;
+    out.reserve(configs.size());
+    for (const MulticoreConfig &cfg : configs)
+        out.push_back(predict(profile, cfg, opts));
+    return out;
+}
+
+} // namespace rppm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Memoized component-level prediction engine — the "predict many" half
+ * of profile-once-predict-many, made incremental.
+ *
+ * A naive design-space sweep re-runs the full Eq.-1 pipeline (StatStack
+ * miss curves, window replays, branch model, sync model) for every grid
+ * point, even when most of the configuration fields a component reads
+ * are unchanged from a neighboring point. PredictionMemo caches each
+ * component's result under its parameter-subset key (arch/component_key)
+ * for the lifetime of a grid:
+ *
+ *  - per (thread, epoch): the config-independent EpochStacks bundle
+ *    (StatStacks, per-op stack distances, memoized miss-rate curves) is
+ *    built once and shared by every design point;
+ *  - per (thread, phase-1 key): the full ThreadPrediction is evaluated
+ *    once per distinct sub-config a thread actually runs on — a
+ *    placement sweep over a big.LITTLE machine evaluates each thread
+ *    once per core *kind*, not once per placement, and a DVFS axis with
+ *    the bus off is free;
+ *  - per (thread-key vector, time scales, sync cost): the phase-2
+ *    symbolic synchronization execution.
+ *
+ * Every cached value is produced by the same code the naive path runs,
+ * on the same inputs, so memoized predictions are bit-identical to
+ * rppm::predict per design point (predictGrid vs predictLegacyGrid below
+ * is the differential-testing pair, mirroring the fused/legacy profiler
+ * split). All caches are thread-safe: one engine serves every worker of
+ * a Study grid. Concurrent misses on one key may both evaluate (the
+ * first insert wins), which is harmless — the evaluation is
+ * deterministic, so both results are identical.
+ */
+
+#ifndef RPPM_RPPM_MEMO_HH
+#define RPPM_RPPM_MEMO_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rppm/predictor.hh"
+
+namespace rppm {
+
+/** Cache-efficiency counters of one engine (or a whole pool). */
+struct MemoStats
+{
+    uint64_t predictions = 0;  ///< predict() calls served
+    uint64_t threadEvals = 0;  ///< phase-1 thread evaluations performed
+    uint64_t threadHits = 0;   ///< phase-1 evaluations saved by the cache
+    uint64_t syncRuns = 0;     ///< phase-2 symbolic executions performed
+    uint64_t syncHits = 0;     ///< phase-2 executions saved
+    uint64_t stacksBuilt = 0;  ///< EpochStacks bundles constructed
+    uint64_t curvePoints = 0;  ///< distinct (stack, lines) CDF evaluations
+    uint64_t curveHits = 0;    ///< miss-rate queries served from curves
+
+    void add(const MemoStats &other);
+
+    /** "thread evals 12 performed / 84 saved; sync 24/72; ..." */
+    std::string summary() const;
+};
+
+/** Memoized prediction engine for one profile (see file comment). */
+class PredictionMemo
+{
+  public:
+    explicit PredictionMemo(std::shared_ptr<const WorkloadProfile> profile);
+
+    const WorkloadProfile &profile() const { return *profile_; }
+
+    /** Memoized equivalent of rppm::predict(profile, cfg, opts):
+     *  bit-identical per design point, thread-safe. */
+    RppmPrediction predict(const MulticoreConfig &cfg,
+                           const RppmOptions &opts = {});
+
+    MemoStats stats() const;
+
+  private:
+    std::shared_ptr<const EpochStacks>
+    stacksFor(uint32_t thread, size_t epoch, bool llc_global);
+
+    std::shared_ptr<const ThreadPrediction>
+    threadFor(uint32_t thread, const std::string &key,
+              const MulticoreConfig &cfg, const CoreConfig &core,
+              const Eq1Options &opts);
+
+    std::shared_ptr<const WorkloadProfile> profile_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, std::shared_ptr<const EpochStacks>>
+        stacks_;
+    std::unordered_map<std::string, std::shared_ptr<const ThreadPrediction>>
+        threads_;
+    std::unordered_map<std::string, std::shared_ptr<const SyncModelResult>>
+        sync_;
+    MemoStats stats_;
+};
+
+/**
+ * Engines for a whole study, one per distinct profile (evaluator
+ * variants with profiler-option overrides get their own). Thread-safe.
+ */
+class PredictionMemoPool
+{
+  public:
+    /** The engine for @p profile, created on first use. */
+    std::shared_ptr<PredictionMemo>
+    forProfile(std::shared_ptr<const WorkloadProfile> profile);
+
+    /** Aggregate stats over all engines. */
+    MemoStats stats() const;
+
+    bool empty() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<const WorkloadProfile *,
+                       std::shared_ptr<PredictionMemo>>
+        engines_;
+};
+
+/**
+ * Evaluate every design point of @p configs through one shared
+ * PredictionMemo. Bit-identical to predictLegacyGrid; @p stats (when
+ * non-null) receives the engine's cache-efficiency counters.
+ */
+std::vector<RppmPrediction>
+predictGrid(const WorkloadProfile &profile,
+            const std::vector<MulticoreConfig> &configs,
+            const RppmOptions &opts = {}, MemoStats *stats = nullptr);
+
+/**
+ * The naive per-point reference: rppm::predict once per design point,
+ * no cross-point reuse. Kept for differential testing and as the
+ * benchmark baseline the memoized engine is gated against.
+ */
+std::vector<RppmPrediction>
+predictLegacyGrid(const WorkloadProfile &profile,
+                  const std::vector<MulticoreConfig> &configs,
+                  const RppmOptions &opts = {});
+
+} // namespace rppm
+
+#endif // RPPM_RPPM_MEMO_HH

@@ -2,33 +2,43 @@
 
 #include <algorithm>
 
+#include "common/assert.hh"
+
 namespace rppm {
 
 EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
                                    const MulticoreConfig &cfg,
                                    const CoreConfig &core,
                                    bool llc_uses_global_rd)
-    : epoch_(epoch), cfg_(cfg), core_(core),
-      localStack_(epoch.localRd),
-      globalStack_(llc_uses_global_rd ? epoch.globalRd : epoch.localRd),
-      loadLocalStack_(epoch.loadLocalRd),
-      loadGlobalStack_(llc_uses_global_rd ? epoch.loadGlobalRd
-                                          : epoch.loadLocalRd),
-      llcUsesGlobalRd_(llc_uses_global_rd),
+    : EpochMemoryModel(epoch, cfg, core,
+                       std::make_shared<const EpochStacks>(
+                           epoch, llc_uses_global_rd))
+{
+}
+
+EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
+                                   const MulticoreConfig &cfg,
+                                   const CoreConfig &core,
+                                   std::shared_ptr<const EpochStacks> stacks)
+    : epoch_(epoch), cfg_(cfg), core_(core), stacks_(std::move(stacks)),
       l1Lines_(core.l1d.numLines()),
       l2Lines_(core.l2.numLines()),
       llcLines_(cfg.llc.numLines())
 {
+    RPPM_REQUIRE(stacks_ != nullptr, "null EpochStacks bundle");
+    RPPM_ASSERT(&stacks_->epoch() == &epoch_);
+
     // Private levels from the per-thread distribution; shared LLC from
     // the global interleaved distribution.
-    l1dMiss_ = localStack_.missRate(l1Lines_);
-    l2Miss_ = localStack_.missRate(l2Lines_);
-    llcMiss_ = globalStack_.missRate(llcLines_);
+    using W = EpochStacks::Which;
+    l1dMiss_ = stacks_->missRate(W::Local, l1Lines_);
+    l2Miss_ = stacks_->missRate(W::Local, l2Lines_);
+    llcMiss_ = stacks_->missRate(W::Global, llcLines_);
 
     // A load only reaches the LLC when it missed the private levels, so
     // mLLC is bounded by the private L2 load miss rate.
-    const double load_l2_miss = loadLocalStack_.missRate(l2Lines_);
-    const double load_llc_miss = loadGlobalStack_.missRate(llcLines_);
+    const double load_l2_miss = stacks_->missRate(W::LoadLocal, l2Lines_);
+    const double load_llc_miss = stacks_->missRate(W::LoadGlobal, llcLines_);
     llcLoadMissRate_ = std::min(load_l2_miss, load_llc_miss);
     llcLoadMisses_ =
         llcLoadMissRate_ * static_cast<double>(epoch.numLoads);
@@ -36,11 +46,11 @@ EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
     // I-cache component: sum over levels of miss rate x next-level
     // latency (Eq. 1). The I-stream is private, so the per-thread
     // instruction reuse distances drive all levels.
-    if (epoch.numOps > 0 && epoch.instrRd.total() > 0) {
-        StatStack istack(epoch.instrRd);
-        const double l1i_miss = istack.missRate(core.l1i.numLines());
-        const double l2i_miss = istack.missRate(l2Lines_);
-        const double llci_miss = istack.missRate(llcLines_);
+    if (stacks_->hasInstr()) {
+        const double l1i_miss =
+            stacks_->missRate(W::Instr, core.l1i.numLines());
+        const double l2i_miss = stacks_->missRate(W::Instr, l2Lines_);
+        const double llci_miss = stacks_->missRate(W::Instr, llcLines_);
         const double per_fetch =
             l1i_miss * static_cast<double>(core.l2.latency) +
             l2i_miss * static_cast<double>(cfg.llc.latency) +
@@ -52,31 +62,33 @@ EpochMemoryModel::EpochMemoryModel(const EpochProfile &epoch,
 uint64_t
 EpochMemoryModel::llcRd(const MicroTraceOp &op) const
 {
-    return llcUsesGlobalRd_ ? op.globalRd : op.localRd;
+    return stacks_->llcUsesGlobalRd() ? op.globalRd : op.localRd;
+}
+
+double
+EpochMemoryModel::hitLatency(double sd_local) const
+{
+    // Walk the hierarchy with per-access hit/miss decisions derived from
+    // the access's own reuse distances (loads only — callers return the
+    // store FU latency before reaching here). DRAM latency is excluded:
+    // the long-latency load stall is Eq. 1's separate D-component.
+    double latency = static_cast<double>(core_.l1d.latency);
+    if (sd_local >= static_cast<double>(l1Lines_)) {
+        latency += static_cast<double>(core_.l2.latency);
+        if (sd_local >= static_cast<double>(l2Lines_))
+            latency += static_cast<double>(cfg_.llc.latency);
+    }
+    return latency;
 }
 
 double
 EpochMemoryModel::expectedLatency(const MicroTraceOp &op) const
 {
-    // Walk the hierarchy with per-access hit/miss decisions derived from
-    // the access's own reuse distances. DRAM latency is excluded: the
-    // long-latency load stall is Eq. 1's separate D-component.
-    const double l1 = static_cast<double>(core_.l1d.latency);
     if (op.op == OpClass::Store)
         return static_cast<double>(
             core_.fus[static_cast<size_t>(OpClass::Store)].latency);
-
-    const double sd_local = localStack_.stackDistance(op.localRd);
-    const double sd_global = globalStack_.stackDistance(llcRd(op));
-    double latency = l1;
-    if (sd_local >= static_cast<double>(l1Lines_)) {
-        latency += static_cast<double>(core_.l2.latency);
-        if (sd_local >= static_cast<double>(l2Lines_)) {
-            latency += static_cast<double>(cfg_.llc.latency);
-            (void)sd_global; // DRAM handled in expectedLatencyFull()
-        }
-    }
-    return latency;
+    return hitLatency(stacks_->stack(EpochStacks::Which::Local)
+                          .stackDistance(op.localRd));
 }
 
 double
@@ -84,12 +96,46 @@ EpochMemoryModel::expectedLatencyFull(const MicroTraceOp &op) const
 {
     double latency = expectedLatency(op);
     if (op.op == OpClass::Load) {
-        const double sd_local = localStack_.stackDistance(op.localRd);
-        const double sd_global = globalStack_.stackDistance(llcRd(op));
+        const double sd_local = stacks_->stack(EpochStacks::Which::Local)
+                                    .stackDistance(op.localRd);
+        const double sd_global = stacks_->stack(EpochStacks::Which::Global)
+                                     .stackDistance(llcRd(op));
         // A DRAM access requires missing the private levels and the
         // shared LLC (its interleaved reuse must exceed the LLC reach).
         if (sd_local >= static_cast<double>(l2Lines_) &&
             sd_global >= static_cast<double>(llcLines_)) {
+            latency += static_cast<double>(core_.memLatency);
+        }
+    }
+    return latency;
+}
+
+void
+EpochMemoryModel::prepareReplay() const
+{
+    if (!microSd_)
+        microSd_ = &stacks_->microSd();
+}
+
+double
+EpochMemoryModel::expectedLatency(const MicroTraceOp &op, uint32_t trace,
+                                  uint32_t idx) const
+{
+    if (op.op == OpClass::Store)
+        return static_cast<double>(
+            core_.fus[static_cast<size_t>(OpClass::Store)].latency);
+    return hitLatency((*microSd_)[trace][idx].local);
+}
+
+double
+EpochMemoryModel::expectedLatencyFull(const MicroTraceOp &op, uint32_t trace,
+                                      uint32_t idx) const
+{
+    double latency = expectedLatency(op, trace, idx);
+    if (op.op == OpClass::Load) {
+        const EpochStacks::OpSd &sd = (*microSd_)[trace][idx];
+        if (sd.local >= static_cast<double>(l2Lines_) &&
+            sd.llc >= static_cast<double>(llcLines_)) {
             latency += static_cast<double>(core_.memLatency);
         }
     }

@@ -9,13 +9,22 @@
  * capturing positive interference (sharing), negative interference
  * (capacity contention) and coherence (write-invalidation) effects. The
  * instruction-stream distribution predicts the I-cache component.
+ *
+ * All StatStack-derived quantities are config-independent and live in an
+ * EpochStacks bundle. The model either borrows a shared bundle (the
+ * memoized grid engine builds one per epoch for a whole Study) or builds
+ * its own (the naive per-point path); both produce bit-identical
+ * predictions.
  */
 
 #ifndef RPPM_RPPM_MEMORY_MODEL_HH
 #define RPPM_RPPM_MEMORY_MODEL_HH
 
+#include <memory>
+
 #include "arch/config.hh"
 #include "profile/epoch_profile.hh"
+#include "statstack/epoch_stacks.hh"
 #include "statstack/statstack.hh"
 
 namespace rppm {
@@ -36,6 +45,16 @@ struct EpochMemoryModel
     EpochMemoryModel(const EpochProfile &epoch, const MulticoreConfig &cfg,
                      const CoreConfig &core,
                      bool llc_uses_global_rd = true);
+
+    /**
+     * Same model over a pre-built (shared) stack bundle: no StatStack is
+     * constructed and miss rates come from the bundle's memoized curves.
+     * @p stacks must have been built from @p epoch (with the desired
+     * llcUsesGlobalRd flavour) and must not be null.
+     */
+    EpochMemoryModel(const EpochProfile &epoch, const MulticoreConfig &cfg,
+                     const CoreConfig &core,
+                     std::shared_ptr<const EpochStacks> stacks);
 
     /** Convenience: model for core 0 (uniform machines). */
     EpochMemoryModel(const EpochProfile &epoch, const MulticoreConfig &cfg,
@@ -80,6 +99,22 @@ struct EpochMemoryModel
      *  the base component for CPI-stack reporting. */
     double expectedLatencyL1Only(const MicroTraceOp &op) const;
 
+    /**
+     * Bind the precomputed per-op stack distances of the micro-traces so
+     * the indexed expectedLatency* overloads below can be used. Called
+     * once before the Eq.-1 window replays; a no-op on repeat calls.
+     */
+    void prepareReplay() const;
+
+    /** Indexed variants reading the precomputed stack distances of
+     *  micro-trace op (@p trace, @p idx) — bit-identical to the
+     *  unindexed forms, without re-deriving the stack distance per
+     *  replay. prepareReplay() must have been called. */
+    double expectedLatency(const MicroTraceOp &op, uint32_t trace,
+                           uint32_t idx) const;
+    double expectedLatencyFull(const MicroTraceOp &op, uint32_t trace,
+                               uint32_t idx) const;
+
     /** Predicted I-cache component cycles for the whole epoch (additive
      *  Eq. 1 form; the replay-based path uses icachePerFetch instead). */
     double icacheCycles() const { return icacheCycles_; }
@@ -95,14 +130,16 @@ struct EpochMemoryModel
     /** The reuse distance driving shared-LLC decisions for one op. */
     uint64_t llcRd(const MicroTraceOp &op) const;
 
+    /** Hit-path latency of a load from its expected local stack
+     *  distance (callers handle stores before reaching here). */
+    double hitLatency(double sd_local) const;
+
     const EpochProfile &epoch_;
     const MulticoreConfig &cfg_;
     const CoreConfig &core_;
-    StatStack localStack_;
-    StatStack globalStack_;
-    StatStack loadLocalStack_;
-    StatStack loadGlobalStack_;
-    bool llcUsesGlobalRd_;
+    std::shared_ptr<const EpochStacks> stacks_;
+    mutable const std::vector<std::vector<EpochStacks::OpSd>> *microSd_ =
+        nullptr;
 
     uint64_t l1Lines_, l2Lines_, llcLines_;
     double l1dMiss_ = 0.0;

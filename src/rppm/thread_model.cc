@@ -52,19 +52,29 @@ EpochPrediction
 predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
              const Eq1Options &opts)
 {
-    return predictEpoch(epoch, cfg, cfg.core(0), opts);
+    return predictEpoch(epoch, cfg, cfg.core(0), opts, nullptr);
 }
 
 EpochPrediction
 predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
              const CoreConfig &core, const Eq1Options &opts)
 {
+    return predictEpoch(epoch, cfg, core, opts, nullptr);
+}
+
+EpochPrediction
+predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
+             const CoreConfig &core, const Eq1Options &opts,
+             std::shared_ptr<const EpochStacks> stacks)
+{
     EpochPrediction pred;
     if (epoch.numOps == 0)
         return pred;
 
     const double n = static_cast<double>(epoch.numOps);
-    EpochMemoryModel mem(epoch, cfg, core, opts.llcUsesGlobalRd);
+    EpochMemoryModel mem =
+        stacks ? EpochMemoryModel(epoch, cfg, core, std::move(stacks))
+               : EpochMemoryModel(epoch, cfg, core, opts.llcUsesGlobalRd);
 
     if (!opts.ilpReplay) {
         // Ablation: no ILP modeling. Dispatch at full front-end width and
@@ -102,9 +112,15 @@ predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
     // which the window model derives the overlapped (MLP-limited)
     // long-latency stall — Eq. 1's mLLC x cmem / MLP term, with the MLP
     // emerging from dependences, ROB occupancy and MSHR pressure.
-    const auto full_latency_fn = [&mem, &opts](const MicroTraceOp &op) {
-        return opts.mlpOverlap ? mem.expectedLatencyFull(op)
-                               : mem.expectedLatency(op);
+    // Per-op expected stack distances are precomputed (and shared across
+    // grid points through EpochStacks), so the replays read two doubles
+    // per load instead of re-walking the survival sums.
+    mem.prepareReplay();
+    const auto full_latency_fn = [&mem, &opts](const MicroTraceOp &op,
+                                               uint32_t trace,
+                                               uint32_t idx) {
+        return opts.mlpOverlap ? mem.expectedLatencyFull(op, trace, idx)
+                               : mem.expectedLatency(op, trace, idx);
     };
     const double miss_rate_pred =
         opts.branch ? epochBranchMissRate(epoch, core) : 0.0;
@@ -113,7 +129,8 @@ predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
         // Fast path: only the final replay (full memory + I-cache
         // stalls + branch flushes). Identical total to the decomposed
         // path up to clamping; everything reported as Base.
-        const IlpResult ilp = epochIlp(epoch, core, full_latency_fn,
+        const IlpResult ilp = epochIlp(epoch, core,
+                                       IndexedLatencyFn(full_latency_fn),
                                        mem.icachePerFetch(),
                                        miss_rate_pred);
         pred.deff = ilp.ipc;
@@ -132,25 +149,30 @@ predictEpoch(const EpochProfile &epoch, const MulticoreConfig &cfg,
 
     const IlpResult ilp_l1 = epochIlp(
         epoch, core,
-        [&mem](const MicroTraceOp &op) {
+        IndexedLatencyFn([&mem](const MicroTraceOp &op, uint32_t,
+                                uint32_t) {
             return mem.expectedLatencyL1Only(op);
-        });
+        }));
     const IlpResult ilp_hit = epochIlp(
         epoch, core,
-        [&mem](const MicroTraceOp &op) { return mem.expectedLatency(op); });
+        IndexedLatencyFn([&mem](const MicroTraceOp &op, uint32_t trace,
+                                uint32_t idx) {
+            return mem.expectedLatency(op, trace, idx);
+        }));
     const IlpResult ilp_full =
-        epochIlp(epoch, core, full_latency_fn);
+        epochIlp(epoch, core, IndexedLatencyFn(full_latency_fn));
     // Fourth replay: add the expected I-cache front-end stalls on top of
     // the full memory behaviour, so instruction misses only cost what
     // the back end does not hide.
     const IlpResult ilp_fetch =
-        epochIlp(epoch, core, full_latency_fn, mem.icachePerFetch());
+        epochIlp(epoch, core, IndexedLatencyFn(full_latency_fn),
+                 mem.icachePerFetch());
     // Fifth replay: emulate front-end flushes at the entropy-predicted
     // misprediction rate, capturing redirect latency plus window ramp-up
     // (Eq. 1's mbpred x (cres + cfr) term, evaluated mechanistically).
     const IlpResult ilp_flush = epochIlp(
-        epoch, core, full_latency_fn, mem.icachePerFetch(),
-        miss_rate_pred);
+        epoch, core, IndexedLatencyFn(full_latency_fn),
+        mem.icachePerFetch(), miss_rate_pred);
 
     const double base_cycles = n / ilp_l1.ipc;
     const double hit_cycles = n / ilp_hit.ipc;
@@ -208,20 +230,30 @@ ThreadPrediction
 predictThread(const ThreadProfile &thread, const MulticoreConfig &cfg,
               const Eq1Options &opts)
 {
-    return predictThread(thread, cfg, cfg.core(0), opts);
+    return predictThread(thread, cfg, cfg.core(0), opts, {});
 }
 
 ThreadPrediction
 predictThread(const ThreadProfile &thread, const MulticoreConfig &cfg,
               const CoreConfig &core, const Eq1Options &opts)
 {
+    return predictThread(thread, cfg, core, opts, {});
+}
+
+ThreadPrediction
+predictThread(const ThreadProfile &thread, const MulticoreConfig &cfg,
+              const CoreConfig &core, const Eq1Options &opts,
+              const EpochStacksFn &stacks)
+{
     ThreadPrediction result;
     result.epochs.reserve(thread.epochs.size());
-    for (const EpochProfile &epoch : thread.epochs) {
-        EpochPrediction pred = predictEpoch(epoch, cfg, core, opts);
+    for (size_t e = 0; e < thread.epochs.size(); ++e) {
+        EpochPrediction pred =
+            predictEpoch(thread.epochs[e], cfg, core, opts,
+                         stacks ? stacks(e) : nullptr);
         result.activeCycles += pred.cycles;
         result.stack.add(pred.stack);
-        result.instructions += epoch.numOps;
+        result.instructions += thread.epochs[e].numOps;
         result.epochs.push_back(std::move(pred));
     }
     return result;

@@ -16,9 +16,13 @@
 #ifndef RPPM_RPPM_THREAD_MODEL_HH
 #define RPPM_RPPM_THREAD_MODEL_HH
 
+#include <functional>
+#include <memory>
+
 #include "arch/config.hh"
 #include "profile/epoch_profile.hh"
 #include "simcore/core_model.hh"
+#include "statstack/epoch_stacks.hh"
 
 namespace rppm {
 
@@ -73,6 +77,18 @@ EpochPrediction predictEpoch(const EpochProfile &epoch,
                              const CoreConfig &core,
                              const Eq1Options &opts = {});
 
+/**
+ * Same evaluation over a pre-built (shared) StatStack bundle for the
+ * epoch — the memoized grid engine's entry point. @p stacks must match
+ * @p epoch and opts.llcUsesGlobalRd; nullptr builds a private bundle
+ * (equivalent to the overload above). Bit-identical either way.
+ */
+EpochPrediction predictEpoch(const EpochProfile &epoch,
+                             const MulticoreConfig &cfg,
+                             const CoreConfig &core,
+                             const Eq1Options &opts,
+                             std::shared_ptr<const EpochStacks> stacks);
+
 /** Convenience: evaluate on core 0 (uniform machines). */
 EpochPrediction predictEpoch(const EpochProfile &epoch,
                              const MulticoreConfig &cfg,
@@ -87,12 +103,25 @@ struct ThreadPrediction
     uint64_t instructions = 0;
 };
 
+/** Supplies the shared StatStack bundle for epoch @p epochIdx of the
+ *  thread being predicted (may return nullptr to build privately). */
+using EpochStacksFn =
+    std::function<std::shared_ptr<const EpochStacks>(size_t epochIdx)>;
+
 /** Phase 1 for a whole thread on core @p core: predict every epoch
  *  independently. Cycles are in @p core's own clock domain. */
 ThreadPrediction predictThread(const ThreadProfile &thread,
                                const MulticoreConfig &cfg,
                                const CoreConfig &core,
                                const Eq1Options &opts = {});
+
+/** Same, drawing per-epoch StatStack bundles from @p stacks (the
+ *  memoized engine's cache); an empty function builds privately. */
+ThreadPrediction predictThread(const ThreadProfile &thread,
+                               const MulticoreConfig &cfg,
+                               const CoreConfig &core,
+                               const Eq1Options &opts,
+                               const EpochStacksFn &stacks);
 
 /** Convenience: predict on core 0 (uniform machines). */
 ThreadPrediction predictThread(const ThreadProfile &thread,

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "rppm/baselines.hh"
+#include "rppm/memo.hh"
 
 namespace rppm {
 
@@ -37,7 +38,14 @@ RppmEvaluator::evaluate(const EvalContext &ctx,
     Evaluation result = makeResult(ctx, cfg);
     const auto profile = ctx.profile(profiler_);
     const RppmOptions &opts = rppm_ ? *rppm_ : ctx.options.rppm;
-    result.prediction = predict(*profile, cfg, opts);
+    if (ctx.memos) {
+        // Grid mode: share component evaluations with every other design
+        // point of this profile (bit-identical to the per-point path).
+        result.prediction =
+            ctx.memos->forProfile(profile)->predict(cfg, opts);
+    } else {
+        result.prediction = predict(*profile, cfg, opts);
+    }
     result.cycles = result.prediction->totalCycles;
     result.seconds = result.prediction->totalSeconds;
     result.threadSeconds = result.prediction->threadSeconds;

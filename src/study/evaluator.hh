@@ -39,6 +39,8 @@
 
 namespace rppm {
 
+class PredictionMemoPool;
+
 /** Knobs shared by every evaluation in a study. */
 struct StudyOptions
 {
@@ -53,6 +55,10 @@ struct EvalContext
     const WorkloadSource &workload;
     const StudyOptions &options;
     ProfileCache &profiles;
+
+    /** Shared memoized prediction engines for the running grid; null
+     *  when the study evaluates points independently (legacy mode). */
+    PredictionMemoPool *memos = nullptr;
 
     /** The workload's profile under the study's (or @p override's)
      *  profiler options, through the cache. */
@@ -99,6 +105,11 @@ class Evaluator
      *  sources cannot serve it). */
     virtual bool needsTrace() const { return false; }
 
+    /** True when the backend exploits a shared PredictionMemoPool; the
+     *  Study sorts and shards such a backend's design points by
+     *  component key so cache neighbours run back to back. */
+    virtual bool usesComponentMemo() const { return false; }
+
     /** Evaluate @p ctx's workload on @p cfg. Must be thread-safe. */
     virtual Evaluation evaluate(const EvalContext &ctx,
                                 const MulticoreConfig &cfg) const = 0;
@@ -125,6 +136,8 @@ class RppmEvaluator : public Evaluator
         : Evaluator(std::move(label)), rppm_(std::move(rppm)),
           profiler_(std::move(profiler))
     {}
+
+    bool usesComponentMemo() const override { return true; }
 
     Evaluation evaluate(const EvalContext &ctx,
                         const MulticoreConfig &cfg) const override;

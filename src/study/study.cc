@@ -1,9 +1,14 @@
 #include "study/study.hh"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 
+#include "arch/component_key.hh"
 #include "common/stats.hh"
 #include "study/executor.hh"
 
@@ -329,6 +334,13 @@ Study::simOptions(const SimOptions &opts)
     return *this;
 }
 
+Study &
+Study::memoization(bool on)
+{
+    memoize_ = on;
+    return *this;
+}
+
 const WorkloadSource &
 Study::sourceByName(const std::string &name) const
 {
@@ -386,17 +398,84 @@ Study::run()
     const size_t numCells =
         sources_.size() * configs_.size() * evaluators_.size();
     std::vector<Evaluation> cells(numCells);
+    const auto cellIndex = [&](size_t w, size_t c, size_t e) {
+        return (w * configs_.size() + c) * evaluators_.size() + e;
+    };
 
-    // Grid order: workload-major, then config, then evaluator. Results
-    // land by index, so the registry is deterministic for any job count.
+    // Batched grid execution: the worker pool's unit of work is a shard
+    // of cells rather than one cell. For memo-backed evaluators the
+    // shard plan orders each (workload, evaluator) row's design points
+    // by component key — points sharing sub-configs run adjacently, so
+    // the second of two cache neighbours hits the component caches the
+    // first just filled — and groups points with *equal* keys (identical
+    // in every field any component reads) into one shard so they never
+    // race to evaluate the same components on two workers. Other
+    // backends keep one cell per shard. Results still land by cell
+    // index: the registry is deterministic for any job count and any
+    // shard schedule.
+    PredictionMemoPool pool;
+    const bool anyMemoEvaluator =
+        memoize_ && std::any_of(evaluators_.begin(), evaluators_.end(),
+                                [](const auto &e) {
+                                    return e->usesComponentMemo();
+                                });
+    std::vector<size_t> order(configs_.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::string> cfgKeys;
+    if (anyMemoEvaluator) {
+        cfgKeys.reserve(configs_.size());
+        for (const MulticoreConfig &cfg : configs_)
+            cfgKeys.push_back(configComponentKey(cfg));
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+            return cfgKeys[a] != cfgKeys[b] ? cfgKeys[a] < cfgKeys[b]
+                                            : a < b;
+        });
+    }
+
+    std::vector<std::vector<size_t>> shards;
+    shards.reserve(numCells);
+    for (size_t w = 0; w < sources_.size(); ++w) {
+        for (size_t e = 0; e < evaluators_.size(); ++e) {
+            const bool sharded =
+                anyMemoEvaluator && evaluators_[e]->usesComponentMemo();
+            if (!sharded) {
+                for (size_t c = 0; c < configs_.size(); ++c)
+                    shards.push_back({cellIndex(w, c, e)});
+                continue;
+            }
+            for (size_t i = 0; i < order.size(); ++i) {
+                if (i == 0 || cfgKeys[order[i]] != cfgKeys[order[i - 1]])
+                    shards.emplace_back();
+                shards.back().push_back(cellIndex(w, order[i], e));
+            }
+        }
+    }
+
     ParallelExecutor executor(jobs_);
-    executor.forEach(numCells, [&](size_t idx) {
-        const size_t e = idx % evaluators_.size();
-        const size_t c = (idx / evaluators_.size()) % configs_.size();
-        const size_t w = idx / (evaluators_.size() * configs_.size());
-        const EvalContext ctx{sources_[w], options_, cache_};
-        cells[idx] = evaluators_[e]->evaluate(ctx, configs_[c]);
+    executor.forEach(shards.size(), [&](size_t s) {
+        for (const size_t idx : shards[s]) {
+            const size_t e = idx % evaluators_.size();
+            const size_t c = (idx / evaluators_.size()) % configs_.size();
+            const size_t w = idx / (evaluators_.size() * configs_.size());
+            const EvalContext ctx{sources_[w], options_, cache_,
+                                  memoize_ ? &pool : nullptr};
+            cells[idx] = evaluators_[e]->evaluate(ctx, configs_[c]);
+        }
     });
+
+    lastMemoStats_.reset();
+    if (!pool.empty()) {
+        // One-line cache-efficiency summary so memoization wins (or
+        // their absence) are visible per study; RPPM_STUDY_QUIET=1
+        // silences it for embedders (the data stays available via
+        // lastMemoStats()).
+        lastMemoStats_ = pool.stats();
+        const char *quiet = std::getenv("RPPM_STUDY_QUIET");
+        if (!quiet || quiet[0] == '\0' || quiet[0] == '0') {
+            std::fprintf(stderr, "Study: component memo: %s\n",
+                         lastMemoStats_->summary().c_str());
+        }
+    }
 
     return StudyResult(std::move(workloadNames), std::move(configNames),
                        std::move(evaluatorNames), std::move(cells));

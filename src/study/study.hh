@@ -32,10 +32,12 @@
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "arch/config.hh"
+#include "rppm/memo.hh"
 #include "study/evaluator.hh"
 #include "study/profile_cache.hh"
 #include "study/source.hh"
@@ -134,10 +136,27 @@ class Study
     Study &rppmOptions(const RppmOptions &opts);
     Study &simOptions(const SimOptions &opts);
 
+    /**
+     * Share component evaluations (StatStack bundles, per-thread Eq.-1
+     * results, sync executions) across the grid's design points through
+     * a PredictionMemoPool, with design points sorted and sharded by
+     * component key. On by default; predictions are bit-identical either
+     * way — disable only to time or differentially test the naive
+     * per-point path.
+     */
+    Study &memoization(bool on);
+
     // --- Introspection.
     const std::vector<WorkloadSource> &sources() const { return sources_; }
     const StudyOptions &options() const { return options_; }
     ProfileCache &profiles() { return cache_; }
+
+    /** Cache-efficiency counters of the last run() (empty before the
+     *  first run or when memoization was off / never engaged). */
+    const std::optional<MemoStats> &lastMemoStats() const
+    {
+        return lastMemoStats_;
+    }
 
     /** One workload's profile under the study's profiler options,
      *  through the cache (profiling it now if needed). */
@@ -161,6 +180,8 @@ class Study
     StudyOptions options_;
     ProfileCache cache_;
     unsigned jobs_ = 1;
+    bool memoize_ = true;
+    std::optional<MemoStats> lastMemoStats_;
 };
 
 } // namespace rppm
