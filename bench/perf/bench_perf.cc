@@ -13,8 +13,15 @@
  *   bench_perf [--kernels a,b,c | --kernels all] [--filter REGEX]
  *              [--scale F] [--repeat N] [--jobs N] [--out FILE]
  *              [--baseline FILE [--max-regression F]]
- *              [--min-profile-speedup F] [--min-grid-speedup F]
- *              [--write-baseline FILE]
+ *              [--min-profile-speedup F] [--min-profile-par-speedup F]
+ *              [--min-grid-speedup F] [--write-baseline FILE]
+ *
+ * --jobs drives every parallel knob at once: the Study worker pool of
+ * the grid phases, the parallel profiler of the profile_par phase, and
+ * the fully-parallel cold Study of the study_cold phase (trace build +
+ * profile + memoized grid, end to end from a spec). profile_par_speedup
+ * (fused wall time / parallel wall time) and the per-kernel speedups
+ * are summarized as geomeans in a "summary" JSON block and on stdout.
  *
  * --filter selects kernels whose name matches REGEX (case-insensitive,
  * std::regex search). On its own it filters the full 26-kernel suite;
@@ -47,6 +54,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <string>
@@ -81,6 +89,7 @@ struct KernelResult
     // Wall milliseconds, median of N repeats.
     std::map<std::string, double> ms;
     double profileSpeedup = 0.0;
+    double profileParSpeedup = 0.0;
     double gridSpeedup = 0.0;
 
     double
@@ -189,6 +198,23 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
     result.profileSpeedup =
         result.ms["profile_legacy"] / result.ms["profile_fused"];
 
+    // Parallel epoch-sharded profiler on the harness's --jobs workers.
+    // profile_par_speedup is fused/parallel wall time: > 1 means the
+    // worker pool beats the single-threaded fused sweep (expect ~1.0 or
+    // slightly below when --jobs 1 or on a single-core machine — the
+    // sharded engine then pays its scatter overhead with no cores to
+    // spend it on).
+    ProfilerOptions paropts;
+    paropts.jobs = jobs;
+    WorkloadProfile parProfile;
+    result.ms["profile_par"] = medianOf(repeat, [&] {
+        parProfile = profileWorkloadParallel(cols, paropts);
+    });
+    if (parProfile.totalOps() != profile.totalOps())
+        std::fprintf(stderr, "warning: parallel/fused op mismatch\n");
+    result.profileParSpeedup =
+        result.ms["profile_fused"] / result.ms["profile_par"];
+
     const MulticoreConfig base = baseConfig();
     result.ms["predict"] = medianOf(repeat, [&] {
         const RppmPrediction pred = predict(profile, base);
@@ -217,7 +243,40 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
     result.ms["grid_memo"] = medianOf(repeat, [&] { runGrid(true); });
     result.gridSpeedup = result.ms["grid"] / result.ms["grid_memo"];
 
+    // Cold end-to-end Study: trace synthesis + (parallel) profiling +
+    // the memoized sweep grid, all inside one spec-backed Study with
+    // every jobs knob set — the "first contact with a new workload"
+    // number the profile-once-predict-many pitch rests on.
+    result.ms["study_cold"] = medianOf(repeat, [&] {
+        Study study;
+        study.addWorkload(spec)
+            .addConfigs(sweep)
+            .addEvaluator("rppm")
+            .profilerOptions(paropts)
+            .jobs(jobs);
+        const StudyResult cold = study.run();
+        if (cold.cells().empty())
+            std::fprintf(stderr, "warning: empty cold study\n");
+    });
+
     return result;
+}
+
+/** Geometric mean of one metric across kernels (0 when undefined). */
+double
+geomean(const std::vector<KernelResult> &results,
+        const std::function<double(const KernelResult &)> &get)
+{
+    double logSum = 0.0;
+    size_t n = 0;
+    for (const KernelResult &r : results) {
+        const double v = get(r);
+        if (v > 0.0) {
+            logSum += std::log(v);
+            ++n;
+        }
+    }
+    return n == 0 ? 0.0 : std::exp(logSum / static_cast<double>(n));
 }
 
 // -------------------------------------------------------------- JSON ---
@@ -260,10 +319,37 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
                << r.nsPerOp(metric) << ",\n";
         }
         os << "      \"profile_speedup\": " << r.profileSpeedup << ",\n"
+           << "      \"profile_par_speedup\": " << r.profileParSpeedup
+           << ",\n"
            << "      \"grid_speedup\": " << r.gridSpeedup << "\n"
            << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
-    os << "  ]\n}\n";
+    // Geomean summary across the measured kernel set, precomputed so
+    // trajectory dashboards (and humans) never re-derive it from the
+    // per-kernel entries.
+    os << "  ],\n"
+       << "  \"summary\": {\n"
+       << "    \"profile_speedup_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.profileSpeedup;
+          })
+       << ",\n"
+       << "    \"profile_par_speedup_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.profileParSpeedup;
+          })
+       << ",\n"
+       << "    \"grid_speedup_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.gridSpeedup;
+          })
+       << ",\n"
+       << "    \"study_cold_ms_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              const auto it = r.ms.find("study_cold");
+              return it == r.ms.end() ? 0.0 : it->second;
+          })
+       << "\n  }\n}\n";
     return os.str();
 }
 
@@ -406,13 +492,15 @@ class BaselineParser
 /** Metrics gated against the baseline (normalized per-op, so trace size
  *  changes show up too). */
 const char *kGatedMetrics[] = {"profile_fused_ns_per_op",
+                               "profile_par_ns_per_op",
                                "predict_ns_per_op", "grid_ns_per_op",
                                "grid_memo_ns_per_op"};
 
 int
 checkRegressions(const std::vector<KernelResult> &results,
                  const std::string &baseline_path, double max_regression,
-                 double min_profile_speedup, double min_grid_speedup)
+                 double min_profile_speedup, double min_profile_par_speedup,
+                 double min_grid_speedup)
 {
     std::ifstream is(baseline_path);
     if (!is) {
@@ -460,6 +548,14 @@ checkRegressions(const std::vector<KernelResult> &results,
                         "  REGRESSION\n",
                         r.name.c_str(), r.profileSpeedup,
                         min_profile_speedup);
+            ++failures;
+        }
+        if (min_profile_par_speedup > 0.0 &&
+            r.profileParSpeedup < min_profile_par_speedup) {
+            std::printf("  %-16s profile_par_speedup %.2fx < required "
+                        "%.2fx  REGRESSION\n",
+                        r.name.c_str(), r.profileParSpeedup,
+                        min_profile_par_speedup);
             ++failures;
         }
         if (min_grid_speedup > 0.0 && r.gridSpeedup < min_grid_speedup) {
@@ -521,6 +617,7 @@ main(int argc, char **argv)
     double scale = 0.25;
     double max_regression = 0.25;
     double min_profile_speedup = 0.0;
+    double min_profile_par_speedup = 0.0;
     double min_grid_speedup = 0.0;
     int repeat = 3;
     unsigned jobs = 1;
@@ -555,6 +652,8 @@ main(int argc, char **argv)
             max_regression = std::stod(next());
         } else if (arg == "--min-profile-speedup") {
             min_profile_speedup = std::stod(next());
+        } else if (arg == "--min-profile-par-speedup") {
+            min_profile_par_speedup = std::stod(next());
         } else if (arg == "--min-grid-speedup") {
             min_grid_speedup = std::stod(next());
         } else if (arg == "--write-baseline") {
@@ -611,15 +710,34 @@ main(int argc, char **argv)
     for (const SuiteEntry &entry : entries) {
         KernelResult r = measureKernel(entry, scale, repeat, jobs);
         std::printf("  %-16s ops=%8llu build=%7.1fms profile=%7.1fms "
-                    "(legacy %7.1fms, %.2fx) predict=%6.2fms "
-                    "grid=%7.1fms (memo %7.1fms, %.2fx)\n",
+                    "(legacy %7.1fms, %.2fx; par %7.1fms, %.2fx) "
+                    "predict=%6.2fms grid=%7.1fms (memo %7.1fms, %.2fx) "
+                    "cold=%7.1fms\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.ops), r.ms["build"],
                     r.ms["profile_fused"], r.ms["profile_legacy"],
-                    r.profileSpeedup, r.ms["predict"], r.ms["grid"],
-                    r.ms["grid_memo"], r.gridSpeedup);
+                    r.profileSpeedup, r.ms["profile_par"],
+                    r.profileParSpeedup, r.ms["predict"], r.ms["grid"],
+                    r.ms["grid_memo"], r.gridSpeedup, r.ms["study_cold"]);
         results.push_back(std::move(r));
     }
+    std::printf("bench_perf: geomean profile_speedup %.2fx | "
+                "profile_par_speedup %.2fx (jobs %u) | grid_speedup "
+                "%.2fx | study_cold %.1fms\n",
+                geomean(results, [](const KernelResult &r) {
+                    return r.profileSpeedup;
+                }),
+                geomean(results, [](const KernelResult &r) {
+                    return r.profileParSpeedup;
+                }),
+                jobs,
+                geomean(results, [](const KernelResult &r) {
+                    return r.gridSpeedup;
+                }),
+                geomean(results, [](const KernelResult &r) {
+                    const auto it = r.ms.find("study_cold");
+                    return it == r.ms.end() ? 0.0 : it->second;
+                }));
 
     const std::string json = resultsToJson(results, scale, repeat, jobs);
     writeFileOrDie(out_path, json);
@@ -632,7 +750,8 @@ main(int argc, char **argv)
 
     if (!baseline_path.empty()) {
         return checkRegressions(results, baseline_path, max_regression,
-                                min_profile_speedup, min_grid_speedup);
+                                min_profile_speedup,
+                                min_profile_par_speedup, min_grid_speedup);
     }
     return 0;
 }

@@ -1,4 +1,4 @@
-#include "study/executor.hh"
+#include "common/parallel.hh"
 
 #include <algorithm>
 #include <atomic>
@@ -9,14 +9,18 @@
 
 namespace rppm {
 
-ParallelExecutor::ParallelExecutor(unsigned jobs)
-    : jobs_(jobs)
+unsigned
+resolveJobs(unsigned jobs)
 {
-    if (jobs_ == 0) {
-        jobs_ = std::thread::hardware_concurrency();
-        if (jobs_ == 0)
-            jobs_ = 1;
-    }
+    if (jobs != 0)
+        return jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ParallelExecutor::ParallelExecutor(unsigned jobs)
+    : jobs_(resolveJobs(jobs))
+{
 }
 
 void

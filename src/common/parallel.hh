@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal worker-pool executor shared by every parallel subsystem.
+ *
+ * Runs `count` index-addressed tasks on up to `jobs` std::threads.
+ * Because tasks are identified by index and write their results into
+ * pre-sized slots, the output ordering is deterministic regardless of
+ * scheduling: the same computation run with 1 worker and with 16 workers
+ * yields byte-identical results.
+ *
+ * Users: the Study grid executor (study/executor.hh re-exports this
+ * class under its historical name), the parallel profiler's phase
+ * fan-outs (profile/profiler_parallel.cc) and parallel trace synthesis
+ * (workload/workload.cc).
+ */
+
+#ifndef RPPM_COMMON_PARALLEL_HH
+#define RPPM_COMMON_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace rppm {
+
+class ParallelExecutor
+{
+  public:
+    /** @p jobs worker threads; 0 picks std::thread::hardware_concurrency. */
+    explicit ParallelExecutor(unsigned jobs = 1);
+
+    /** The resolved worker count (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /**
+     * Invoke @p fn(i) for every i in [0, count). With jobs() == 1 the
+     * calls happen inline, in order; otherwise worker threads pull
+     * indices from a shared counter. The first exception thrown by any
+     * task is rethrown here after all workers have stopped (remaining
+     * tasks are abandoned).
+     */
+    void forEach(size_t count, const std::function<void(size_t)> &fn) const;
+
+  private:
+    unsigned jobs_;
+};
+
+/** Resolve a jobs knob: 0 = all hardware threads, otherwise the value. */
+unsigned resolveJobs(unsigned jobs);
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_PARALLEL_HH

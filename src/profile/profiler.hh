@@ -62,12 +62,48 @@ struct ProfilerOptions
      *  (the paper's coherence modeling). Disable only for ablation
      *  studies. */
     bool detectInvalidation = true;
+
+    /**
+     * Worker threads for the profile itself (1 = the single-threaded
+     * fused sweep, 0 = all hardware threads, n = the epoch-sharded
+     * parallel engine on n workers). Pure execution policy: the profile
+     * is bit-identical for every value, so this knob is deliberately
+     * excluded from profilerOptionsKey() and thus from ProfileCache
+     * keys — a cached profile serves every job count.
+     */
+    unsigned jobs = 1;
 };
 
 /** Profile @p trace once; the result predicts any architecture. This is
- *  the fused single-pass profiler and the hot path of every Study grid. */
+ *  the hot path of every Study grid: opts.jobs == 1 runs the fused
+ *  single-pass sweep, any other value the parallel engine — the output
+ *  is bit-identical either way. */
 WorkloadProfile profileWorkload(const ColumnarTrace &trace,
                                 const ProfilerOptions &opts = {});
+
+/** The fused single-threaded sweep, callable directly (differential
+ *  tests, and the speedup baseline of the parallel engine). */
+WorkloadProfile profileWorkloadFused(const ColumnarTrace &trace,
+                                     const ProfilerOptions &opts = {});
+
+/**
+ * The parallel epoch-sharded profiler, callable directly regardless of
+ * opts.jobs (opts.jobs selects the worker count; even jobs == 1 runs
+ * the sharded engine serially, which the differential tests exploit).
+ *
+ * Decomposition (profiler_parallel.cc): a cheap sequential replay of
+ * the round-robin schedule over the sparse sync columns pins down the
+ * exact global interleaving; the interleaved reuse/coherence resolution
+ * is sharded by line hash across the worker pool (per-shard LineTables,
+ * shared write-timestamp semantics preserved exactly); and the
+ * per-thread statistics sweep — instruction mix, dependence and
+ * instruction-reuse distances, branch entropy, micro-trace sampling —
+ * fans out one thread per worker, consuming the pre-resolved reuse
+ * distances. Bit-identical to profileWorkloadFused() by construction
+ * and by test.
+ */
+WorkloadProfile profileWorkloadParallel(const ColumnarTrace &trace,
+                                        const ProfilerOptions &opts = {});
 
 /** AoS convenience overload: converts to columnar form, then profiles. */
 WorkloadProfile profileWorkload(const WorkloadTrace &trace,

@@ -1,0 +1,559 @@
+/**
+ * @file
+ * Parallel epoch-sharded profiler — bit-identical to the fused sweep.
+ *
+ * profileWorkload()'s fused single-pass sweep (profiler.cc) is
+ * inherently sequential: the multi-threaded StatStack extension orders
+ * every memory access of every thread on one global sequence counter,
+ * and coherence invalidation compares per-line write timestamps across
+ * threads. This engine reproduces exactly the same profile — the same
+ * bits, for every job count — by decomposing the sweep into phases
+ * whose parallel grains are independent by construction:
+ *
+ *  A. Index     (parallel, one task per thread) Per-thread prefix
+ *               counts of memory records, so any record range can be
+ *               converted to a memory-access count in O(1).
+ *  B. Schedule  (sequential, cheap) A replay of the round-robin quantum
+ *               scheduler over the *sparse sync columns only*: it runs
+ *               the same SyncState machine as the fused sweep but skips
+ *               all per-record statistics, so it costs O(#runs + #sync)
+ *               instead of O(#records). Its output is the exact global
+ *               interleaving: for every run of micro-ops it executed,
+ *               the global-sequence number its first memory access will
+ *               receive.
+ *  C. Emit      (parallel, one task per thread) Each thread converts
+ *               its runs into a stream of (line, global seq, ordinal)
+ *               access entries, bucketed by line-hash shard. A line
+ *               lives in exactly one shard, so the per-line reuse and
+ *               write-timestamp state of different shards never
+ *               interacts.
+ *  D. Resolve   (parallel, one task per shard) Each shard merges its
+ *               per-thread entry lists by global sequence number — a
+ *               deterministic interleaving identical to the schedule's —
+ *               and walks them through a shard-local LineTable, the same
+ *               table the fused sweep uses globally. This resolves, per
+ *               access: the interleaved (global) reuse distance, and the
+ *               per-thread reuse distance including the coherence rule
+ *               ("another thread wrote the line since my last access"
+ *               => infinite distance), using the shared write-timestamp
+ *               ordering the global sequence numbers encode. Results
+ *               scatter into per-thread arrays indexed by access
+ *               ordinal — every slot is written exactly once, so shards
+ *               need no locks.
+ *  E. Sweep     (parallel, one task per thread) The full per-thread
+ *               statistics pass of the fused sweep — instruction mix,
+ *               dependence distances, instruction-stream reuse, branch
+ *               entropy, load gaps, pointer-chase detection, micro-trace
+ *               sampling, epoch delimitation — which only reads thread-
+ *               local state plus the pre-resolved reuse arrays from D.
+ *  F. Classify  (sequential, cheap) Synchronization counts and condvar
+ *               classification from the sync columns; both are
+ *               order-independent aggregates.
+ *
+ * Nothing here is sampled or approximated: phase B pins down the exact
+ * interleaving the fused sweep would have produced, and phases C-E are
+ * refactorings of the fused loops around it. tests/test_profile_parallel
+ * asserts byte-identical serialized profiles against the fused engine on
+ * the whole workload suite for several job counts.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hh"
+#include "common/hash.hh"
+#include "common/parallel.hh"
+#include "profile/profiler.hh"
+#include "profile/reuse_tables.hh"
+#include "sim/sync_state.hh"
+#include "trace/columnar.hh"
+
+namespace rppm {
+
+namespace {
+
+/** One scheduled run of micro-ops: records [start, end) of one thread,
+ *  whose memory accesses receive global sequence numbers gseqBase+1.. */
+struct Run
+{
+    uint64_t start;
+    uint64_t end;
+    uint64_t gseqBase;
+};
+
+/** One memory access routed to a line-hash shard. */
+struct AccessEntry
+{
+    uint64_t line;
+    uint64_t gseq;    ///< global sequence number (from the schedule)
+    uint32_t ordinal; ///< index into the thread's sparse addr column
+    uint32_t isStore;
+};
+
+/** Per-thread state of the statistics sweep (phase E). */
+struct SweepState
+{
+    size_t memIdx = 0;
+    size_t brIdx = 0;
+    uint64_t instrSeq = 0;
+    uint64_t opsInEpoch = 0;
+    uint64_t opsSinceLastLoad = 0;
+    uint64_t nextMicroTraceAt = 0;
+    uint64_t microTraceRemaining = 0;
+    std::vector<OpClass> recentOps;
+    uint64_t emitted = 0;
+    InstrLineMap instrLast;
+};
+
+/**
+ * Phase B: replay the fused sweep's round-robin quantum scheduler using
+ * only the sync columns and the phase-A memory prefix counts. The loop
+ * structure mirrors profileWorkloadFused() exactly — same quantum
+ * accounting, same step clock driving SyncState, same deadlock check —
+ * minus all per-record work.
+ */
+std::vector<std::vector<Run>>
+replaySchedule(const ColumnarTrace &trace, const ProfilerOptions &opts,
+               const std::vector<std::vector<uint32_t>> &memPrefix,
+               const std::unordered_map<uint32_t, uint32_t> &barriers)
+{
+    const uint32_t num_threads = static_cast<uint32_t>(trace.numThreads());
+    SyncState sync(num_threads, barriers);
+
+    struct Cursor
+    {
+        size_t next = 0;
+        size_t syncIdx = 0;
+        bool done = false;
+    };
+    std::vector<Cursor> cur(num_threads);
+    std::vector<std::vector<Run>> runs(num_threads);
+
+    uint64_t global_seq = 0;
+    uint64_t step = 0;
+    uint32_t live = num_threads;
+    uint32_t cursor = 0;
+    while (live > 0) {
+        uint32_t pick = UINT32_MAX;
+        for (uint32_t i = 0; i < num_threads; ++i) {
+            const uint32_t t = (cursor + i) % num_threads;
+            if (!cur[t].done && !sync.blocked(t)) {
+                pick = t;
+                break;
+            }
+        }
+        RPPM_REQUIRE(pick != UINT32_MAX,
+                     "deadlock during profiling (malformed trace)");
+        cursor = (pick + 1) % num_threads;
+
+        Cursor &ts = cur[pick];
+        const ThreadColumns &cols = trace.threads[pick];
+        const size_t num_records = cols.numRecords();
+        uint32_t executed = 0;
+        while (ts.next < num_records && executed < opts.quantum) {
+            const size_t next_sync = ts.syncIdx < cols.syncPos.size() ?
+                static_cast<size_t>(cols.syncPos[ts.syncIdx]) : num_records;
+            if (ts.next == next_sync) {
+                const SyncType type = cols.syncType[ts.syncIdx];
+                const uint32_t arg = cols.syncArg[ts.syncIdx];
+                ++ts.syncIdx;
+                ++ts.next;
+                ++step;
+                ++executed;
+                // Source markers never reach SyncState (and never block)
+                // in the fused sweep; everything else does.
+                if (type == SyncType::CondMarker)
+                    continue;
+                TraceRecord rec;
+                rec.sync = type;
+                rec.syncArg = arg;
+                const SyncOutcome out =
+                    sync.apply(pick, rec, static_cast<double>(step));
+                if (out.blocks)
+                    break;
+                continue;
+            }
+            const size_t run_end = std::min(
+                next_sync, ts.next + (opts.quantum - executed));
+            const size_t run = run_end - ts.next;
+            const uint64_t mem = memPrefix[pick][run_end] -
+                                 memPrefix[pick][ts.next];
+            if (mem > 0) {
+                runs[pick].push_back(Run{ts.next, run_end, global_seq});
+                global_seq += mem;
+            }
+            ts.next = run_end;
+            step += run;
+            executed += static_cast<uint32_t>(run);
+        }
+        if (ts.next >= num_records && !ts.done) {
+            ts.done = true;
+            --live;
+            sync.finish(pick, static_cast<double>(step));
+        }
+    }
+    return runs;
+}
+
+/**
+ * Phase E worker: the fused sweep's per-thread statistics, reading the
+ * pre-resolved reuse distances instead of probing a global LineTable.
+ * Field-for-field identical to profileWorkloadFused()'s process_run /
+ * close_epoch pair restricted to one thread.
+ */
+void
+sweepThread(const ThreadColumns &cols, const ProfilerOptions &opts,
+            const std::vector<uint64_t> &localRd,
+            const std::vector<uint64_t> &globalRd, ThreadProfile &tp)
+{
+    constexpr size_t kRecentOps = 512;
+    SweepState ts;
+    ts.recentOps.assign(kRecentOps, OpClass::IntAlu);
+    tp.epochs.emplace_back();
+
+    auto process_run = [&](EpochProfile &ep, size_t start, size_t end) {
+        // --- Instruction mix (op column only).
+        {
+            std::array<uint64_t, kNumOpClasses> mix_local{};
+            for (size_t i = start; i < end; ++i)
+                ++mix_local[static_cast<size_t>(cols.op[i])];
+            for (size_t c = 0; c < kNumOpClasses; ++c)
+                ep.mix[c] += mix_local[c];
+            ep.numOps += end - start;
+        }
+
+        // --- Dependence distances and instruction-stream reuse.
+        for (size_t i = start; i < end; ++i) {
+            if (cols.dep1[i])
+                ep.depDist.add(cols.dep1[i]);
+            if (cols.dep2[i])
+                ep.depDist.add(cols.dep2[i]);
+
+            const uint64_t pc_line = cols.pc[i] / opts.lineBytes;
+            ++ts.instrSeq;
+            bool inserted = false;
+            uint64_t &last_fetch = ts.instrLast.lookup(pc_line, inserted);
+            if (!inserted) {
+                ep.instrRd.add(ts.instrSeq - last_fetch - 1);
+            } else {
+                ep.instrRd.add(LogHistogram::kInfinity);
+            }
+            last_fetch = ts.instrSeq;
+        }
+
+        // --- Stateful sweep: sampling windows, memory statistics (from
+        //     the resolved arrays), branches, MLP statistics.
+        auto stateful = [&](auto sampling_tag, size_t s_begin,
+                            size_t s_end) {
+            constexpr bool kSampling = decltype(sampling_tag)::value;
+        for (size_t i = s_begin; i < s_end; ++i) {
+            const OpClass op = cols.op[i];
+
+            if (kSampling && ts.microTraceRemaining == 0 &&
+                ts.opsInEpoch >= ts.nextMicroTraceAt) {
+                ep.microTraces.emplace_back();
+                ts.microTraceRemaining = opts.microTraceLength;
+                ts.nextMicroTraceAt =
+                    ts.opsInEpoch + opts.microTraceInterval;
+            }
+
+            uint64_t local_rd = LogHistogram::kInfinity;
+            uint64_t global_rd = LogHistogram::kInfinity;
+
+            if (isMemory(op)) {
+                const bool is_store = op == OpClass::Store;
+                local_rd = localRd[ts.memIdx];
+                global_rd = globalRd[ts.memIdx];
+                ++ts.memIdx;
+
+                ep.localRd.add(local_rd);
+                ep.globalRd.add(global_rd);
+                if (!is_store) {
+                    ep.loadLocalRd.add(local_rd);
+                    ep.loadGlobalRd.add(global_rd);
+                }
+
+                if (is_store) {
+                    ++ep.numStores;
+                } else {
+                    ++ep.numLoads;
+                    ep.loadGap.add(ts.opsSinceLastLoad);
+                    ts.opsSinceLastLoad = 0;
+                    auto dep_is_load = [&](uint16_t dep) {
+                        if (dep == 0 || dep > ts.emitted ||
+                            dep >= kRecentOps) {
+                            return false;
+                        }
+                        return ts.recentOps[(ts.emitted - dep) %
+                                            kRecentOps] == OpClass::Load;
+                    };
+                    if (dep_is_load(cols.dep1[i]) ||
+                        dep_is_load(cols.dep2[i])) {
+                        ++ep.loadsDependingOnLoad;
+                    }
+                }
+            }
+
+            if (op == OpClass::Branch) {
+                ++ep.numBranches;
+                ep.branches.record(cols.pc[i],
+                                   cols.taken[ts.brIdx++] != 0);
+            }
+
+            if (kSampling && ts.microTraceRemaining > 0) {
+                MicroTraceOp mop;
+                mop.op = op;
+                mop.dep1 = cols.dep1[i];
+                mop.dep2 = cols.dep2[i];
+                mop.localRd = local_rd;
+                mop.globalRd = global_rd;
+                ep.microTraces.back().ops.push_back(mop);
+                --ts.microTraceRemaining;
+            }
+
+            ts.recentOps[ts.emitted % kRecentOps] = op;
+            ++ts.emitted;
+            ++ts.opsInEpoch;
+            if (!isMemory(op) || op == OpClass::Store)
+                ++ts.opsSinceLastLoad;
+        }
+        };
+
+        if (ts.microTraceRemaining == 0 &&
+            ts.opsInEpoch + (end - start) <= ts.nextMicroTraceAt) {
+            stateful(std::false_type{}, start, end);
+        } else {
+            stateful(std::true_type{}, start, end);
+        }
+    };
+
+    const size_t num_records = cols.numRecords();
+    size_t i = 0;
+    size_t syncIdx = 0;
+    while (i < num_records) {
+        const size_t next_sync = syncIdx < cols.syncPos.size() ?
+            static_cast<size_t>(cols.syncPos[syncIdx]) : num_records;
+        if (i == next_sync) {
+            const SyncType type = cols.syncType[syncIdx];
+            const uint32_t arg = cols.syncArg[syncIdx];
+            ++syncIdx;
+            ++i;
+            if (type == SyncType::CondMarker)
+                continue; // markers do not delineate epochs
+            tp.epochs.back().endType = type;
+            tp.epochs.back().endArg = arg;
+            tp.epochs.emplace_back();
+            ts.opsInEpoch = 0;
+            ts.nextMicroTraceAt = 0;
+            ts.microTraceRemaining = 0;
+            continue;
+        }
+        // The whole run up to the next sync event: unlike the fused
+        // sweep, no quantum boundary ever splits it — quanta only order
+        // the global interleaving, which phase D already resolved.
+        EpochProfile &ep = tp.epochs.back();
+        process_run(ep, i, next_sync);
+        i = next_sync;
+    }
+}
+
+} // namespace
+
+WorkloadProfile
+profileWorkloadParallel(const ColumnarTrace &trace,
+                        const ProfilerOptions &opts)
+{
+    const uint32_t num_threads = static_cast<uint32_t>(trace.numThreads());
+    const ParallelExecutor pool(opts.jobs);
+
+    WorkloadProfile profile;
+    profile.name = trace.name;
+    profile.numThreads = num_threads;
+    profile.threads.resize(num_threads);
+    trace.validateColumnConsistency();
+    profile.barrierPopulation = trace.validateAndBarrierPopulations();
+
+    // --- Phase A: per-thread memory prefix counts (parallel).
+    std::vector<std::vector<uint32_t>> memPrefix(num_threads);
+    pool.forEach(num_threads, [&](size_t t) {
+        const ThreadColumns &cols = trace.threads[t];
+        RPPM_REQUIRE(cols.addr.size() < UINT32_MAX,
+                     "trace thread exceeds 2^32 memory accesses");
+        std::vector<uint32_t> &prefix = memPrefix[t];
+        prefix.resize(cols.numRecords() + 1);
+        uint32_t count = 0;
+        for (size_t i = 0; i < cols.numRecords(); ++i) {
+            prefix[i] = count;
+            if (isMemory(cols.op[i]))
+                ++count;
+        }
+        prefix[cols.numRecords()] = count;
+    });
+
+    // --- Phase B: schedule replay (sequential, O(#runs + #sync)).
+    const std::vector<std::vector<Run>> runs =
+        replaySchedule(trace, opts, memPrefix, profile.barrierPopulation);
+
+    // --- Phase C: emit shard-bucketed access streams (parallel).
+    // Shards partition the line space by the *high* bits of the same
+    // mix64 hash the LineTable probes with its low bits, so shard
+    // assignment and in-shard probing stay uncorrelated. The shard count
+    // is pure execution policy — every count yields the same profile.
+    unsigned shardBits = 3;
+    while ((1u << shardBits) < std::min(64u, pool.jobs() * 4))
+        ++shardBits;
+    const size_t numShards = size_t{1} << shardBits;
+
+    std::vector<std::vector<std::vector<AccessEntry>>> buckets(num_threads);
+    pool.forEach(num_threads, [&](size_t t) {
+        const ThreadColumns &cols = trace.threads[t];
+        auto &mine = buckets[t];
+        mine.resize(numShards);
+        const size_t expect = cols.addr.size() / numShards + 16;
+        for (auto &bucket : mine)
+            bucket.reserve(expect);
+        for (const Run &run : runs[t]) {
+            uint32_t j = memPrefix[t][run.start];
+            uint64_t gseq = run.gseqBase;
+            for (size_t i = run.start; i < run.end; ++i) {
+                const OpClass op = cols.op[i];
+                if (!isMemory(op))
+                    continue;
+                const uint64_t line = cols.addr[j] / opts.lineBytes;
+                const size_t shard = static_cast<size_t>(
+                    mix64(line + 1) >> (64 - shardBits));
+                mine[shard].push_back(AccessEntry{
+                    line, ++gseq, j, op == OpClass::Store});
+                ++j;
+            }
+        }
+    });
+
+    // --- Phase D: per-shard interleaved reuse resolution (parallel).
+    std::vector<std::vector<uint64_t>> localRd(num_threads);
+    std::vector<std::vector<uint64_t>> globalRd(num_threads);
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        localRd[t].resize(trace.threads[t].addr.size());
+        globalRd[t].resize(trace.threads[t].addr.size());
+    }
+    pool.forEach(numShards, [&](size_t s) {
+        uint64_t shard_accesses = 0;
+        for (uint32_t t = 0; t < num_threads; ++t)
+            shard_accesses += buckets[t][s].size();
+        if (shard_accesses == 0)
+            return;
+        LineTable lines(num_threads, shard_accesses);
+
+        // Deterministic merge of the per-thread entry lists by global
+        // sequence number (each list is already ascending; gseq values
+        // are globally unique). This is exactly the order in which the
+        // fused sweep touched these lines.
+        std::vector<size_t> at(num_threads, 0);
+        for (uint64_t n = 0; n < shard_accesses; ++n) {
+            uint32_t tid = UINT32_MAX;
+            uint64_t best = UINT64_MAX;
+            for (uint32_t t = 0; t < num_threads; ++t) {
+                if (at[t] < buckets[t][s].size() &&
+                    buckets[t][s][at[t]].gseq < best) {
+                    best = buckets[t][s][at[t]].gseq;
+                    tid = t;
+                }
+            }
+            const AccessEntry &e = buckets[tid][s][at[tid]++];
+
+            const size_t slot = lines.slot(e.line);
+            LineTable::Meta &meta = lines.meta(slot);
+            LineTable::PerThread &mine = lines.perThread(slot, tid);
+
+            uint64_t local = LogHistogram::kInfinity;
+            uint64_t global = LogHistogram::kInfinity;
+            if (meta.lastGlobalSeq != 0)
+                global = e.gseq - meta.lastGlobalSeq - 1;
+            if (mine.count != 0) {
+                const bool invalidated = opts.detectInvalidation &&
+                    meta.lastWriteSeq > mine.seq &&
+                    meta.lastWriter != tid;
+                if (!invalidated) {
+                    // The thread's data-access counter at any access is
+                    // ordinal+1, so the fused sweep's
+                    // localDataSeq - count - 1 is this difference.
+                    local = e.ordinal - (mine.count - 1) - 1;
+                }
+            }
+            localRd[tid][e.ordinal] = local;
+            globalRd[tid][e.ordinal] = global;
+
+            mine.count = static_cast<uint64_t>(e.ordinal) + 1;
+            mine.seq = e.gseq;
+            meta.lastGlobalSeq = e.gseq;
+            if (e.isStore) {
+                meta.lastWriteSeq = e.gseq;
+                meta.lastWriter = tid;
+            }
+        }
+    });
+    buckets.clear();
+    buckets.shrink_to_fit();
+
+    // --- Phase E: per-thread statistics sweep (parallel).
+    pool.forEach(num_threads, [&](size_t t) {
+        sweepThread(trace.threads[t], opts, localRd[t], globalRd[t],
+                    profile.threads[t]);
+    });
+
+    // --- Phase F: synchronization aggregates (order-independent).
+    std::unordered_map<uint32_t, std::set<uint32_t>> cond_waiters;
+    std::unordered_map<uint32_t, std::set<uint32_t>> cond_releasers;
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        const ThreadColumns &cols = trace.threads[t];
+        for (size_t k = 0; k < cols.syncPos.size(); ++k) {
+            const uint32_t arg = cols.syncArg[k];
+            switch (cols.syncType[k]) {
+              case SyncType::MutexLock:
+                ++profile.syncCounts.criticalSections;
+                break;
+              case SyncType::BarrierWait:
+                ++profile.syncCounts.barriers;
+                break;
+              case SyncType::CondBarrier:
+                ++profile.syncCounts.condVars;
+                cond_waiters[arg].insert(t);
+                cond_releasers[arg].insert(t);
+                break;
+              case SyncType::QueuePop:
+                ++profile.syncCounts.condVars;
+                cond_waiters[arg].insert(t);
+                break;
+              case SyncType::QueuePush:
+                ++profile.syncCounts.condVars;
+                cond_releasers[arg].insert(t);
+                break;
+              case SyncType::CondMarker:
+                cond_waiters[arg];
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    for (const auto &[id, waiters] : cond_waiters) {
+        const auto rel_it = cond_releasers.find(id);
+        std::set<uint32_t> releasers =
+            rel_it == cond_releasers.end() ? std::set<uint32_t>{} :
+            rel_it->second;
+        const bool symmetric = !waiters.empty() && waiters == releasers;
+        profile.condVarClasses[id] = symmetric ?
+            CondVarClass::BarrierLike : CondVarClass::ProducerConsumer;
+    }
+
+    return profile;
+}
+
+} // namespace rppm

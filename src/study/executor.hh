@@ -1,44 +1,17 @@
 /**
  * @file
- * Minimal worker-pool executor for grid evaluation.
+ * Historical home of the Study grid executor.
  *
- * Runs `count` index-addressed tasks on up to `jobs` std::threads.
- * Because tasks are identified by index and write their results into
- * pre-sized slots, the output ordering is deterministic regardless of
- * scheduling: a Study evaluated with 1 worker and with 16 workers yields
- * byte-identical result registries.
+ * The worker pool outgrew the study layer — the parallel profiler and
+ * parallel trace synthesis fan out on the same primitive — so the class
+ * now lives in common/parallel.hh. This header remains so existing
+ * includes keep working; new code should include common/parallel.hh
+ * directly.
  */
 
 #ifndef RPPM_STUDY_EXECUTOR_HH
 #define RPPM_STUDY_EXECUTOR_HH
 
-#include <cstddef>
-#include <functional>
-
-namespace rppm {
-
-class ParallelExecutor
-{
-  public:
-    /** @p jobs worker threads; 0 picks std::thread::hardware_concurrency. */
-    explicit ParallelExecutor(unsigned jobs = 1);
-
-    /** The resolved worker count (>= 1). */
-    unsigned jobs() const { return jobs_; }
-
-    /**
-     * Invoke @p fn(i) for every i in [0, count). With jobs() == 1 the
-     * calls happen inline, in order; otherwise worker threads pull
-     * indices from a shared counter. The first exception thrown by any
-     * task is rethrown here after all workers have stopped (remaining
-     * tasks are abandoned).
-     */
-    void forEach(size_t count, const std::function<void(size_t)> &fn) const;
-
-  private:
-    unsigned jobs_;
-};
-
-} // namespace rppm
+#include "common/parallel.hh"
 
 #endif // RPPM_STUDY_EXECUTOR_HH

@@ -12,6 +12,12 @@ namespace rppm {
 std::string
 profilerOptionsKey(const ProfilerOptions &opts)
 {
+    // Only the options that shape profile *content* enter the key.
+    // opts.jobs is deliberately absent: the parallel profiler is
+    // bit-identical to the fused sweep for every job count, so a
+    // cached artifact must serve all of them — profiling with 8 workers
+    // and re-reading with 1 is the same profile, same key, same bytes
+    // (asserted by tests/test_profile_parallel.cc).
     std::ostringstream key;
     key << "mtl" << opts.microTraceLength
         << "-mti" << opts.microTraceInterval

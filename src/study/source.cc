@@ -9,15 +9,27 @@
 
 namespace rppm {
 
+/**
+ * Immutable-after-publish state. Each lazily built member (trace,
+ * columnar view) is initialized exactly once inside its std::once_flag
+ * and never written again; std::call_once makes the completed write
+ * visible to every subsequent caller, after which reads are lock-free.
+ * With profile and trace-build of *distinct* workloads overlapping
+ * inside one Study — and the parallel profiler's own pool reading the
+ * columnar view from several threads — this is what keeps the source
+ * data-race-free without serializing readers behind a mutex
+ * (tests/test_profile_parallel.cc hammers it under TSan).
+ */
 struct WorkloadSource::State
 {
     std::string name;
     std::optional<WorkloadSpec> spec;
     std::shared_ptr<const WorkloadProfile> fixedProfile;
 
-    std::mutex mutex;
-    std::optional<WorkloadTrace> trace;    ///< guarded by mutex until set
-    std::optional<ColumnarTrace> columnar; ///< guarded by mutex until set
+    std::once_flag traceOnce;
+    std::once_flag columnarOnce;
+    std::optional<WorkloadTrace> trace;    ///< written once in traceOnce
+    std::optional<ColumnarTrace> columnar; ///< written once in columnarOnce
 };
 
 WorkloadSource::WorkloadSource(WorkloadSpec spec)
@@ -55,32 +67,34 @@ WorkloadSource::hasTrace() const
 }
 
 const WorkloadTrace &
-WorkloadSource::trace() const
+WorkloadSource::trace(unsigned jobs) const
 {
     State &s = *state_;
-    std::lock_guard<std::mutex> lock(s.mutex);
-    if (!s.trace) {
+    // An exception inside call_once (profile-only source) leaves the
+    // flag unset, so every caller observes the same failure.
+    std::call_once(s.traceOnce, [&] {
+        if (s.trace)
+            return; // trace-backed source: published at construction
         if (!s.spec) {
             throw std::logic_error(
                 "WorkloadSource '" + s.name +
                 "' is profile-only: no trace available");
         }
-        s.trace = generateWorkload(*s.spec);
-    }
+        s.trace = generateWorkload(*s.spec, jobs);
+    });
     return *s.trace;
 }
 
 const ColumnarTrace &
-WorkloadSource::columnar() const
+WorkloadSource::columnar(unsigned jobs) const
 {
-    // Ensure the AoS trace exists first (takes and releases the mutex),
-    // then build the columnar view under the lock. Both optionals are
-    // write-once, so returning references is safe.
-    const WorkloadTrace &aos = trace();
+    // Publish the AoS trace first; both members are immutable once
+    // their call_once returns, so the references stay valid forever.
+    const WorkloadTrace &aos = trace(jobs);
     State &s = *state_;
-    std::lock_guard<std::mutex> lock(s.mutex);
-    if (!s.columnar)
-        s.columnar = ColumnarTrace::fromWorkload(aos);
+    std::call_once(s.columnarOnce, [&] {
+        s.columnar = ColumnarTrace::fromWorkload(aos, jobs);
+    });
     return *s.columnar;
 }
 
@@ -91,7 +105,7 @@ WorkloadSource::profile(const ProfilerOptions &opts,
     if (state_->fixedProfile)
         return state_->fixedProfile;
     return cache.getOrCompute(name(), opts, [this, &opts] {
-        return profileWorkload(columnar(), opts);
+        return profileWorkload(columnar(opts.jobs), opts);
     });
 }
 

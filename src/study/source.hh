@@ -7,9 +7,12 @@
  * ready-made WorkloadTrace (e.g. hand-built or imported), or a bare
  * WorkloadProfile (profile-only — the analytical evaluators work, the
  * trace-consuming ones don't). Sources are cheap copyable handles onto
- * shared, mutex-protected state, so the same source can be evaluated
- * concurrently from many worker threads: the trace is generated at most
- * once and profiles are produced through the study's ProfileCache.
+ * shared state with *immutable-after-publish* semantics: the trace and
+ * its columnar view are each built exactly once under a std::once_flag
+ * and never mutated afterwards, so any number of Study workers (and the
+ * parallel profiler's own worker pool) can read them concurrently
+ * without locks — ThreadSanitizer-clean by test. Profiles are produced
+ * through the study's ProfileCache.
  */
 
 #ifndef RPPM_STUDY_SOURCE_HH
@@ -49,21 +52,28 @@ class WorkloadSource
     bool hasTrace() const;
 
     /**
-     * The workload trace, generating it from the spec on first call.
-     * Thread-safe; throws std::logic_error on a profile-only source.
+     * The workload trace, generating it from the spec on first call
+     * (on up to @p jobs synthesis workers; 0 = all hardware threads —
+     * the trace is bit-identical for every job count, so concurrent
+     * callers with different values are fine). Thread-safe,
+     * immutable-after-publish; throws std::logic_error on a
+     * profile-only source.
      */
-    const WorkloadTrace &trace() const;
+    const WorkloadTrace &trace(unsigned jobs = 1) const;
 
     /**
      * The columnar view of the trace, built (and cached) on first call —
      * the representation the fused profiler consumes, so a Study grid
-     * converts each workload at most once. Thread-safe; throws
-     * std::logic_error on a profile-only source.
+     * converts each workload at most once. Thread-safe,
+     * immutable-after-publish; throws std::logic_error on a
+     * profile-only source.
      */
-    const ColumnarTrace &columnar() const;
+    const ColumnarTrace &columnar(unsigned jobs = 1) const;
 
     /**
      * The workload profile for @p opts, produced through @p cache.
+     * opts.jobs drives both trace synthesis and the profiler's worker
+     * pool (the profile content is identical for every job count).
      * Profile-only sources return their fixed profile regardless of
      * @p opts. Thread-safe.
      */

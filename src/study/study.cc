@@ -395,6 +395,35 @@ Study::run()
     for (const MulticoreConfig &cfg : configs_)
         cfg.validate();
 
+    // Cold-start pipeline: synthesize the trace and compute the profile
+    // of every trace-backed workload on the worker pool *before* grid
+    // evaluation. Without this, the cell shards of the first workload
+    // are claimed by all workers at once and every one of them blocks
+    // on the same in-flight ProfileCache future while the remaining
+    // workloads' builds sit idle — a cold multi-kernel Study would
+    // serialize its profile phase. With it, distinct workloads' trace
+    // synthesis and profiling overlap (and each profile may itself fan
+    // out further when options().profiler.jobs > 1). Traces are only
+    // forced eagerly when some evaluator replays them: profile() pulls
+    // the trace lazily on a cache miss, so a warm run against a
+    // serialized profile tier still skips trace synthesis entirely.
+    ParallelExecutor executor(jobs_);
+    const bool anyProfileUser =
+        std::any_of(evaluators_.begin(), evaluators_.end(),
+                    [](const auto &e) { return !e->needsTrace(); });
+    const bool anyTraceUser =
+        std::any_of(evaluators_.begin(), evaluators_.end(),
+                    [](const auto &e) { return e->needsTrace(); });
+    executor.forEach(sources_.size(), [&](size_t w) {
+        const WorkloadSource &source = sources_[w];
+        if (!source.hasTrace())
+            return;
+        if (anyTraceUser)
+            source.trace(options_.profiler.jobs);
+        if (anyProfileUser)
+            source.profile(options_.profiler, cache_);
+    });
+
     const size_t numCells =
         sources_.size() * configs_.size() * evaluators_.size();
     std::vector<Evaluation> cells(numCells);
@@ -451,7 +480,6 @@ Study::run()
         }
     }
 
-    ParallelExecutor executor(jobs_);
     executor.forEach(shards.size(), [&](size_t s) {
         for (const size_t idx : shards[s]) {
             const size_t e = idx % evaluators_.size();

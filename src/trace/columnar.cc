@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/assert.hh"
+#include "common/parallel.hh"
 
 namespace rppm {
 
@@ -31,10 +32,20 @@ ColumnarTrace::countSync(SyncType type) const
 ColumnarTrace
 ColumnarTrace::fromWorkload(const WorkloadTrace &trace)
 {
+    return fromWorkload(trace, 1);
+}
+
+ColumnarTrace
+ColumnarTrace::fromWorkload(const WorkloadTrace &trace, unsigned jobs)
+{
     ColumnarTrace out;
     out.name = trace.name;
     out.threads.resize(trace.threads.size());
-    for (size_t tid = 0; tid < trace.threads.size(); ++tid) {
+    // Each thread's columns derive only from its own record stream, so
+    // conversion fans out one task per thread; the output is identical
+    // for every job count.
+    ParallelExecutor pool(jobs);
+    pool.forEach(trace.threads.size(), [&](size_t tid) {
         const auto &records = trace.threads[tid].records;
         ThreadColumns &cols = out.threads[tid];
         cols.op.reserve(records.size());
@@ -62,7 +73,7 @@ ColumnarTrace::fromWorkload(const WorkloadTrace &trace)
             else if (rec.op == OpClass::Branch)
                 cols.taken.push_back(rec.taken ? 1 : 0);
         }
-    }
+    });
     return out;
 }
 

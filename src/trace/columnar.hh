@@ -150,6 +150,12 @@ struct ColumnarTrace
     /** Lossless conversion from the AoS form. */
     static ColumnarTrace fromWorkload(const WorkloadTrace &trace);
 
+    /** Convert on up to @p jobs worker threads (0 = all hardware
+     *  threads), one task per trace thread; the columnar view is
+     *  identical for every job count. */
+    static ColumnarTrace fromWorkload(const WorkloadTrace &trace,
+                                      unsigned jobs);
+
     /** Lossless conversion back to the AoS form. */
     WorkloadTrace toWorkload() const;
 

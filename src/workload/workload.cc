@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hh"
+#include "common/parallel.hh"
 #include "trace/trace_builder.hh"
 
 namespace rppm {
@@ -104,12 +105,87 @@ WorkloadSpec::approxTotalOps() const
     return total;
 }
 
+namespace {
+
+/** Emit one worker thread's full stream (tid = w + 1). */
+void
+generateWorkerThread(const WorkloadSpec &spec, uint32_t w, Rng rng,
+                     ThreadTrace &out)
+{
+    const uint32_t participants = spec.numWorkers + (spec.mainWorks ? 1 : 0);
+    const uint32_t tid = w + 1;
+    ThreadTraceBuilder builder(out);
+    KernelGenerator kernel(spec.kernel, tid, 0x10000 * tid,
+                           rng.fork(0xf00d));
+
+    // Producer-consumer phase: each worker pops its share of items.
+    if (spec.queueItems > 0) {
+        uint32_t my_items = spec.queueItems / spec.numWorkers;
+        if (w < spec.queueItems % spec.numWorkers)
+            ++my_items;
+        for (uint32_t item = 0; item < my_items; ++item) {
+            builder.sync(SyncType::CondMarker, kCondBase + 0x100);
+            builder.sync(SyncType::QueuePop, kQueueBase);
+            kernel.emit(builder, spec.itemOps);
+        }
+    }
+
+    const uint32_t slot = spec.mainWorks ? tid : w;
+    for (uint32_t epoch = 0; epoch < spec.numEpochs; ++epoch) {
+        const uint64_t ops = epochOps(spec, 1.0, slot, participants, rng);
+        emitEpochWork(spec, builder, kernel, ops, rng);
+        emitBarrier(spec, builder, epoch);
+    }
+}
+
+/** Emit the main thread's full stream (tid 0). */
+void
+generateMainThread(const WorkloadSpec &spec, Rng rng, ThreadTrace &out)
+{
+    const uint32_t participants = spec.numWorkers + (spec.mainWorks ? 1 : 0);
+    ThreadTraceBuilder builder(out);
+    KernelGenerator kernel(spec.kernel, 0, 0, rng.fork(0xf00d));
+
+    kernel.emit(builder, spec.initOps);
+    for (uint32_t w = 0; w < spec.numWorkers; ++w)
+        builder.sync(SyncType::ThreadCreate, w + 1);
+
+    // Produce queue items interleaved with light push-side work.
+    for (uint32_t item = 0; item < spec.queueItems; ++item) {
+        kernel.emit(builder, std::max<uint64_t>(8, spec.itemOps / 16));
+        builder.sync(SyncType::CondMarker, kCondBase + 0x101);
+        builder.sync(SyncType::QueuePush, kQueueBase);
+    }
+
+    if (spec.mainWorks) {
+        for (uint32_t epoch = 0; epoch < spec.numEpochs; ++epoch) {
+            const uint64_t ops = epochOps(spec, spec.mainWorkScale, 0,
+                                          participants, rng);
+            emitEpochWork(spec, builder, kernel, ops, rng);
+            emitBarrier(spec, builder, epoch);
+        }
+    } else if (spec.mainBookkeepingOps > 0) {
+        kernel.emit(builder, spec.mainBookkeepingOps);
+    }
+
+    for (uint32_t w = 0; w < spec.numWorkers; ++w)
+        builder.sync(SyncType::ThreadJoin, w + 1);
+    kernel.emit(builder, spec.finalOps);
+}
+
+} // namespace
+
 WorkloadTrace
 generateWorkload(const WorkloadSpec &spec)
 {
+    return generateWorkload(spec, 1);
+}
+
+WorkloadTrace
+generateWorkload(const WorkloadSpec &spec, unsigned jobs)
+{
     RPPM_REQUIRE(spec.numWorkers >= 1, "need at least one worker");
     const uint32_t num_threads = spec.numThreads();
-    const uint32_t participants = spec.numWorkers + (spec.mainWorks ? 1 : 0);
 
     WorkloadTrace trace;
     trace.name = spec.name;
@@ -117,67 +193,28 @@ generateWorkload(const WorkloadSpec &spec)
 
     Rng master(spec.seed * 0x51a3bc96d47e20efULL + 0xabcdef12345ULL);
 
-    // --- Worker threads (tid 1..numWorkers). ---
-    for (uint32_t w = 0; w < spec.numWorkers; ++w) {
-        const uint32_t tid = w + 1;
-        Rng rng = master.fork(tid);
-        ThreadTraceBuilder builder(trace.threads[tid]);
-        KernelGenerator kernel(spec.kernel, tid, 0x10000 * tid,
-                               rng.fork(0xf00d));
+    // Fork all per-thread RNG streams up front, in the order the
+    // historical sequential generator forked them (worker tids 1..W,
+    // then main): fork() advances the parent, so preserving this order
+    // is what keeps the generated trace bit-identical for every job
+    // count. The streams are then independent and each thread's stream
+    // synthesis fans out across the pool.
+    std::vector<Rng> rngs;
+    rngs.reserve(num_threads);
+    for (uint32_t w = 0; w < spec.numWorkers; ++w)
+        rngs.push_back(master.fork(w + 1));
+    rngs.push_back(master.fork(0));
 
-        // Producer-consumer phase: each worker pops its share of items.
-        if (spec.queueItems > 0) {
-            uint32_t my_items = spec.queueItems / spec.numWorkers;
-            if (w < spec.queueItems % spec.numWorkers)
-                ++my_items;
-            for (uint32_t item = 0; item < my_items; ++item) {
-                builder.sync(SyncType::CondMarker, kCondBase + 0x100);
-                builder.sync(SyncType::QueuePop, kQueueBase);
-                kernel.emit(builder, spec.itemOps);
-            }
+    ParallelExecutor pool(jobs);
+    pool.forEach(num_threads, [&](size_t task) {
+        if (task < spec.numWorkers) {
+            const uint32_t w = static_cast<uint32_t>(task);
+            generateWorkerThread(spec, w, rngs[w], trace.threads[w + 1]);
+        } else {
+            generateMainThread(spec, rngs[spec.numWorkers],
+                               trace.threads[0]);
         }
-
-        const uint32_t slot = spec.mainWorks ? tid : w;
-        for (uint32_t epoch = 0; epoch < spec.numEpochs; ++epoch) {
-            const uint64_t ops =
-                epochOps(spec, 1.0, slot, participants, rng);
-            emitEpochWork(spec, builder, kernel, ops, rng);
-            emitBarrier(spec, builder, epoch);
-        }
-    }
-
-    // --- Main thread (tid 0). ---
-    {
-        Rng rng = master.fork(0);
-        ThreadTraceBuilder builder(trace.threads[0]);
-        KernelGenerator kernel(spec.kernel, 0, 0, rng.fork(0xf00d));
-
-        kernel.emit(builder, spec.initOps);
-        for (uint32_t w = 0; w < spec.numWorkers; ++w)
-            builder.sync(SyncType::ThreadCreate, w + 1);
-
-        // Produce queue items interleaved with light push-side work.
-        for (uint32_t item = 0; item < spec.queueItems; ++item) {
-            kernel.emit(builder, std::max<uint64_t>(8, spec.itemOps / 16));
-            builder.sync(SyncType::CondMarker, kCondBase + 0x101);
-            builder.sync(SyncType::QueuePush, kQueueBase);
-        }
-
-        if (spec.mainWorks) {
-            for (uint32_t epoch = 0; epoch < spec.numEpochs; ++epoch) {
-                const uint64_t ops = epochOps(spec, spec.mainWorkScale, 0,
-                                              participants, rng);
-                emitEpochWork(spec, builder, kernel, ops, rng);
-                emitBarrier(spec, builder, epoch);
-            }
-        } else if (spec.mainBookkeepingOps > 0) {
-            kernel.emit(builder, spec.mainBookkeepingOps);
-        }
-
-        for (uint32_t w = 0; w < spec.numWorkers; ++w)
-            builder.sync(SyncType::ThreadJoin, w + 1);
-        kernel.emit(builder, spec.finalOps);
-    }
+    });
 
     trace.validate();
     return trace;

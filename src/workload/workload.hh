@@ -76,6 +76,14 @@ struct WorkloadSpec
 WorkloadTrace generateWorkload(const WorkloadSpec &spec);
 
 /**
+ * Generate the trace on up to @p jobs worker threads (0 = all hardware
+ * threads), one per workload thread stream. The per-thread RNG streams
+ * are forked up front in the sequential generator's order, so the
+ * resulting trace is bit-identical for every job count.
+ */
+WorkloadTrace generateWorkload(const WorkloadSpec &spec, unsigned jobs);
+
+/**
  * The Table-I style microbenchmark: @p threads threads iterating a loop
  * of @p iterations identical bodies of @p ops_per_iter micro-ops with a
  * barrier after every iteration.
