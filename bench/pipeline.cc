@@ -29,6 +29,7 @@ PipelineResult::critError() const
 unsigned
 defaultJobs()
 {
+    // rppm-lint: rng-ok(worker count only; results match at any jobs)
     if (const char *env = std::getenv("RPPM_JOBS")) {
         const long n = std::atol(env);
         if (n >= 1)

@@ -33,8 +33,15 @@ main()
     for (uint32_t width : widths) {
         for (uint32_t mb : llc_mb) {
             MulticoreConfig cfg = baseConfig();
-            cfg.name = "w" + std::to_string(width) + "-llc" +
-                std::to_string(mb) + "M";
+            // Built with += rather than operator+ chaining: gcc 12's
+            // -Wrestrict misfires on (const char* + string&&) inserts
+            // (GCC PR 105651), and -Werror makes that fatal.
+            std::string name = "w";
+            name += std::to_string(width);
+            name += "-llc";
+            name += std::to_string(mb);
+            name += "M";
+            cfg.name = std::move(name);
             cfg.eachCore([width](CoreConfig &c) {
                 c.dispatchWidth = width;
                 c.robSize = 32 * width;

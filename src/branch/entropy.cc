@@ -62,6 +62,9 @@ BranchEntropyProfile::averageLinearEntropy() const
     forEach([&weighted](uint64_t, uint64_t taken, uint64_t total) {
         const double p =
             static_cast<double>(taken) / static_cast<double>(total);
+        // BranchEntropyProfile::forEach is this class's own
+        // single-threaded slot-order visitor, not a worker pool.
+        // rppm-lint: deterministic-reduce(sequential, fixed slot order)
         weighted += 2.0 * p * (1.0 - p) * static_cast<double>(total);
     });
     return weighted / static_cast<double>(total_);

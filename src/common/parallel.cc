@@ -3,9 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hh"
 
 namespace rppm {
 
@@ -37,8 +38,12 @@ ParallelExecutor::forEach(size_t count,
 
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
+    // `error` is written only under errorMutex; it is read after every
+    // worker has joined, so the joins order the final read. (Locals
+    // cannot carry RPPM_GUARDED_BY — the capability-annotated wrapper
+    // still gives clang's analysis the acquire/release shape.)
     std::exception_ptr error;
-    std::mutex errorMutex;
+    Mutex errorMutex;
 
     auto worker = [&] {
         while (!failed.load(std::memory_order_relaxed)) {
@@ -48,7 +53,7 @@ ParallelExecutor::forEach(size_t count,
             try {
                 fn(i);
             } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
+                MutexLock lock(errorMutex);
                 if (!error)
                     error = std::current_exception();
                 failed.store(true, std::memory_order_relaxed);

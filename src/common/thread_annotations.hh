@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Clang thread-safety annotations and a capability-annotated mutex.
+ *
+ * The repo's core guarantee — every fast path is bit-identical to its
+ * retained reference implementation — depends on shared mutable state
+ * being impossible to touch without its lock. The differential tests
+ * and the TSan CI shard enforce that dynamically on the code paths they
+ * happen to exercise; these annotations enforce it statically on every
+ * path, at compile time, under clang's -Wthread-safety analysis (CI
+ * builds the clang matrix legs with -Werror=thread-safety).
+ *
+ * Usage pattern (see study/profile_cache.hh for a full example):
+ *
+ *     class Cache
+ *     {
+ *         mutable Mutex mutex_;
+ *         std::unordered_map<K, V> entries_ RPPM_GUARDED_BY(mutex_);
+ *
+ *         V lookup(K k) RPPM_EXCLUDES(mutex_)
+ *         {
+ *             MutexLock lock(mutex_);
+ *             return entries_[k];
+ *         }
+ *     };
+ *
+ * Under gcc (which has no thread-safety analysis) every macro expands
+ * to nothing, so annotated code builds identically on both compilers.
+ *
+ * Annotate with the RPPM_* macros only; never spell the raw attributes
+ * in code. Use rppm::Mutex + rppm::MutexLock (not std::mutex +
+ * std::lock_guard) for any mutex that guards annotated state — the
+ * analysis only tracks capability-annotated types.
+ */
+
+#ifndef RPPM_COMMON_THREAD_ANNOTATIONS_HH
+#define RPPM_COMMON_THREAD_ANNOTATIONS_HH
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define RPPM_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef RPPM_THREAD_ANNOTATION_
+#define RPPM_THREAD_ANNOTATION_(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability ("mutex", "role", ...). */
+#define RPPM_CAPABILITY(x) RPPM_THREAD_ANNOTATION_(capability(x))
+
+/** Marks an RAII type that acquires in its ctor, releases in its dtor. */
+#define RPPM_SCOPED_CAPABILITY RPPM_THREAD_ANNOTATION_(scoped_lockable)
+
+/** Data member readable/writable only while holding @p x. */
+#define RPPM_GUARDED_BY(x) RPPM_THREAD_ANNOTATION_(guarded_by(x))
+
+/** Pointer member whose *pointee* is guarded by @p x. */
+#define RPPM_PT_GUARDED_BY(x) RPPM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/** Function callable only while holding the listed capabilities. */
+#define RPPM_REQUIRES(...) \
+    RPPM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/** Function callable only while *not* holding them (deadlock guard). */
+#define RPPM_EXCLUDES(...) \
+    RPPM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/** Function acquires the listed capabilities and does not release. */
+#define RPPM_ACQUIRE(...) \
+    RPPM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define RPPM_RELEASE(...) \
+    RPPM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/** Function acquires the capability iff it returns @p result. */
+#define RPPM_TRY_ACQUIRE(result, ...) \
+    RPPM_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/** Function returns a reference to the capability guarding its result. */
+#define RPPM_RETURN_CAPABILITY(x) RPPM_THREAD_ANNOTATION_(lock_returned(x))
+
+/**
+ * Escape hatch: suppresses the analysis inside one function. Every use
+ * must carry a comment explaining why the code is safe anyway.
+ */
+#define RPPM_NO_THREAD_SAFETY_ANALYSIS \
+    RPPM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace rppm {
+
+/**
+ * std::mutex with the capability annotation the analysis needs.
+ * Drop-in: same lock/unlock/try_lock surface, zero overhead.
+ */
+class RPPM_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() RPPM_ACQUIRE() { m_.lock(); }
+    void unlock() RPPM_RELEASE() { m_.unlock(); }
+    bool try_lock() RPPM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  private:
+    std::mutex m_;
+};
+
+/** RAII guard for Mutex — the annotated analogue of std::lock_guard. */
+class RPPM_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m) RPPM_ACQUIRE(m) : m_(m) { m_.lock(); }
+    ~MutexLock() RPPM_RELEASE() { m_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &m_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_THREAD_ANNOTATIONS_HH

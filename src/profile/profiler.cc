@@ -399,6 +399,7 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
 
     // Classify condvar-backed objects: symmetric waiter/releaser sets
     // mean a barrier; disjoint sets mean producer-consumer.
+    // rppm-lint: ordered-ok(distinct condVarClasses key per id)
     for (const auto &[id, waiters] : cond_waiters) {
         const auto rel_it = cond_releasers.find(id);
         std::set<uint32_t> releasers =

@@ -543,6 +543,7 @@ profileWorkloadParallel(const ColumnarTrace &trace,
             }
         }
     }
+    // rppm-lint: ordered-ok(distinct condVarClasses key per id)
     for (const auto &[id, waiters] : cond_waiters) {
         const auto rel_it = cond_releasers.find(id);
         std::set<uint32_t> releasers =

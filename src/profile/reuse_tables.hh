@@ -10,6 +10,15 @@
  * (profiler_parallel.cc) keeps one per line-hash shard — the table
  * layout and probing are identical, which is part of why the two
  * engines produce bit-identical profiles.
+ *
+ * Thread-safety contract: these tables are deliberately NOT internally
+ * synchronized and carry no RPPM_GUARDED_BY annotations — each instance
+ * is owned by exactly one thread at a time. The fused sweep owns its
+ * table for the whole pass; the parallel engine assigns each shard's
+ * table to exactly one phase-D worker (shard index = high mix64 bits of
+ * the line key, so two workers can never reach the same table). Sharing
+ * one table across threads is a bug; guard it with rppm::Mutex and
+ * annotate if a future engine ever needs to.
  */
 
 #ifndef RPPM_PROFILE_REUSE_TABLES_HH

@@ -18,7 +18,7 @@ BranchModelCache::get(const BranchPredictorConfig &cfg)
     // std::map iterators are insert-stable, so the reference returned
     // here survives later insertions; the lock only guards the lookup
     // and the (idempotent) first-use calibration.
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = models_.find(key);
     if (it == models_.end()) {
         it = models_.emplace(

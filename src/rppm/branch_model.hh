@@ -14,9 +14,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "arch/config.hh"
+#include "common/thread_annotations.hh"
 #include "branch/entropy.hh"
 #include "profile/epoch_profile.hh"
 
@@ -33,15 +33,17 @@ class BranchModelCache
 {
   public:
     /** The calibrated map for @p cfg (built on first use). */
-    const EntropyMissRateModel &get(const BranchPredictorConfig &cfg);
+    const EntropyMissRateModel &get(const BranchPredictorConfig &cfg)
+        RPPM_EXCLUDES(mutex_);
 
     /** Process-wide instance. */
     static BranchModelCache &instance();
 
   private:
-    std::mutex mutex_;
+    Mutex mutex_;
     std::map<std::pair<uint32_t, uint32_t>,
-             std::unique_ptr<EntropyMissRateModel>> models_;
+             std::unique_ptr<EntropyMissRateModel>> models_
+        RPPM_GUARDED_BY(mutex_);
 };
 
 /** Predicted branch-component cycles for one epoch. */

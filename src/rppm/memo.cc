@@ -70,14 +70,14 @@ PredictionMemo::stacksFor(uint32_t thread, size_t epoch, bool llc_global)
                           static_cast<uint64_t>(epoch)) << 1) |
         (llc_global ? 1 : 0);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = stacks_.find(key);
         if (it != stacks_.end())
             return it->second;
     }
     auto built = std::make_shared<const EpochStacks>(
         profile_->threads[thread].epochs[epoch], llc_global);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto [it, inserted] = stacks_.emplace(key, std::move(built));
     if (inserted)
         ++stats_.stacksBuilt;
@@ -90,7 +90,7 @@ PredictionMemo::threadFor(uint32_t thread, const std::string &key,
                           const CoreConfig &core, const Eq1Options &opts)
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = threads_.find(key);
         if (it != threads_.end()) {
             ++stats_.threadHits;
@@ -102,7 +102,7 @@ PredictionMemo::threadFor(uint32_t thread, const std::string &key,
         [this, thread, &opts](size_t epoch) {
             return stacksFor(thread, epoch, opts.llcUsesGlobalRd);
         }));
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto [it, inserted] = threads_.emplace(key, std::move(pred));
     ++stats_.threadEvals;
     return it->second;
@@ -140,7 +140,7 @@ PredictionMemo::predict(const MulticoreConfig &cfg, const RppmOptions &opts)
     // the per-thread reference time scales and the sync-op cost.
     std::shared_ptr<const SyncModelResult> sync;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto it = sync_.find(sync_key);
         if (it != sync_.end()) {
             ++stats_.syncHits;
@@ -150,7 +150,7 @@ PredictionMemo::predict(const MulticoreConfig &cfg, const RppmOptions &opts)
     if (!sync) {
         auto run = std::make_shared<const SyncModelResult>(
             runSyncModel(*profile_, pred.threads, cfg, opts.sync));
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         const auto [it, inserted] = sync_.emplace(sync_key, std::move(run));
         ++stats_.syncRuns;
         sync = it->second;
@@ -165,7 +165,7 @@ PredictionMemo::predict(const MulticoreConfig &cfg, const RppmOptions &opts)
         pred.threadSeconds.push_back(
             cfg.refCyclesToSeconds(sync->threadFinish[t]));
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.predictions;
     return pred;
 }
@@ -173,7 +173,7 @@ PredictionMemo::predict(const MulticoreConfig &cfg, const RppmOptions &opts)
 MemoStats
 PredictionMemo::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MemoStats out = stats_;
     for (const auto &[key, stacks] : stacks_) {
         out.curvePoints += stacks->curvePoints();
@@ -188,7 +188,7 @@ std::shared_ptr<PredictionMemo>
 PredictionMemoPool::forProfile(std::shared_ptr<const WorkloadProfile> profile)
 {
     RPPM_REQUIRE(profile != nullptr, "null profile");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = engines_.find(profile.get());
     if (it == engines_.end()) {
         it = engines_
@@ -202,7 +202,7 @@ PredictionMemoPool::forProfile(std::shared_ptr<const WorkloadProfile> profile)
 MemoStats
 PredictionMemoPool::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     MemoStats out;
     for (const auto &[key, engine] : engines_)
         out.add(engine->stats());
@@ -212,7 +212,7 @@ PredictionMemoPool::stats() const
 bool
 PredictionMemoPool::empty() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return engines_.empty();
 }
 

@@ -36,11 +36,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "rppm/predictor.hh"
 
 namespace rppm {
@@ -74,29 +74,31 @@ class PredictionMemo
     /** Memoized equivalent of rppm::predict(profile, cfg, opts):
      *  bit-identical per design point, thread-safe. */
     RppmPrediction predict(const MulticoreConfig &cfg,
-                           const RppmOptions &opts = {});
+                           const RppmOptions &opts = {})
+        RPPM_EXCLUDES(mutex_);
 
-    MemoStats stats() const;
+    MemoStats stats() const RPPM_EXCLUDES(mutex_);
 
   private:
     std::shared_ptr<const EpochStacks>
-    stacksFor(uint32_t thread, size_t epoch, bool llc_global);
+    stacksFor(uint32_t thread, size_t epoch, bool llc_global)
+        RPPM_EXCLUDES(mutex_);
 
     std::shared_ptr<const ThreadPrediction>
     threadFor(uint32_t thread, const std::string &key,
               const MulticoreConfig &cfg, const CoreConfig &core,
-              const Eq1Options &opts);
+              const Eq1Options &opts) RPPM_EXCLUDES(mutex_);
 
     std::shared_ptr<const WorkloadProfile> profile_;
 
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::unordered_map<uint64_t, std::shared_ptr<const EpochStacks>>
-        stacks_;
+        stacks_ RPPM_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_ptr<const ThreadPrediction>>
-        threads_;
+        threads_ RPPM_GUARDED_BY(mutex_);
     std::unordered_map<std::string, std::shared_ptr<const SyncModelResult>>
-        sync_;
-    MemoStats stats_;
+        sync_ RPPM_GUARDED_BY(mutex_);
+    MemoStats stats_ RPPM_GUARDED_BY(mutex_);
 };
 
 /**
@@ -108,18 +110,19 @@ class PredictionMemoPool
   public:
     /** The engine for @p profile, created on first use. */
     std::shared_ptr<PredictionMemo>
-    forProfile(std::shared_ptr<const WorkloadProfile> profile);
+    forProfile(std::shared_ptr<const WorkloadProfile> profile)
+        RPPM_EXCLUDES(mutex_);
 
     /** Aggregate stats over all engines. */
-    MemoStats stats() const;
+    MemoStats stats() const RPPM_EXCLUDES(mutex_);
 
-    bool empty() const;
+    bool empty() const RPPM_EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
     std::unordered_map<const WorkloadProfile *,
                        std::shared_ptr<PredictionMemo>>
-        engines_;
+        engines_ RPPM_GUARDED_BY(mutex_);
 };
 
 /**

@@ -23,6 +23,7 @@ barrierPopulations(const WorkloadTrace &trace)
         }
     }
     std::unordered_map<uint32_t, uint32_t> population;
+    // rppm-lint: ordered-ok(distinct key per id; content order-free)
     for (const auto &[id, tids] : users)
         population[id] = static_cast<uint32_t>(tids.size());
     return population;

@@ -35,7 +35,7 @@ EpochStacks::missRate(Which w, uint64_t cache_lines) const
 {
     const std::pair<uint8_t, uint64_t> key(static_cast<uint8_t>(w),
                                            cache_lines);
-    std::lock_guard<std::mutex> lock(curveMutex_);
+    MutexLock lock(curveMutex_);
     const auto it = curve_.find(key);
     if (it != curve_.end()) {
         curveHits_.fetch_add(1, std::memory_order_relaxed);

@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "profile/epoch_profile.hh"
 #include "statstack/statstack.hh"
 
@@ -82,7 +83,8 @@ class EpochStacks
      * curve table afterwards. Thread-safe; bit-identical to calling the
      * stack directly.
      */
-    double missRate(Which w, uint64_t cache_lines) const;
+    double missRate(Which w, uint64_t cache_lines) const
+        RPPM_EXCLUDES(curveMutex_);
 
     /** Expected stack distances of one sampled micro-trace load. */
     struct OpSd
@@ -113,8 +115,9 @@ class EpochStacks
     mutable std::once_flag microOnce_;
     mutable std::vector<std::vector<OpSd>> microSd_;
 
-    mutable std::mutex curveMutex_;
-    mutable std::map<std::pair<uint8_t, uint64_t>, double> curve_;
+    mutable Mutex curveMutex_;
+    mutable std::map<std::pair<uint8_t, uint64_t>, double> curve_
+        RPPM_GUARDED_BY(curveMutex_);
     mutable std::atomic<uint64_t> curvePoints_{0};
     mutable std::atomic<uint64_t> curveHits_{0};
 };

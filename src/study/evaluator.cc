@@ -1,10 +1,10 @@
 #include "study/evaluator.hh"
 
 #include <algorithm>
-#include <mutex>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/thread_annotations.hh"
 #include "rppm/baselines.hh"
 #include "rppm/memo.hh"
 
@@ -103,9 +103,9 @@ builtinFactories()
 
 struct Registry
 {
-    std::mutex mutex;
-    std::unordered_map<std::string, EvaluatorFactory> factories =
-        builtinFactories();
+    Mutex mutex;
+    std::unordered_map<std::string, EvaluatorFactory> factories
+        RPPM_GUARDED_BY(mutex) = builtinFactories();
 };
 
 Registry &
@@ -121,7 +121,7 @@ void
 registerEvaluator(const std::string &name, EvaluatorFactory factory)
 {
     Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
+    MutexLock lock(r.mutex);
     r.factories[name] = std::move(factory);
 }
 
@@ -131,7 +131,7 @@ makeEvaluator(const std::string &name)
     Registry &r = registry();
     EvaluatorFactory factory;
     {
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         auto it = r.factories.find(name);
         if (it == r.factories.end()) {
             throw std::invalid_argument(
@@ -148,7 +148,7 @@ registeredEvaluators()
     Registry &r = registry();
     std::vector<std::string> names;
     {
-        std::lock_guard<std::mutex> lock(r.mutex);
+        MutexLock lock(r.mutex);
         names.reserve(r.factories.size());
         for (const auto &[name, factory] : r.factories)
             names.push_back(name);

@@ -66,7 +66,7 @@ diskPath(const std::string &dir, const std::string &workload,
 void
 ProfileCache::setDirectory(std::string dir)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     dir_ = std::move(dir);
 }
 
@@ -74,7 +74,7 @@ std::string
 ProfileCache::pathFor(const std::string &workload,
                       const ProfilerOptions &opts) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return diskPath(dir_, workload, opts);
 }
 
@@ -90,7 +90,7 @@ ProfileCache::getOrCompute(const std::string &workload,
     std::string dir;
     bool owner = false;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.memoryHits;
@@ -149,7 +149,7 @@ ProfileCache::getOrCompute(const std::string &workload,
             }
         }
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             if (from_disk)
                 ++stats_.diskHits;
             else
@@ -161,7 +161,7 @@ ProfileCache::getOrCompute(const std::string &workload,
         // Un-cache the failed entry so a later request can retry, then
         // propagate to this caller and to any waiters.
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             entries_.erase(key);
         }
         promise.set_exception(std::current_exception());
@@ -172,14 +172,14 @@ ProfileCache::getOrCompute(const std::string &workload,
 void
 ProfileCache::clearMemory()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entries_.clear();
 }
 
 ProfileCache::Stats
 ProfileCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return stats_;
 }
 

@@ -34,10 +34,10 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/thread_annotations.hh"
 #include "profile/epoch_profile.hh"
 #include "profile/profiler.hh"
 
@@ -57,10 +57,14 @@ class ProfileCache
      * Enable the serialized tier rooted at @p dir (created on demand).
      * Pass an empty string to disable.
      */
-    void setDirectory(std::string dir);
+    void setDirectory(std::string dir) RPPM_EXCLUDES(mutex_);
 
     /** The serialized tier's directory ("" = memory only). */
-    const std::string &directory() const { return dir_; }
+    std::string directory() const RPPM_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return dir_;
+    }
 
     /**
      * Return the profile for (@p workload, @p opts), computing it with
@@ -71,10 +75,11 @@ class ProfileCache
      */
     ProfilePtr getOrCompute(const std::string &workload,
                             const ProfilerOptions &opts,
-                            const std::function<WorkloadProfile()> &compute);
+                            const std::function<WorkloadProfile()> &compute)
+        RPPM_EXCLUDES(mutex_);
 
     /** Drop the in-memory tier (serialized profiles stay). */
-    void clearMemory();
+    void clearMemory() RPPM_EXCLUDES(mutex_);
 
     /** Hit/miss counters (memory hits include waiting on in-flight
      *  computations of the same key). */
@@ -84,17 +89,19 @@ class ProfileCache
         uint64_t diskHits = 0;
         uint64_t misses = 0;
     };
-    Stats stats() const;
+    Stats stats() const RPPM_EXCLUDES(mutex_);
 
     /** Path the serialized tier uses for a key (for tests/tools). */
     std::string pathFor(const std::string &workload,
-                        const ProfilerOptions &opts) const;
+                        const ProfilerOptions &opts) const
+        RPPM_EXCLUDES(mutex_);
 
   private:
-    mutable std::mutex mutex_;
-    std::unordered_map<std::string, std::shared_future<ProfilePtr>> entries_;
-    std::string dir_;
-    Stats stats_;
+    mutable Mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<ProfilePtr>> entries_
+        RPPM_GUARDED_BY(mutex_);
+    std::string dir_ RPPM_GUARDED_BY(mutex_);
+    Stats stats_ RPPM_GUARDED_BY(mutex_);
 };
 
 } // namespace rppm

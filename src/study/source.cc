@@ -22,6 +22,13 @@ namespace rppm {
  */
 struct WorkloadSource::State
 {
+    // Shared-state discipline (thread_annotations.hh has no vocabulary
+    // for once_flag publication, so it is spelled out here instead):
+    // name/spec/fixedProfile are set in the constructor and const
+    // afterwards; trace and columnar are written exactly once, inside
+    // their std::call_once, and are immutable after it returns. Nothing
+    // here may ever be guarded by a mutex — lock-free reads after
+    // publication are the point (see file comment in source.hh).
     std::string name;
     std::optional<WorkloadSpec> spec;
     std::shared_ptr<const WorkloadProfile> fixedProfile;

@@ -480,6 +480,11 @@ Study::run()
         }
     }
 
+    // Result-registry discipline: `cells` is pre-sized and each shard
+    // writes only its own cell indices, so workers never alias a slot
+    // and the vector needs no lock (the executor's joins publish the
+    // writes). The shard plan guarantees index-disjointness; anything
+    // that breaks it is a data race, not just a determinism bug.
     executor.forEach(shards.size(), [&](size_t s) {
         for (const size_t idx : shards[s]) {
             const size_t e = idx % evaluators_.size();
@@ -498,6 +503,7 @@ Study::run()
         // silences it for embedders (the data stays available via
         // lastMemoStats()).
         lastMemoStats_ = pool.stats();
+        // rppm-lint: rng-ok(gates the stderr summary line only)
         const char *quiet = std::getenv("RPPM_STUDY_QUIET");
         if (!quiet || quiet[0] == '\0' || quiet[0] == '0') {
             std::fprintf(stderr, "Study: component memo: %s\n",

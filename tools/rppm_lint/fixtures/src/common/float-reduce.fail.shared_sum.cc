@@ -1,0 +1,26 @@
+// Accumulating a float into a captured variable from a forEach lambda:
+// the reduction order follows worker scheduling, so the sum changes
+// with the job count (and races without a lock).
+#include <cstddef>
+#include <vector>
+
+struct Executor
+{
+    template <typename Fn>
+    void forEach(size_t n, const Fn &fn) const
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+};
+
+double
+total(const std::vector<double> &vals)
+{
+    const Executor executor;
+    double sum = 0.0;
+    executor.forEach(vals.size(), [&](size_t i) {
+        sum += vals[i];
+    });
+    return sum;
+}

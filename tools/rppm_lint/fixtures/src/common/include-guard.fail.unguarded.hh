@@ -1,0 +1,7 @@
+// A header with no include guard at all.
+
+inline int
+twice(int x)
+{
+    return 2 * x;
+}

@@ -1,0 +1,11 @@
+// The house style: classic #ifndef/#define guard.
+#ifndef RPPM_FIXTURE_GUARD_IFNDEF_HH
+#define RPPM_FIXTURE_GUARD_IFNDEF_HH
+
+inline int
+twice(int x)
+{
+    return 2 * x;
+}
+
+#endif // RPPM_FIXTURE_GUARD_IFNDEF_HH

@@ -1,0 +1,7 @@
+#pragma once
+
+inline int
+twice(int x)
+{
+    return 2 * x;
+}

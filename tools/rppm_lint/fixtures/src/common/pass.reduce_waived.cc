@@ -1,0 +1,26 @@
+// A shared-accumulation waiver: legal when the enclosing forEach runs
+// with one job by construction (the waiver reason must say why).
+#include <cstddef>
+#include <vector>
+
+struct Executor
+{
+    template <typename Fn>
+    void forEach(size_t n, const Fn &fn) const
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+};
+
+double
+total(const std::vector<double> &vals)
+{
+    const Executor executor; // single-job executor in this fixture
+    double sum = 0.0;
+    executor.forEach(vals.size(), [&](size_t i) {
+        // rppm-lint: deterministic-reduce(jobs=1 executor; index fold)
+        sum += vals[i];
+    });
+    return sum;
+}

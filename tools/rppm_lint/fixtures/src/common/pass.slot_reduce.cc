@@ -1,0 +1,31 @@
+// The sanctioned reduction: each task writes its own pre-sized slot,
+// the fold happens sequentially afterwards — deterministic for any
+// worker count.
+#include <cstddef>
+#include <vector>
+
+struct Executor
+{
+    template <typename Fn>
+    void forEach(size_t n, const Fn &fn) const
+    {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+};
+
+double
+total(const std::vector<double> &vals)
+{
+    const Executor executor;
+    std::vector<double> partial(vals.size());
+    executor.forEach(vals.size(), [&](size_t i) {
+        double scaled = vals[i]; // lambda-local accumulation is fine
+        scaled *= 2.0;
+        partial[i] = scaled;
+    });
+    double sum = 0.0;
+    for (const double p : partial)
+        sum += p;
+    return sum;
+}

@@ -1,0 +1,15 @@
+// using-namespace in a header pollutes every includer.
+#ifndef RPPM_FIXTURE_USING_NAMESPACE_HH
+#define RPPM_FIXTURE_USING_NAMESPACE_HH
+
+#include <vector>
+
+using namespace std;
+
+inline size_t
+count(const vector<int> &v)
+{
+    return v.size();
+}
+
+#endif // RPPM_FIXTURE_USING_NAMESPACE_HH

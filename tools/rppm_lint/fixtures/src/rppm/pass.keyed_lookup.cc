@@ -1,0 +1,11 @@
+// Keyed lookups into unordered containers are fine — only iteration
+// exposes the hash order.
+#include <cstdint>
+#include <unordered_map>
+
+uint64_t
+lookup(const std::unordered_map<uint32_t, uint64_t> &pops, uint32_t id)
+{
+    const auto it = pops.find(id);
+    return it == pops.end() ? 0 : it->second;
+}

@@ -1,0 +1,16 @@
+// The same shape as the fail fixture, but the fold is order-independent
+// (integer addition) and the line carries a reasoned waiver.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+uint64_t
+total(const std::unordered_map<std::string, uint64_t> &counts)
+{
+    std::unordered_map<std::string, uint64_t> c = counts;
+    uint64_t sum = 0;
+    // rppm-lint: ordered-ok(integer addition is order-independent)
+    for (const auto &[name, n] : c)
+        sum += n;
+    return sum;
+}

@@ -1,0 +1,16 @@
+// The sanctioned pattern: materialize the unordered container into an
+// ordered std::map, then iterate that.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+double
+fold(const std::unordered_map<uint32_t, double> &weights)
+{
+    // rppm-lint: ordered-ok(drained into a sorted map before iterating)
+    const std::map<uint32_t, double> ordered(weights.begin(), weights.end());
+    double sum = 0.0;
+    for (const auto &[id, w] : ordered)
+        sum = sum * 0.5 + w;
+    return sum;
+}

@@ -1,0 +1,10 @@
+// Explicit iterator walk over an unordered container.
+#include <cstdint>
+#include <unordered_set>
+
+uint64_t
+first(const std::unordered_set<uint64_t> &lines)
+{
+    std::unordered_set<uint64_t> live = lines;
+    return live.empty() ? 0 : *live.begin(); // "first" depends on hashing
+}

@@ -1,0 +1,15 @@
+// Range-for over a hash container in a result-affecting directory:
+// iteration order is implementation-defined and leaks into the sum the
+// loop builds in visit order.
+#include <string>
+#include <unordered_map>
+
+double
+total(const std::unordered_map<std::string, double> &weights)
+{
+    std::unordered_map<std::string, double> scaled = weights;
+    double sum = 0.0;
+    for (const auto &[name, w] : scaled)
+        sum = sum * 0.5 + w; // order-dependent fold
+    return sum;
+}

@@ -1,0 +1,10 @@
+// Unknown waiver tags are rejected — typos must not silently disable a
+// rule.
+#include <cstdint>
+
+uint64_t
+noop(uint64_t x)
+{
+    // rppm-lint: totally-fine(this tag does not exist)
+    return x;
+}

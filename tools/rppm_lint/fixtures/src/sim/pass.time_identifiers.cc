@@ -1,0 +1,16 @@
+// Identifiers and members that merely *contain* rule tokens must not
+// trip the word-boundary matching.
+#include <cstdint>
+
+struct ThreadResult
+{
+    double time = 0.0;
+    double finishTime(double scale) const { return time * scale; }
+};
+
+double
+runtime(const ThreadResult &t)
+{
+    const double lifetime = t.finishTime(2.0);
+    return lifetime + t.time;
+}

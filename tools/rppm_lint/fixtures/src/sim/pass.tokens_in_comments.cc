@@ -1,0 +1,10 @@
+// Rule tokens inside comments and string literals are not code:
+// rand(), srand, time(NULL), getenv all appear below, legally.
+#include <string>
+
+std::string
+describe()
+{
+    // A simulator must never call rand() or time() — see README.
+    return "no rand(), no getenv(\"X\"), no time() here";
+}

@@ -1,0 +1,9 @@
+// Environment reads hide configuration from the (workload, config) key
+// that is supposed to fully determine a result.
+#include <cstdlib>
+
+bool
+fastMode()
+{
+    return std::getenv("FAST") != nullptr;
+}

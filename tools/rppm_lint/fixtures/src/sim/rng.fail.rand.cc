@@ -1,0 +1,8 @@
+// rand() in the simulator: nondeterministic results.
+#include <cstdlib>
+
+int
+jitter()
+{
+    return std::rand() % 7;
+}

@@ -1,0 +1,8 @@
+// Wall-clock reads in a result path.
+#include <ctime>
+
+long
+stamp()
+{
+    return static_cast<long>(time(nullptr));
+}

@@ -1,0 +1,10 @@
+// A result-neutral environment read (logging verbosity) with a reasoned
+// waiver.
+#include <cstdlib>
+
+bool
+quiet()
+{
+    // rppm-lint: rng-ok(gates a log line only; results are unaffected)
+    return std::getenv("RPPM_QUIET") != nullptr;
+}

@@ -1,0 +1,14 @@
+// Outside the result-affecting directories, unordered iteration is
+// legal (e.g. building an index whose order is later discarded).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::vector<uint32_t>
+ids(const std::unordered_map<uint32_t, uint64_t> &index)
+{
+    std::vector<uint32_t> out;
+    for (const auto &[id, n] : index)
+        out.push_back(id);
+    return out;
+}

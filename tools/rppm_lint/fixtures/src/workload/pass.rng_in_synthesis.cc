@@ -1,0 +1,10 @@
+// Workload synthesis owns randomness (through the repo's deterministic
+// RNG in production code; the raw calls are merely *allowed* here).
+#include <cstdlib>
+
+unsigned
+synthesize(unsigned seed)
+{
+    std::srand(seed);
+    return static_cast<unsigned>(std::rand());
+}
