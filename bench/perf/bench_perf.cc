@@ -1,9 +1,10 @@
 /**
  * @file
  * Performance micro-harness for the hot path: trace build, columnar
- * conversion, profiling (fused vs. legacy reference), single prediction
- * and a full Study sweep-grid evaluation (naive per-point vs. memoized
- * component engine), per workload kernel.
+ * conversion, profiling (fused vs. legacy reference), the simulator
+ * oracle (legacy AoS vs. columnar vs. parallel engines), single
+ * prediction and a full Study sweep-grid evaluation (naive per-point
+ * vs. memoized component engine), per workload kernel.
  *
  * Emits machine-readable JSON (schema "rppm-bench-perf-1") and can check
  * the measurements against a committed baseline, failing the process on
@@ -14,13 +15,16 @@
  *              [--scale F] [--repeat N] [--jobs N] [--out FILE]
  *              [--baseline FILE [--max-regression F]]
  *              [--min-profile-speedup F] [--min-profile-par-speedup F]
+ *              [--min-sim-speedup F] [--min-sim-par-speedup F]
  *              [--min-grid-speedup F] [--write-baseline FILE]
  *
  * --jobs drives every parallel knob at once: the Study worker pool of
- * the grid phases, the parallel profiler of the profile_par phase, and
- * the fully-parallel cold Study of the study_cold phase (trace build +
- * profile + memoized grid, end to end from a spec). profile_par_speedup
- * (fused wall time / parallel wall time) and the per-kernel speedups
+ * the grid phases, the parallel profiler of the profile_par phase, the
+ * parallel simulator of the sim_par phase, and the fully-parallel cold
+ * Study of the study_cold phase (trace build + profile + memoized grid,
+ * end to end from a spec). profile_par_speedup (fused wall time /
+ * parallel wall time), sim_speedup (legacy / columnar), sim_par_speedup
+ * (columnar sequential / parallel) and the other per-kernel speedups
  * are summarized as geomeans in a "summary" JSON block and on stdout.
  *
  * --filter selects kernels whose name matches REGEX (case-insensitive,
@@ -35,7 +39,13 @@
  * relative tolerance (default 0.25 = fail when >25% slower). The
  * fused/legacy profile speedup and the grid memoization speedup are
  * machine-independent ratios and can be gated with
- * --min-profile-speedup / --min-grid-speedup.
+ * --min-profile-speedup / --min-grid-speedup (both per kernel). The
+ * simulator-engine gates --min-sim-speedup / --min-sim-par-speedup
+ * apply to the geomean over the kernel set instead: the sim phases run
+ * tens of milliseconds at smoke scale, where per-kernel ratios are
+ * noise-dominated, and the three engines are timed interleaved (see
+ * medianOfInterleaved) so machine-speed drift cancels out of the
+ * ratios.
  *
  * The grid phases evaluate the standard sweep grid — the Table-IV design
  * points, a per-core DVFS ladder on Base and every distinct thread
@@ -63,6 +73,7 @@
 #include "pipeline.hh"
 #include "profile/profiler.hh"
 #include "rppm/predictor.hh"
+#include "sim/simulator.hh"
 #include "study/study.hh"
 #include "trace/columnar.hh"
 #include "workload/suite.hh"
@@ -90,6 +101,8 @@ struct KernelResult
     std::map<std::string, double> ms;
     double profileSpeedup = 0.0;
     double profileParSpeedup = 0.0;
+    double simSpeedup = 0.0;
+    double simParSpeedup = 0.0;
     double gridSpeedup = 0.0;
 
     double
@@ -129,6 +142,38 @@ medianOf(int repeat, Fn &&fn)
     const size_t n = samples.size();
     return n % 2 == 1 ? samples[n / 2]
                       : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+}
+
+/**
+ * Median wall time of each phase in @p fns, measured interleaved: round
+ * r runs every phase once, in order, before round r+1 starts. Back-to-
+ * back blocks (all repeats of phase A, then all of phase B) let slow
+ * machine-speed drift — throttling, a noisy neighbor on a shared runner
+ * — land entirely on one phase and skew A/B ratios; interleaving spreads
+ * the drift across all phases so their ratios stay honest.
+ */
+std::vector<double>
+medianOfInterleaved(int repeat,
+                    const std::vector<std::function<void()>> &fns)
+{
+    std::vector<std::vector<double>> samples(fns.size());
+    for (int r = 0; r < std::max(repeat, 1); ++r) {
+        for (size_t i = 0; i < fns.size(); ++i) {
+            const auto t0 = Clock::now();
+            fns[i]();
+            const auto t1 = Clock::now();
+            samples[i].push_back(elapsedMs(t0, t1));
+        }
+    }
+    std::vector<double> medians(fns.size());
+    for (size_t i = 0; i < fns.size(); ++i) {
+        std::sort(samples[i].begin(), samples[i].end());
+        const size_t n = samples[i].size();
+        medians[i] = n % 2 == 1 ?
+            samples[i][n / 2] :
+            0.5 * (samples[i][n / 2 - 1] + samples[i][n / 2]);
+    }
+    return medians;
 }
 
 /**
@@ -221,6 +266,35 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
         if (pred.totalCycles <= 0.0)
             std::fprintf(stderr, "warning: degenerate prediction\n");
     });
+
+    // The simulator oracle, three engines over the same trace. All must
+    // produce identical cycle counts (the differential test pins the
+    // full results byte-identical; the bench cross-checks the headline
+    // number as a cheap canary). sim_speedup is the columnar rewrite's
+    // sequential win over the legacy AoS engine; sim_par_speedup is the
+    // phased parallel engine's win over sequential columnar on --jobs
+    // workers (expect ~1.0 or slightly below with --jobs 1 or on a
+    // single-core machine — the phases then pay their scatter overhead
+    // with no cores to spend it on).
+    // The three engines are measured interleaved (legacy, columnar,
+    // parallel, repeat) so machine-speed drift cancels out of the
+    // speedup ratios instead of skewing whichever engine ran last.
+    SimResult simRef, simCol, simPar;
+    SimOptions simParOpts;
+    simParOpts.jobs = jobs;
+    const std::vector<double> simMs = medianOfInterleaved(
+        repeat, {[&] { simRef = simulateLegacy(trace, base); },
+                 [&] { simCol = simulate(cols, base); },
+                 [&] { simPar = simulate(cols, base, simParOpts); }});
+    result.ms["sim_legacy"] = simMs[0];
+    result.ms["sim"] = simMs[1];
+    result.ms["sim_par"] = simMs[2];
+    if (simCol.totalCycles != simRef.totalCycles)
+        std::fprintf(stderr, "warning: columnar/legacy sim mismatch\n");
+    if (simPar.totalCycles != simRef.totalCycles)
+        std::fprintf(stderr, "warning: parallel/legacy sim mismatch\n");
+    result.simSpeedup = result.ms["sim_legacy"] / result.ms["sim"];
+    result.simParSpeedup = result.ms["sim"] / result.ms["sim_par"];
 
     // Full facade path over the standard sweep grid: fresh Study per
     // repeat (profiling included) so the numbers reflect what a cold
@@ -321,6 +395,8 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
         os << "      \"profile_speedup\": " << r.profileSpeedup << ",\n"
            << "      \"profile_par_speedup\": " << r.profileParSpeedup
            << ",\n"
+           << "      \"sim_speedup\": " << r.simSpeedup << ",\n"
+           << "      \"sim_par_speedup\": " << r.simParSpeedup << ",\n"
            << "      \"grid_speedup\": " << r.gridSpeedup << "\n"
            << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
@@ -337,6 +413,16 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
        << "    \"profile_par_speedup_geomean\": "
        << geomean(results, [](const KernelResult &r) {
               return r.profileParSpeedup;
+          })
+       << ",\n"
+       << "    \"sim_speedup_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.simSpeedup;
+          })
+       << ",\n"
+       << "    \"sim_par_speedup_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.simParSpeedup;
           })
        << ",\n"
        << "    \"grid_speedup_geomean\": "
@@ -493,6 +579,7 @@ class BaselineParser
  *  changes show up too). */
 const char *kGatedMetrics[] = {"profile_fused_ns_per_op",
                                "profile_par_ns_per_op",
+                               "sim_ns_per_op", "sim_par_ns_per_op",
                                "predict_ns_per_op", "grid_ns_per_op",
                                "grid_memo_ns_per_op"};
 
@@ -500,6 +587,7 @@ int
 checkRegressions(const std::vector<KernelResult> &results,
                  const std::string &baseline_path, double max_regression,
                  double min_profile_speedup, double min_profile_par_speedup,
+                 double min_sim_speedup, double min_sim_par_speedup,
                  double min_grid_speedup)
 {
     std::ifstream is(baseline_path);
@@ -565,6 +653,36 @@ checkRegressions(const std::vector<KernelResult> &results,
             ++failures;
         }
     }
+    // The simulator-engine gates apply to the geomean over the kernel
+    // set, not per kernel: at smoke scale the per-kernel sim phases run
+    // tens of milliseconds, where scheduler and frequency noise swings
+    // individual legacy/columnar ratios by tens of percent run to run.
+    // The geomean over the whole set is the stable statistic (the
+    // profile gates predate this and keep their per-kernel form — their
+    // margins are several times wider).
+    if (min_sim_speedup > 0.0) {
+        const double g = geomean(results, [](const KernelResult &r) {
+            return r.simSpeedup;
+        });
+        const bool bad = g < min_sim_speedup;
+        std::printf("  %-16s sim_speedup geomean %.2fx (required %.2fx)%s\n",
+                    "(all kernels)", g, min_sim_speedup,
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
+    if (min_sim_par_speedup > 0.0) {
+        const double g = geomean(results, [](const KernelResult &r) {
+            return r.simParSpeedup;
+        });
+        const bool bad = g < min_sim_par_speedup;
+        std::printf("  %-16s sim_par_speedup geomean %.2fx "
+                    "(required %.2fx)%s\n",
+                    "(all kernels)", g, min_sim_par_speedup,
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
     if (failures > 0) {
         std::fprintf(stderr,
                      "bench_perf: %d metric(s) regressed beyond %.0f%%\n",
@@ -618,6 +736,8 @@ main(int argc, char **argv)
     double max_regression = 0.25;
     double min_profile_speedup = 0.0;
     double min_profile_par_speedup = 0.0;
+    double min_sim_speedup = 0.0;
+    double min_sim_par_speedup = 0.0;
     double min_grid_speedup = 0.0;
     int repeat = 3;
     unsigned jobs = 1;
@@ -654,6 +774,10 @@ main(int argc, char **argv)
             min_profile_speedup = std::stod(next());
         } else if (arg == "--min-profile-par-speedup") {
             min_profile_par_speedup = std::stod(next());
+        } else if (arg == "--min-sim-speedup") {
+            min_sim_speedup = std::stod(next());
+        } else if (arg == "--min-sim-par-speedup") {
+            min_sim_par_speedup = std::stod(next());
         } else if (arg == "--min-grid-speedup") {
             min_grid_speedup = std::stod(next());
         } else if (arg == "--write-baseline") {
@@ -711,18 +835,22 @@ main(int argc, char **argv)
         KernelResult r = measureKernel(entry, scale, repeat, jobs);
         std::printf("  %-16s ops=%8llu build=%7.1fms profile=%7.1fms "
                     "(legacy %7.1fms, %.2fx; par %7.1fms, %.2fx) "
-                    "predict=%6.2fms grid=%7.1fms (memo %7.1fms, %.2fx) "
-                    "cold=%7.1fms\n",
+                    "sim=%7.1fms (legacy %7.1fms, %.2fx; par %7.1fms, "
+                    "%.2fx) predict=%6.2fms grid=%7.1fms (memo %7.1fms, "
+                    "%.2fx) cold=%7.1fms\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.ops), r.ms["build"],
                     r.ms["profile_fused"], r.ms["profile_legacy"],
                     r.profileSpeedup, r.ms["profile_par"],
-                    r.profileParSpeedup, r.ms["predict"], r.ms["grid"],
+                    r.profileParSpeedup, r.ms["sim"], r.ms["sim_legacy"],
+                    r.simSpeedup, r.ms["sim_par"], r.simParSpeedup,
+                    r.ms["predict"], r.ms["grid"],
                     r.ms["grid_memo"], r.gridSpeedup, r.ms["study_cold"]);
         results.push_back(std::move(r));
     }
     std::printf("bench_perf: geomean profile_speedup %.2fx | "
-                "profile_par_speedup %.2fx (jobs %u) | grid_speedup "
+                "profile_par_speedup %.2fx (jobs %u) | sim_speedup "
+                "%.2fx | sim_par_speedup %.2fx | grid_speedup "
                 "%.2fx | study_cold %.1fms\n",
                 geomean(results, [](const KernelResult &r) {
                     return r.profileSpeedup;
@@ -731,6 +859,12 @@ main(int argc, char **argv)
                     return r.profileParSpeedup;
                 }),
                 jobs,
+                geomean(results, [](const KernelResult &r) {
+                    return r.simSpeedup;
+                }),
+                geomean(results, [](const KernelResult &r) {
+                    return r.simParSpeedup;
+                }),
                 geomean(results, [](const KernelResult &r) {
                     return r.gridSpeedup;
                 }),
@@ -751,7 +885,8 @@ main(int argc, char **argv)
     if (!baseline_path.empty()) {
         return checkRegressions(results, baseline_path, max_regression,
                                 min_profile_speedup,
-                                min_profile_par_speedup, min_grid_speedup);
+                                min_profile_par_speedup, min_sim_speedup,
+                                min_sim_par_speedup, min_grid_speedup);
     }
     return 0;
 }

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/hash.hh"
+#include "common/open_table.hh"
 
 namespace rppm {
 
@@ -158,65 +159,13 @@ class LineTable
     std::unique_ptr<PerThread[]> pt_;
 };
 
-/** Open-addressing map line -> sequence number (instruction stream). */
-class SeqTable
-{
-  public:
-    SeqTable() { grow(1u << 8); }
-
-    /**
-     * Value slot for @p key; @p inserted reports whether the key was
-     * fresh (value zero-initialized), mirroring try_emplace.
-     */
-    uint64_t &
-    lookup(uint64_t key_in, bool &inserted)
-    {
-        if ((size_ + 1) * 10 >= cap_ * 7)
-            grow(cap_ * 2);
-        const uint64_t key = key_in + 1;
-        size_t i = static_cast<size_t>(mix64(key)) & mask_;
-        while (true) {
-            if (keys_[i] == 0) {
-                keys_[i] = key;
-                ++size_;
-                inserted = true;
-                return vals_[i];
-            }
-            if (keys_[i] == key) {
-                inserted = false;
-                return vals_[i];
-            }
-            i = (i + 1) & mask_;
-        }
-    }
-
-  private:
-    void
-    grow(size_t new_cap)
-    {
-        std::vector<uint64_t> old_keys = std::move(keys_);
-        std::vector<uint64_t> old_vals = std::move(vals_);
-        cap_ = new_cap;
-        mask_ = cap_ - 1;
-        keys_.assign(cap_, 0);
-        vals_.assign(cap_, 0);
-        for (size_t i = 0; i < old_keys.size(); ++i) {
-            if (old_keys[i] == 0)
-                continue;
-            size_t j = static_cast<size_t>(mix64(old_keys[i])) & mask_;
-            while (keys_[j] != 0)
-                j = (j + 1) & mask_;
-            keys_[j] = old_keys[i];
-            vals_[j] = old_vals[i];
-        }
-    }
-
-    size_t cap_ = 0;
-    size_t mask_ = 0;
-    size_t size_ = 0;
-    std::vector<uint64_t> keys_;
-    std::vector<uint64_t> vals_;
-};
+/**
+ * Open-addressing map line -> sequence number (instruction stream). The
+ * generic table this used to implement inline now lives in
+ * common/open_table.hh (the simulator's coherence directory shares it);
+ * keeping the historical alias preserves the profiler's vocabulary.
+ */
+using SeqTable = OpenTable<uint64_t>;
 
 /**
  * Instruction-line -> last-fetch map. PC lines are small and dense for

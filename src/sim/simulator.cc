@@ -1,9 +1,9 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
-#include <limits>
 
 #include "common/assert.hh"
+#include "sim/sim_internal.hh"
 
 namespace rppm {
 
@@ -54,22 +54,6 @@ class CoreMemoryAdapter : public MemorySystemIf
     uint32_t core_;
 };
 
-/** Adapts TournamentPredictor to the CoreModel interface. */
-class BranchAdapter : public BranchPredictorIf
-{
-  public:
-    explicit BranchAdapter(TournamentPredictor &pred) : pred_(pred) {}
-
-    bool
-    predictAndUpdate(uint64_t pc, bool taken) override
-    {
-        return pred_.predictAndUpdate(pc, taken);
-    }
-
-  private:
-    TournamentPredictor &pred_;
-};
-
 /** Per-thread execution cursor. */
 struct ThreadCursor
 {
@@ -81,36 +65,17 @@ struct ThreadCursor
 } // namespace
 
 SimResult
-simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
-         const SimOptions &opts)
+simulateLegacy(const WorkloadTrace &trace, const MulticoreConfig &cfg,
+               const SimOptions &opts)
 {
     trace.validate();
     cfg.validate();
+    RPPM_REQUIRE(opts.quantum > 0, "scheduler quantum must be positive");
     const uint32_t num_threads =
         static_cast<uint32_t>(trace.numThreads());
 
-    // Each thread gets a private cache set; workloads may have more
-    // threads than cores (e.g. main + numCores workers) as long as the
-    // *concurrently active* thread count stays at numCores, which the
-    // paper's setups guarantee (the main thread blocks in join while the
-    // workers run). The expanded hierarchy config has one slot per
-    // thread carrying the *mapped* core's parameters, so heterogeneous
-    // machines give each thread the caches of the core it is placed on.
-    MulticoreConfig hier_cfg = cfg;
-    const uint32_t slots = std::max(cfg.numCores(), num_threads);
-    hier_cfg.cores.clear();
-    hier_cfg.cores.reserve(slots);
-    for (uint32_t t = 0; t < slots; ++t)
-        hier_cfg.cores.push_back(cfg.threadCore(t));
-    hier_cfg.mapping = ThreadMapping();
-    // memBusCycles is defined on the *original* config's reference
-    // (core 0) clock, but the hierarchy's internal bus clock is its own
-    // slot 0 = threadCore(0); rescale the service time into that domain
-    // (factor exactly 1.0 unless thread 0 sits on a different clock).
-    hier_cfg.memBusCycles = static_cast<uint32_t>(
-        cfg.memBusCycles *
-            (hier_cfg.cores.front().frequencyGHz / cfg.referenceGHz()) +
-        0.5);
+    const MulticoreConfig hier_cfg =
+        sim_detail::expandedHierConfig(cfg, num_threads);
     CacheHierarchy hierarchy(hier_cfg);
 
     // Per-thread conversion to the common time base (reference cycles,
@@ -122,13 +87,14 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
 
     std::vector<std::unique_ptr<CoreMemoryAdapter>> mems;
     std::vector<std::unique_ptr<TournamentPredictor>> preds;
-    std::vector<std::unique_ptr<BranchAdapter>> branch_adapters;
+    std::vector<std::unique_ptr<sim_detail::BranchAdapter>> branch_adapters;
     std::vector<std::unique_ptr<CoreModel>> cores;
     for (uint32_t t = 0; t < num_threads; ++t) {
         const CoreConfig &tc = cfg.threadCore(t);
         mems.push_back(std::make_unique<CoreMemoryAdapter>(hierarchy, t));
         preds.push_back(std::make_unique<TournamentPredictor>(tc.branch));
-        branch_adapters.push_back(std::make_unique<BranchAdapter>(*preds[t]));
+        branch_adapters.push_back(
+            std::make_unique<sim_detail::BranchAdapter>(*preds[t]));
         cores.push_back(std::make_unique<CoreModel>(tc, *mems[t],
                                                     *branch_adapters[t]));
     }
@@ -156,37 +122,42 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
         }
     };
 
-    // Main loop: advance the runnable thread with the smallest global
-    // (reference-cycle) time by a batch of records (up to its next sync
-    // event).
-    constexpr size_t kBatch = 64;
+    // Main loop: the round-robin quantum scheduler (the exact discipline
+    // the profiler uses, so the parallel engine can replay the schedule
+    // from the sync columns alone). Each turn picks the next runnable
+    // thread after the rotating cursor and advances it by up to
+    // opts.quantum records; sync events consume one quantum slot, and a
+    // blocking event ends the turn. Source markers (CondMarker) consume
+    // their slot but have no runtime effect or cost.
     uint32_t live = num_threads;
+    uint32_t cursor = 0;
     while (live > 0) {
-        // Pick the unblocked, unfinished thread with the smallest clock.
-        uint32_t pick = num_threads;
-        double best = std::numeric_limits<double>::infinity();
-        for (uint32_t t = 0; t < num_threads; ++t) {
-            if (cursors[t].done || sync.blocked(t))
-                continue;
-            if (cores[t]->now() * scale[t] < best) {
-                best = cores[t]->now() * scale[t];
+        uint32_t pick = UINT32_MAX;
+        for (uint32_t i = 0; i < num_threads; ++i) {
+            const uint32_t t = (cursor + i) % num_threads;
+            if (!cursors[t].done && !sync.blocked(t)) {
                 pick = t;
+                break;
             }
         }
-        RPPM_REQUIRE(pick < num_threads,
+        RPPM_REQUIRE(pick != UINT32_MAX,
                      "deadlock: no runnable thread (malformed trace)");
+        cursor = (pick + 1) % num_threads;
 
         ThreadCursor &cur = cursors[pick];
         const auto &records = trace.threads[pick].records;
-        size_t steps = 0;
-        while (cur.next < records.size() && steps < kBatch) {
+        uint32_t executed = 0;
+        while (cur.next < records.size() && executed < opts.quantum) {
             const TraceRecord &rec = records[cur.next];
             if (rec.isSync()) {
+                ++cur.next;
+                ++executed;
+                if (rec.sync == SyncType::CondMarker)
+                    continue;
                 // Sync ops cost real cycles (atomics, futex path) on the
                 // thread's own clock before their semantic effect
                 // happens.
-                if (rec.sync != SyncType::CondMarker)
-                    cores[pick]->syncOverhead(opts.syncOpCost);
+                cores[pick]->syncOverhead(opts.syncOpCost);
                 const double now = cores[pick]->now() * scale[pick];
                 // Close this thread's activity interval before applying
                 // the event: a release may advance its activeStart (last
@@ -194,18 +165,14 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
                 close_activity(pick, now);
                 cur.activeStart = now;
                 const SyncOutcome out = sync.apply(pick, rec, now);
-                ++cur.next;
                 handle_releases(out);
                 if (out.blocks)
                     break;
-                // Re-enter the scheduler after any sync event so global
-                // time order is maintained around interactions.
-                ++steps;
-                break;
+                continue;
             }
             cores[pick]->execute(rec);
             ++cur.next;
-            ++steps;
+            ++executed;
         }
 
         // A thread is only finished once it has exhausted its records AND
@@ -221,22 +188,19 @@ simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
         }
     }
 
-    double total = 0.0;
-    for (uint32_t t = 0; t < num_threads; ++t) {
-        ThreadResult &tr = result.threads[t];
-        tr.core = cfg.coreOf(t);
-        tr.instructions = cores[t]->instructions();
-        tr.cpi = cores[t]->cpiStack();
-        tr.activeCycles = cores[t]->activeCycles();
-        tr.syncCycles = tr.cpi[CpiComponent::Sync];
-        tr.finishSeconds = cfg.refCyclesToSeconds(tr.finishTime);
-        total = std::max(total, tr.finishTime);
-        result.mem.push_back(hierarchy.coreStats(t));
-        result.branch.push_back(preds[t]->stats());
-    }
-    result.totalCycles = total;
-    result.totalSeconds = cfg.refCyclesToSeconds(total);
+    sim_detail::finalizeResult(
+        result, cfg, num_threads,
+        [&](uint32_t t) -> CoreModel & { return *cores[t]; },
+        [&](uint32_t t) { return preds[t]->stats(); },
+        [&](uint32_t t) { return hierarchy.coreStats(t); });
     return result;
+}
+
+SimResult
+simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
+         const SimOptions &opts)
+{
+    return simulate(ColumnarTrace::fromWorkload(trace), cfg, opts);
 }
 
 } // namespace rppm

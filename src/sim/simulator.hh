@@ -2,13 +2,25 @@
  * @file
  * Multicore golden-reference simulator.
  *
- * Interleaves the per-thread traces of a workload on a timestamp-ordered
- * global clock: at each step the runnable thread with the smallest local
- * time advances by one trace record through its CoreModel. Memory accesses
- * therefore hit the shared hierarchy in (approximate) global time order,
- * which is what makes cache sharing and coherence effects realistic.
- * Synchronization records go through SyncState, giving them their dynamic
- * (arrival-order-dependent) semantics.
+ * Interleaves the per-thread traces of a workload with the same
+ * deterministic round-robin quantum scheduler the profiler uses: each
+ * turn, the next runnable thread (rotating cursor) advances by up to
+ * `quantum` records through its CoreModel, and synchronization records
+ * go through SyncState, giving them their dynamic
+ * (arrival-order-dependent) semantics. Memory accesses therefore hit the
+ * shared hierarchy in a deterministic, interleaved global order, which
+ * is what makes cache sharing and coherence effects realistic.
+ *
+ * Three engines produce byte-identical results:
+ *  - simulateLegacy(): the AoS reference implementation on the classic
+ *    CacheHierarchy — the differential baseline.
+ *  - simulate() on a ColumnarTrace with jobs == 1: the columnar engine
+ *    on the flat-table SimHierarchy (sim_hierarchy.hh).
+ *  - simulate() with jobs > 1 (and memBusCycles == 0): the phased
+ *    parallel engine (simulator_parallel.cc), which pins the global
+ *    interleaving with the same sequential sync-column schedule replay
+ *    the parallel profiler uses, then replays core models and cache
+ *    shards concurrently.
  *
  * Plays the role Sniper plays in the paper: its execution times are the
  * golden reference RPPM's predictions are scored against.
@@ -27,6 +39,7 @@
 #include "cache/hierarchy.hh"
 #include "sim/sync_state.hh"
 #include "simcore/core_model.hh"
+#include "trace/columnar.hh"
 #include "trace/trace.hh"
 
 namespace rppm {
@@ -78,16 +91,47 @@ struct SimOptions
 {
     /** Cycle cost charged for executing one sync operation. */
     double syncOpCost = 40.0;
+
+    /** Scheduler quantum in records per turn (matches the profiler's
+     *  default). Execution-order policy: it changes the simulated
+     *  interleaving, so it is an explicit, deterministic knob. */
+    uint32_t quantum = 64;
+
+    /**
+     * Worker threads for the parallel engine (0 = all hardware
+     * threads). Pure execution policy — every job count yields the same
+     * result bits. Configurations with memBusCycles > 0 fall back to
+     * the sequential engine (bus queueing is time-dependent and cannot
+     * be sharded).
+     */
+    unsigned jobs = 1;
 };
 
 /**
  * Execute @p trace on @p cfg and return the golden-reference timing.
  *
- * The simulation is deterministic: same trace + config => same result.
- * Throws on deadlock (which indicates a malformed trace).
+ * The simulation is deterministic: same trace + config => same result,
+ * for every SimOptions::jobs value. Throws on deadlock (which indicates
+ * a malformed trace). The AoS overload converts to the columnar view
+ * first; callers that already hold one (e.g. WorkloadSource::columnar())
+ * should pass it directly.
  */
 SimResult simulate(const WorkloadTrace &trace, const MulticoreConfig &cfg,
                    const SimOptions &opts = {});
+
+/** As above, driving fetch directly from the columnar view. */
+SimResult simulate(const ColumnarTrace &trace, const MulticoreConfig &cfg,
+                   const SimOptions &opts = {});
+
+/**
+ * The legacy AoS record-by-record implementation on the classic
+ * CacheHierarchy. Kept as the differential reference for the columnar
+ * engines (tests/test_sim_parallel.cc pins all engines byte-identical);
+ * not a performance path.
+ */
+SimResult simulateLegacy(const WorkloadTrace &trace,
+                         const MulticoreConfig &cfg,
+                         const SimOptions &opts = {});
 
 } // namespace rppm
 

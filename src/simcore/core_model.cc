@@ -1,10 +1,5 @@
 #include "simcore/core_model.hh"
 
-#include <algorithm>
-#include <cmath>
-
-#include "common/assert.hh"
-
 namespace rppm {
 
 const char *
@@ -50,218 +45,6 @@ CpiStack::scale(double f)
 {
     for (double &c : cycles)
         c *= f;
-}
-
-namespace {
-
-/** History depth for dependence lookups; deps are capped to this range. */
-constexpr uint64_t kHistory = 1024;
-
-} // namespace
-
-CoreModel::CoreModel(const CoreConfig &cfg, MemorySystemIf &mem,
-                     BranchPredictorIf &branch)
-    : cfg_(cfg), mem_(mem), branch_(branch)
-{
-    RPPM_REQUIRE(cfg_.robSize <= kHistory,
-                 "ROB larger than the model's history window");
-    completion_.assign(kHistory, 0.0);
-    issue_.assign(kHistory, 0.0);
-    retire_.assign(kHistory, 0.0);
-    mshrFree_.assign(std::max<uint32_t>(cfg_.mshrs, 1), 0.0);
-    for (size_t c = 0; c < kNumOpClasses; ++c) {
-        fuFree_[c].assign(std::max<uint32_t>(cfg_.fus[c].count, 1), 0.0);
-    }
-}
-
-double
-CoreModel::completionOf(uint64_t idx) const
-{
-    return completion_[idx % kHistory];
-}
-
-double
-CoreModel::dispatchOne(double earliest)
-{
-    // Dispatch groups of up to dispatchWidth ops per front-end cycle.
-    earliest = std::ceil(earliest);
-    if (earliest > dispatchCycle_) {
-        dispatchCycle_ = earliest;
-        dispatchedInCycle_ = 0;
-    }
-    if (dispatchedInCycle_ >= cfg_.dispatchWidth) {
-        dispatchCycle_ += 1.0;
-        dispatchedInCycle_ = 0;
-    }
-    ++dispatchedInCycle_;
-    return dispatchCycle_;
-}
-
-void
-CoreModel::execute(const TraceRecord &rec)
-{
-    RPPM_ASSERT(!rec.isSync());
-    const uint64_t i = numOps_;
-
-    // --- Front end: I-cache, then dispatch constraints. ---
-    const uint32_t fetch_stall = mem_.instrFetch(rec.pc);
-    if (fetch_stall > 0) {
-        dispatchCycle_ += static_cast<double>(fetch_stall);
-        dispatchedInCycle_ = 0;
-        stack_[CpiComponent::ICache] += static_cast<double>(fetch_stall);
-    }
-
-    double earliest = 0.0;
-    // ROB: the op robSize back must have retired.
-    if (i >= cfg_.robSize)
-        earliest = std::max(earliest, retire_[(i - cfg_.robSize) % kHistory]);
-    // Issue queue: the op issueQueueSize back must have issued.
-    if (i >= cfg_.issueQueueSize) {
-        earliest =
-            std::max(earliest, issue_[(i - cfg_.issueQueueSize) % kHistory]);
-    }
-    const double dispatch = dispatchOne(earliest);
-
-    // --- Issue: dependences, FU contention, MSHRs. ---
-    double ready = dispatch + 1.0; // minimum dispatch-to-issue delay
-    if (rec.dep1 > 0 && rec.dep1 <= i && rec.dep1 < kHistory)
-        ready = std::max(ready, completionOf(i - rec.dep1));
-    if (rec.dep2 > 0 && rec.dep2 <= i && rec.dep2 < kHistory)
-        ready = std::max(ready, completionOf(i - rec.dep2));
-
-    const size_t cls = static_cast<size_t>(rec.op);
-    auto &fus = fuFree_[cls];
-    auto unit = std::min_element(fus.begin(), fus.end());
-    double issue = std::max(ready, *unit);
-
-    const FuConfig &fu = cfg_.fus[cls];
-    double latency = static_cast<double>(fu.latency);
-
-    if (rec.op == OpClass::Load) {
-        // MSHR limit: a new miss cannot issue before the oldest of the
-        // last `mshrs` loads completed.
-        const size_t slot = numLoads_ % mshrFree_.size();
-        issue = std::max(issue, mshrFree_[slot]);
-        const AccessResult res = mem_.dataAccess(rec.addr, false, issue);
-        latency = static_cast<double>(res.latency);
-        mshrFree_[slot] = issue + latency;
-        ++numLoads_;
-
-        // Interval-union accounting of load-miss stall so overlapping
-        // misses (MLP) are not double counted.
-        if (res.level != HitLevel::L1) {
-            const double start = std::max(issue, memStallEnd_);
-            const double end = issue + latency;
-            if (end > start) {
-                CpiComponent comp = CpiComponent::MemL2;
-                if (res.level == HitLevel::LLC)
-                    comp = CpiComponent::MemLLC;
-                else if (res.level == HitLevel::Memory)
-                    comp = CpiComponent::MemDram;
-                stack_[comp] += end - start;
-                memStallEnd_ = end;
-            }
-        }
-    } else if (rec.op == OpClass::Store) {
-        // Stores update cache state but retire through the store buffer;
-        // they do not stall the window in this model.
-        mem_.dataAccess(rec.addr, true, issue);
-        latency = static_cast<double>(fu.latency);
-    }
-
-    *unit = issue + static_cast<double>(fu.interval);
-    const double complete = issue + latency;
-
-    // --- Branch resolution. ---
-    if (rec.op == OpClass::Branch) {
-        const bool correct = branch_.predictAndUpdate(rec.pc, rec.taken);
-        if (!correct) {
-            // Front end restarts after the branch executes plus the
-            // pipeline refill time.
-            const double redirect =
-                complete + static_cast<double>(cfg_.frontendDepth);
-            if (redirect > dispatchCycle_) {
-                // Attribute only the time lost beyond what the back end
-                // had already stalled anyway (e.g. a DRAM load at the
-                // ROB head): cycles before lastRetire_ are charged to
-                // their own cause by the memory accounting.
-                const double lost =
-                    redirect - std::max(dispatchCycle_, lastRetire_);
-                if (lost > 0.0)
-                    stack_[CpiComponent::Branch] += lost;
-                dispatchCycle_ = redirect;
-                dispatchedInCycle_ = 0;
-            }
-        }
-    }
-
-    // --- In-order retirement. ---
-    const double retire = std::max(lastRetire_, complete);
-    completion_[i % kHistory] = complete;
-    issue_[i % kHistory] = issue;
-    retire_[i % kHistory] = retire;
-    lastRetire_ = retire;
-    ++numOps_;
-}
-
-void
-CoreModel::idleUntil(double t)
-{
-    if (t <= lastRetire_)
-        return;
-    const double gap = t - lastRetire_;
-    stack_[CpiComponent::Sync] += gap;
-    idleCycles_ += gap;
-    lastRetire_ = t;
-    dispatchCycle_ = std::max(dispatchCycle_, t);
-    dispatchedInCycle_ = 0;
-    // The window drains while blocked: all in-flight state resolves by t.
-    for (auto &fus : fuFree_)
-        for (double &f : fus)
-            f = std::max(f, 0.0); // FUs are free once we resume
-}
-
-void
-CoreModel::syncOverhead(double cycles)
-{
-    if (cycles <= 0.0)
-        return;
-    lastRetire_ += cycles;
-    dispatchCycle_ = std::max(dispatchCycle_, lastRetire_);
-    dispatchedInCycle_ = 0;
-    // Synchronization instructions (atomics, futexes) are real work: they
-    // appear in neither the base ILP stream nor the miss components, so
-    // give them their own share of the base component.
-    stack_[CpiComponent::Base] += cycles;
-}
-
-CpiStack
-CoreModel::cpiStack() const
-{
-    CpiStack result = stack_;
-    // Base is the remainder: total busy time not attributed to any miss
-    // component. Attribution is approximate (branch penalties can overlap
-    // memory stalls), so when the attributed components exceed the real
-    // busy time, scale the non-sync components down to fit.
-    const double sync = stack_[CpiComponent::Sync];
-    const double attributed = stack_.total() - sync;
-    const double busy = lastRetire_ - sync;
-    if (attributed > busy && attributed > 0.0) {
-        const double factor = std::max(0.0, busy) / attributed;
-        for (size_t c = 0; c < kNumCpiComponents; ++c) {
-            if (c != static_cast<size_t>(CpiComponent::Sync))
-                result.cycles[c] *= factor;
-        }
-    } else {
-        result[CpiComponent::Base] += busy - attributed;
-    }
-    return result;
-}
-
-double
-CoreModel::activeCycles() const
-{
-    return lastRetire_ - idleCycles_;
 }
 
 } // namespace rppm

@@ -20,13 +20,16 @@
 #ifndef RPPM_SIMCORE_CORE_MODEL_HH
 #define RPPM_SIMCORE_CORE_MODEL_HH
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "arch/config.hh"
 #include "cache/hierarchy.hh"
+#include "common/assert.hh"
 #include "trace/trace.hh"
 
 namespace rppm {
@@ -110,15 +113,150 @@ class BranchPredictorIf
  * heterogeneous machines the multicore scheduler converts between this
  * core-local domain and the shared reference time base via
  * MulticoreConfig::timeScale(); the core model itself is clock-agnostic.
+ *
+ * The model is a template on its memory-system and branch-predictor
+ * types. The default instantiation (the CoreModel alias below) binds the
+ * virtual interfaces and behaves exactly as the historical class — this
+ * is what simulateLegacy() and unit-test stubs use. The columnar
+ * simulator engines instantiate it with their concrete adapter types
+ * instead, turning the three per-record indirect calls (instruction
+ * fetch, data access, branch prediction) into direct, inlinable ones.
+ * Identical source, identical IEEE arithmetic — the engines stay
+ * byte-identical (pinned by tests/test_sim_parallel.cc); only the
+ * dispatch mechanics change.
  */
-class CoreModel
+template <typename MemT = MemorySystemIf, typename BranchT = BranchPredictorIf>
+class CoreModelT
 {
   public:
-    CoreModel(const CoreConfig &cfg, MemorySystemIf &mem,
-              BranchPredictorIf &branch);
+    CoreModelT(const CoreConfig &cfg, MemT &mem, BranchT &branch)
+        : cfg_(cfg), mem_(mem), branch_(branch)
+    {
+        RPPM_REQUIRE(cfg_.robSize <= kHistory,
+                     "ROB larger than the model's history window");
+        completion_.assign(kHistory, 0.0);
+        issue_.assign(kHistory, 0.0);
+        retire_.assign(kHistory, 0.0);
+        mshrFree_.assign(std::max<uint32_t>(cfg_.mshrs, 1), 0.0);
+        for (size_t c = 0; c < kNumOpClasses; ++c) {
+            fuFree_[c].assign(std::max<uint32_t>(cfg_.fus[c].count, 1),
+                              0.0);
+        }
+    }
 
     /** Execute one micro-op (must not be a sync record). */
-    void execute(const TraceRecord &rec);
+    void
+    execute(const TraceRecord &rec)
+    {
+        RPPM_ASSERT(!rec.isSync());
+        const uint64_t i = numOps_;
+
+        // --- Front end: I-cache, then dispatch constraints. ---
+        const uint32_t fetch_stall = mem_.instrFetch(rec.pc);
+        if (fetch_stall > 0) {
+            dispatchCycle_ += static_cast<double>(fetch_stall);
+            dispatchedInCycle_ = 0;
+            stack_[CpiComponent::ICache] +=
+                static_cast<double>(fetch_stall);
+        }
+
+        double earliest = 0.0;
+        // ROB: the op robSize back must have retired.
+        if (i >= cfg_.robSize) {
+            earliest =
+                std::max(earliest, retire_[(i - cfg_.robSize) % kHistory]);
+        }
+        // Issue queue: the op issueQueueSize back must have issued.
+        if (i >= cfg_.issueQueueSize) {
+            earliest = std::max(
+                earliest, issue_[(i - cfg_.issueQueueSize) % kHistory]);
+        }
+        const double dispatch = dispatchOne(earliest);
+
+        // --- Issue: dependences, FU contention, MSHRs. ---
+        double ready = dispatch + 1.0; // minimum dispatch-to-issue delay
+        if (rec.dep1 > 0 && rec.dep1 <= i && rec.dep1 < kHistory)
+            ready = std::max(ready, completionOf(i - rec.dep1));
+        if (rec.dep2 > 0 && rec.dep2 <= i && rec.dep2 < kHistory)
+            ready = std::max(ready, completionOf(i - rec.dep2));
+
+        const size_t cls = static_cast<size_t>(rec.op);
+        auto &fus = fuFree_[cls];
+        auto unit = std::min_element(fus.begin(), fus.end());
+        double issue = std::max(ready, *unit);
+
+        const FuConfig &fu = cfg_.fus[cls];
+        double latency = static_cast<double>(fu.latency);
+
+        if (rec.op == OpClass::Load) {
+            // MSHR limit: a new miss cannot issue before the oldest of
+            // the last `mshrs` loads completed.
+            const size_t slot = numLoads_ % mshrFree_.size();
+            issue = std::max(issue, mshrFree_[slot]);
+            const AccessResult res = mem_.dataAccess(rec.addr, false,
+                                                     issue);
+            latency = static_cast<double>(res.latency);
+            mshrFree_[slot] = issue + latency;
+            ++numLoads_;
+
+            // Interval-union accounting of load-miss stall so
+            // overlapping misses (MLP) are not double counted.
+            if (res.level != HitLevel::L1) {
+                const double start = std::max(issue, memStallEnd_);
+                const double end = issue + latency;
+                if (end > start) {
+                    CpiComponent comp = CpiComponent::MemL2;
+                    if (res.level == HitLevel::LLC)
+                        comp = CpiComponent::MemLLC;
+                    else if (res.level == HitLevel::Memory)
+                        comp = CpiComponent::MemDram;
+                    stack_[comp] += end - start;
+                    memStallEnd_ = end;
+                }
+            }
+        } else if (rec.op == OpClass::Store) {
+            // Stores update cache state but retire through the store
+            // buffer; they do not stall the window in this model.
+            mem_.dataAccess(rec.addr, true, issue);
+            latency = static_cast<double>(fu.latency);
+        }
+
+        *unit = issue + static_cast<double>(fu.interval);
+        const double complete = issue + latency;
+
+        // --- Branch resolution. ---
+        if (rec.op == OpClass::Branch) {
+            const bool correct = branch_.predictAndUpdate(rec.pc,
+                                                          rec.taken);
+            if (!correct) {
+                // Front end restarts after the branch executes plus the
+                // pipeline refill time.
+                const double redirect =
+                    complete + static_cast<double>(cfg_.frontendDepth);
+                if (redirect > dispatchCycle_) {
+                    // Attribute only the time lost beyond what the back
+                    // end had already stalled anyway (e.g. a DRAM load
+                    // at the ROB head): cycles before lastRetire_ are
+                    // charged to their own cause by the memory
+                    // accounting.
+                    const double lost =
+                        redirect - std::max(dispatchCycle_, lastRetire_);
+                    if (lost > 0.0)
+                        stack_[CpiComponent::Branch] += lost;
+                    dispatchCycle_ = redirect;
+                    dispatchedInCycle_ = 0;
+                }
+            }
+        }
+
+        // --- In-order retirement. ---
+        const double retire = std::max(lastRetire_, complete);
+        completion_[i % kHistory] = complete;
+        issue_[i % kHistory] = issue;
+        retire_[i % kHistory] = retire;
+        lastRetire_ = retire;
+        ++numOps_;
+    }
 
     /**
      * Current thread-local time: the retire time of the newest op, i.e.
@@ -130,29 +268,105 @@ class CoreModel
      * Jump the core's clocks forward to @p t (resuming after blocking
      * synchronization) and account the skipped span to the Sync bucket.
      */
-    void idleUntil(double t);
+    void
+    idleUntil(double t)
+    {
+        if (t <= lastRetire_)
+            return;
+        const double gap = t - lastRetire_;
+        stack_[CpiComponent::Sync] += gap;
+        idleCycles_ += gap;
+        lastRetire_ = t;
+        dispatchCycle_ = std::max(dispatchCycle_, t);
+        dispatchedInCycle_ = 0;
+        // The window drains while blocked: all in-flight state resolves
+        // by t.
+        for (auto &fus : fuFree_)
+            for (double &f : fus)
+                f = std::max(f, 0.0); // FUs are free once we resume
+    }
 
     /**
      * Charge @p cycles of synchronization-operation overhead (atomic RMW,
      * futex syscall, ...) advancing time without executing ops.
      */
-    void syncOverhead(double cycles);
+    void
+    syncOverhead(double cycles)
+    {
+        if (cycles <= 0.0)
+            return;
+        lastRetire_ += cycles;
+        dispatchCycle_ = std::max(dispatchCycle_, lastRetire_);
+        dispatchedInCycle_ = 0;
+        // Synchronization instructions (atomics, futexes) are real work:
+        // they appear in neither the base ILP stream nor the miss
+        // components, so give them their own share of the base
+        // component.
+        stack_[CpiComponent::Base] += cycles;
+    }
 
     /** Retired micro-op count. */
     uint64_t instructions() const { return numOps_; }
 
     /** CPI stack accumulated so far; Base is derived as the remainder. */
-    CpiStack cpiStack() const;
+    CpiStack
+    cpiStack() const
+    {
+        CpiStack result = stack_;
+        // Base is the remainder: total busy time not attributed to any
+        // miss component. Attribution is approximate (branch penalties
+        // can overlap memory stalls), so when the attributed components
+        // exceed the real busy time, scale the non-sync components down
+        // to fit.
+        const double sync = stack_[CpiComponent::Sync];
+        const double attributed = stack_.total() - sync;
+        const double busy = lastRetire_ - sync;
+        if (attributed > busy && attributed > 0.0) {
+            const double factor = std::max(0.0, busy) / attributed;
+            for (size_t c = 0; c < kNumCpiComponents; ++c) {
+                if (c != static_cast<size_t>(CpiComponent::Sync))
+                    result.cycles[c] *= factor;
+            }
+        } else {
+            result[CpiComponent::Base] += busy - attributed;
+        }
+        return result;
+    }
 
     /** Cycles this core was busy (now() minus idle gaps). */
-    double activeCycles() const;
+    double activeCycles() const { return lastRetire_ - idleCycles_; }
 
   private:
-    double dispatchOne(double earliest);
+    /** History depth for dependence lookups; deps are capped to it. */
+    static constexpr uint64_t kHistory = 1024;
+
+    double
+    completionOf(uint64_t idx) const
+    {
+        return completion_[idx % kHistory];
+    }
+
+    double
+    dispatchOne(double earliest)
+    {
+        // Dispatch groups of up to dispatchWidth ops per front-end
+        // cycle.
+        earliest = std::ceil(earliest);
+        if (earliest > dispatchCycle_) {
+            dispatchCycle_ = earliest;
+            dispatchedInCycle_ = 0;
+        }
+        if (dispatchedInCycle_ >= cfg_.dispatchWidth) {
+            dispatchCycle_ += 1.0;
+            dispatchedInCycle_ = 0;
+        }
+        ++dispatchedInCycle_;
+        return dispatchCycle_;
+    }
 
     const CoreConfig cfg_;
-    MemorySystemIf &mem_;
-    BranchPredictorIf &branch_;
+    MemT &mem_;
+    BranchT &branch_;
 
     // Ring buffers sized at construction.
     std::vector<double> completion_;   ///< completion time by op index
@@ -170,9 +384,10 @@ class CoreModel
     CpiStack stack_;
 
     std::array<std::vector<double>, kNumOpClasses> fuFree_;
-
-    double completionOf(uint64_t idx) const;
 };
+
+/** The historical dynamic-dispatch instantiation (legacy engine, stubs). */
+using CoreModel = CoreModelT<>;
 
 } // namespace rppm
 

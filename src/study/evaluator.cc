@@ -57,7 +57,10 @@ SimEvaluator::evaluate(const EvalContext &ctx,
                        const MulticoreConfig &cfg) const
 {
     Evaluation result = makeResult(ctx, cfg);
-    result.sim = simulate(ctx.workload.trace(), cfg, ctx.options.sim);
+    // The cached columnar view feeds the simulator's hot engines
+    // directly (and SimOptions::jobs selects the parallel one); results
+    // are byte-identical to the legacy AoS path.
+    result.sim = simulate(ctx.workload.columnar(), cfg, ctx.options.sim);
     result.cycles = result.sim->totalCycles;
     result.seconds = result.sim->totalSeconds;
     result.threadSeconds.reserve(result.sim->threads.size());

@@ -112,6 +112,8 @@ ColumnarTrace::toWorkload() const
 void
 ColumnarTrace::validateColumnConsistency() const
 {
+    if (columnsValidated_)
+        return;
     for (const ThreadColumns &cols : threads) {
         const size_t records = cols.op.size();
         RPPM_REQUIRE(cols.pc.size() == records &&
@@ -160,6 +162,7 @@ ColumnarTrace::validateColumnConsistency() const
         for (uint8_t t : cols.taken)
             RPPM_REQUIRE(t <= 1, "branch outcome out of range");
     }
+    columnsValidated_ = true;
 }
 
 std::unordered_map<uint32_t, uint32_t>

@@ -106,6 +106,19 @@ class ColumnCursor
     SyncType syncType() const { return cols_->syncType[syncIdx_]; }
     uint32_t syncArg() const { return cols_->syncArg[syncIdx_]; }
 
+    /**
+     * Address of the @p k-th memory record at or after index(), or 0
+     * when fewer remain. Lookahead for software prefetch: the sparse
+     * addr column lists upcoming data addresses contiguously, something
+     * the AoS record stream cannot offer without scanning.
+     */
+    uint64_t
+    peekAddr(size_t k) const
+    {
+        const size_t j = memIdx_ + k;
+        return j < cols_->addr.size() ? cols_->addr[j] : 0;
+    }
+
     /** Advance past the current record, maintaining the sparse cursors. */
     void
     advance()
@@ -177,10 +190,23 @@ struct ColumnarTrace
      * before a hand-assembled or deserialized trace is walked. Throws
      * std::invalid_argument on violation. O(records), but touches only
      * the 1-byte op column and the sparse sync columns.
+     *
+     * Success is cached: repeated calls on the same trace (the simulator
+     * dispatcher validates on every simulate() call) are O(1) after the
+     * first pass. Mutating `threads` after a successful validation is
+     * not detected.
      */
     void validateColumnConsistency() const;
 
-    bool operator==(const ColumnarTrace &) const = default;
+    /** Columns compare by content; the validation cache is ignored. */
+    bool
+    operator==(const ColumnarTrace &o) const
+    {
+        return threads == o.threads;
+    }
+
+  private:
+    mutable bool columnsValidated_ = false;
 };
 
 } // namespace rppm
