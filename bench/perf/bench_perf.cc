@@ -16,7 +16,8 @@
  *              [--baseline FILE [--max-regression F]]
  *              [--min-profile-speedup F] [--min-profile-par-speedup F]
  *              [--min-sim-speedup F] [--min-sim-par-speedup F]
- *              [--min-grid-speedup F] [--write-baseline FILE]
+ *              [--min-grid-speedup F] [--min-serve-speedup F]
+ *              [--write-baseline FILE]
  *
  * --jobs drives every parallel knob at once: the Study worker pool of
  * the grid phases, the parallel profiler of the profile_par phase, the
@@ -53,11 +54,22 @@
  * Study (profiling included). "grid" forces the naive per-point path
  * (Study::memoization(false)); "grid_memo" is the default memoized
  * engine; grid_speedup is their ratio.
+ *
+ * The serve_warm phase measures the same sweep grid answered by a warm
+ * in-process rppmd daemon (src/server) over its Unix-socket protocol:
+ * the kernel's trace is served from an mmap'd file and its profile and
+ * prediction memos stay resident across requests. serve_speedup =
+ * study_cold_ms / serve_warm_ms is gated as a geomean via
+ * --min-serve-speedup — the "predict many" payoff of keeping the
+ * profile-once state alive in a daemon.
  */
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <cctype>
 #include <chrono>
+#include <filesystem>
 #include <regex>
 #include <cmath>
 #include <cstdint>
@@ -73,9 +85,12 @@
 #include "pipeline.hh"
 #include "profile/profiler.hh"
 #include "rppm/predictor.hh"
+#include "server/client.hh"
+#include "server/server.hh"
 #include "sim/simulator.hh"
 #include "study/study.hh"
 #include "trace/columnar.hh"
+#include "trace/trace_io.hh"
 #include "workload/suite.hh"
 #include "workload/workload.hh"
 
@@ -104,6 +119,7 @@ struct KernelResult
     double simSpeedup = 0.0;
     double simParSpeedup = 0.0;
     double gridSpeedup = 0.0;
+    double serveSpeedup = 0.0;
 
     double
     nsPerOp(const std::string &metric) const
@@ -333,6 +349,45 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
             std::fprintf(stderr, "warning: empty cold study\n");
     });
 
+    // Warm-daemon serving: an in-process rppmd holding this kernel's
+    // trace (mmap'd), profile and prediction memos hot answers the same
+    // sweep grid over the wire. serve_speedup = study_cold / serve_warm
+    // is the latency win of prediction-as-a-service over standing up a
+    // cold in-process Study for every query.
+    {
+        const std::string tracePath =
+            "/tmp/rppm_bench_" +
+            std::to_string(static_cast<unsigned long>(::getpid())) + "_" +
+            spec.name + ".rppmtrc";
+        saveTraceToFile(cols, tracePath);
+        server::ServerOptions sopts;
+        sopts.socketPath = tracePath + ".sock";
+        sopts.workers = jobs;
+        sopts.jobs = jobs;
+        server::RppmServer daemon(sopts);
+        daemon.start();
+        server::RppmClient client;
+        client.connect(sopts.socketPath);
+        server::Query query;
+        query.kind = server::WorkloadRefKind::TracePath;
+        query.workload = tracePath;
+        query.profiler = paropts;
+        query.configs = sweep;
+        // First contact warms the daemon (profile + memo tables), the
+        // measured repeats are the steady-state request latency.
+        if (client.evaluate(query).size() != sweep.size())
+            std::fprintf(stderr, "warning: short serve grid\n");
+        result.ms["serve_warm"] = medianOf(repeat, [&] {
+            if (client.evaluate(query).size() != sweep.size())
+                std::fprintf(stderr, "warning: short serve grid\n");
+        });
+        client.close();
+        daemon.stop();
+        std::filesystem::remove(tracePath);
+        result.serveSpeedup =
+            result.ms["study_cold"] / result.ms["serve_warm"];
+    }
+
     return result;
 }
 
@@ -397,7 +452,8 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
            << ",\n"
            << "      \"sim_speedup\": " << r.simSpeedup << ",\n"
            << "      \"sim_par_speedup\": " << r.simParSpeedup << ",\n"
-           << "      \"grid_speedup\": " << r.gridSpeedup << "\n"
+           << "      \"grid_speedup\": " << r.gridSpeedup << ",\n"
+           << "      \"serve_speedup\": " << r.serveSpeedup << "\n"
            << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     // Geomean summary across the measured kernel set, precomputed so
@@ -434,6 +490,17 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
        << geomean(results, [](const KernelResult &r) {
               const auto it = r.ms.find("study_cold");
               return it == r.ms.end() ? 0.0 : it->second;
+          })
+       << ",\n"
+       << "    \"serve_warm_ms_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              const auto it = r.ms.find("serve_warm");
+              return it == r.ms.end() ? 0.0 : it->second;
+          })
+       << ",\n"
+       << "    \"serve_speedup_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.serveSpeedup;
           })
        << "\n  }\n}\n";
     return os.str();
@@ -588,7 +655,7 @@ checkRegressions(const std::vector<KernelResult> &results,
                  const std::string &baseline_path, double max_regression,
                  double min_profile_speedup, double min_profile_par_speedup,
                  double min_sim_speedup, double min_sim_par_speedup,
-                 double min_grid_speedup)
+                 double min_grid_speedup, double min_serve_speedup)
 {
     std::ifstream is(baseline_path);
     if (!is) {
@@ -683,6 +750,21 @@ checkRegressions(const std::vector<KernelResult> &results,
         if (bad)
             ++failures;
     }
+    // The serving gate is a geomean for the same reason: a warm daemon
+    // round-trip is milliseconds at smoke scale, so per-kernel ratios
+    // are dominated by scheduler noise.
+    if (min_serve_speedup > 0.0) {
+        const double g = geomean(results, [](const KernelResult &r) {
+            return r.serveSpeedup;
+        });
+        const bool bad = g < min_serve_speedup;
+        std::printf("  %-16s serve_speedup geomean %.2fx "
+                    "(required %.2fx)%s\n",
+                    "(all kernels)", g, min_serve_speedup,
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
     if (failures > 0) {
         std::fprintf(stderr,
                      "bench_perf: %d metric(s) regressed beyond %.0f%%\n",
@@ -739,6 +821,7 @@ main(int argc, char **argv)
     double min_sim_speedup = 0.0;
     double min_sim_par_speedup = 0.0;
     double min_grid_speedup = 0.0;
+    double min_serve_speedup = 0.0;
     int repeat = 3;
     unsigned jobs = 1;
 
@@ -780,6 +863,8 @@ main(int argc, char **argv)
             min_sim_par_speedup = std::stod(next());
         } else if (arg == "--min-grid-speedup") {
             min_grid_speedup = std::stod(next());
+        } else if (arg == "--min-serve-speedup") {
+            min_serve_speedup = std::stod(next());
         } else if (arg == "--write-baseline") {
             write_baseline_path = next();
         } else if (arg == "--list") {
@@ -837,7 +922,7 @@ main(int argc, char **argv)
                     "(legacy %7.1fms, %.2fx; par %7.1fms, %.2fx) "
                     "sim=%7.1fms (legacy %7.1fms, %.2fx; par %7.1fms, "
                     "%.2fx) predict=%6.2fms grid=%7.1fms (memo %7.1fms, "
-                    "%.2fx) cold=%7.1fms\n",
+                    "%.2fx) cold=%7.1fms serve=%6.1fms (%.2fx)\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.ops), r.ms["build"],
                     r.ms["profile_fused"], r.ms["profile_legacy"],
@@ -845,13 +930,15 @@ main(int argc, char **argv)
                     r.profileParSpeedup, r.ms["sim"], r.ms["sim_legacy"],
                     r.simSpeedup, r.ms["sim_par"], r.simParSpeedup,
                     r.ms["predict"], r.ms["grid"],
-                    r.ms["grid_memo"], r.gridSpeedup, r.ms["study_cold"]);
+                    r.ms["grid_memo"], r.gridSpeedup, r.ms["study_cold"],
+                    r.ms["serve_warm"], r.serveSpeedup);
         results.push_back(std::move(r));
     }
     std::printf("bench_perf: geomean profile_speedup %.2fx | "
                 "profile_par_speedup %.2fx (jobs %u) | sim_speedup "
                 "%.2fx | sim_par_speedup %.2fx | grid_speedup "
-                "%.2fx | study_cold %.1fms\n",
+                "%.2fx | study_cold %.1fms | serve_warm %.1fms "
+                "(%.2fx)\n",
                 geomean(results, [](const KernelResult &r) {
                     return r.profileSpeedup;
                 }),
@@ -871,6 +958,13 @@ main(int argc, char **argv)
                 geomean(results, [](const KernelResult &r) {
                     const auto it = r.ms.find("study_cold");
                     return it == r.ms.end() ? 0.0 : it->second;
+                }),
+                geomean(results, [](const KernelResult &r) {
+                    const auto it = r.ms.find("serve_warm");
+                    return it == r.ms.end() ? 0.0 : it->second;
+                }),
+                geomean(results, [](const KernelResult &r) {
+                    return r.serveSpeedup;
                 }));
 
     const std::string json = resultsToJson(results, scale, repeat, jobs);
@@ -886,7 +980,8 @@ main(int argc, char **argv)
         return checkRegressions(results, baseline_path, max_regression,
                                 min_profile_speedup,
                                 min_profile_par_speedup, min_sim_speedup,
-                                min_sim_par_speedup, min_grid_speedup);
+                                min_sim_par_speedup, min_grid_speedup,
+                                min_serve_speedup);
     }
     return 0;
 }

@@ -27,7 +27,9 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace rppm {
@@ -66,11 +68,14 @@ class BinWriter
     /** One column block: header + raw element data. The block is padded
      *  to 8-byte alignment on both ends, so block headers and element
      *  payloads always start at 8-byte offsets regardless of what scalar
-     *  fields precede them — this is what keeps the format mmap-safe. */
-    template <typename T>
+     *  fields precede them — this is what keeps the format mmap-safe.
+     *  Accepts any contiguous container exposing data()/size() and a
+     *  trivially-copyable value_type (std::vector, Column<T>, ...). */
+    template <typename C>
     void
-    column(uint32_t tag, const std::vector<T> &data)
+    column(uint32_t tag, const C &data)
     {
+        using T = typename C::value_type;
         static_assert(std::is_trivially_copyable_v<T>);
         pad8();
         u32(tag);
@@ -107,9 +112,11 @@ class BinReader
      * Bind to @p data and validate the header. Throws
      * std::invalid_argument on bad magic, foreign endianness, or a
      * version other than @p expect_version (old/new formats are rejected,
-     * never half-decoded).
+     * never half-decoded). The reader never copies or outlives @p data;
+     * binding a view over an mmap'd image (common/mmap.hh) lets
+     * columnView() hand out zero-copy pointers into the file.
      */
-    BinReader(const std::string &data, const char magic[8],
+    BinReader(std::string_view data, const char magic[8],
               uint32_t expect_version)
         : p_(data.data()), end_(data.data() + data.size()), base_(p_)
     {
@@ -175,6 +182,39 @@ class BinReader
         p_ += count * sizeof(T);
         skipPad8();
         return data;
+    }
+
+    /**
+     * Read one column block without copying: returns {pointer, count}
+     * aliasing the element payload inside the bound image. The caller
+     * owns keeping the image alive for as long as the pointer is used.
+     * Performs the same tag/element-size/bounds validation as column(),
+     * plus an alignment check on the payload address — the container
+     * discipline guarantees 8-byte payload *offsets*, so a misaligned
+     * address means the image itself is not 8-byte aligned (e.g. an
+     * odd-offset slice of a larger buffer) and borrowing is unsafe.
+     */
+    template <typename T>
+    std::pair<const T *, size_t>
+    columnView(uint32_t tag, const char *what)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        skipPad8();
+        const uint32_t seen_tag = u32(what);
+        if (seen_tag != tag)
+            fail(std::string("unexpected block tag for ") + what);
+        const uint32_t elem = u32(what);
+        if (elem != sizeof(T))
+            fail(std::string("element size mismatch in ") + what);
+        const uint64_t count = u64(what);
+        if (count > remaining() / sizeof(T))
+            fail(std::string("truncated column: ") + what);
+        if (reinterpret_cast<uintptr_t>(p_) % alignof(T) != 0)
+            fail(std::string("misaligned column payload: ") + what);
+        const T *view = reinterpret_cast<const T *>(p_);
+        p_ += count * sizeof(T);
+        skipPad8();
+        return {view, static_cast<size_t>(count)};
     }
 
     /** True once the whole image has been consumed. */

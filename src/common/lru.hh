@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Byte-budgeted LRU bookkeeping for in-memory artifact tiers.
+ *
+ * Long-running processes (the rppmd daemon in particular) hold caches of
+ * heavyweight immutable artifacts — profiles, memoized prediction
+ * engines — that grow monotonically under the original
+ * one-Study-per-process design. LruBudget tracks recency and an
+ * approximate byte size per key and answers "which keys must go to get
+ * back under budget"; the owning cache decides what eviction means
+ * (dropping a shared_ptr — in-flight readers keep their references
+ * alive, so eviction never invalidates a result in use).
+ *
+ * Not thread-safe on its own: callers embed it next to their own state
+ * under their own mutex.
+ */
+
+#ifndef RPPM_COMMON_LRU_HH
+#define RPPM_COMMON_LRU_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace rppm {
+
+template <typename Key>
+class LruBudget
+{
+  public:
+    /** Insert @p key at most-recently-used with @p bytes charged, or
+     *  re-charge and touch it if already present. */
+    void
+    add(const Key &key, uint64_t bytes)
+    {
+        auto it = index_.find(key);
+        if (it != index_.end()) {
+            bytes_ -= it->second->second;
+            order_.erase(it->second);
+            index_.erase(it);
+        }
+        order_.emplace_front(key, bytes);
+        index_.emplace(key, order_.begin());
+        bytes_ += bytes;
+    }
+
+    /** Mark @p key most-recently-used; no-op when absent. */
+    void
+    touch(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return;
+        order_.splice(order_.begin(), order_, it->second);
+    }
+
+    /** Forget @p key; no-op when absent. */
+    void
+    remove(const Key &key)
+    {
+        auto it = index_.find(key);
+        if (it == index_.end())
+            return;
+        bytes_ -= it->second->second;
+        order_.erase(it->second);
+        index_.erase(it);
+    }
+
+    /** Total bytes currently charged. */
+    uint64_t bytes() const { return bytes_; }
+
+    size_t size() const { return index_.size(); }
+
+    /**
+     * Drop least-recently-used entries until bytes() <= @p budget and
+     * return their keys in eviction order. The newest entry is just as
+     * evictable as any other — a single artifact bigger than the whole
+     * budget is evicted immediately after use, which keeps the budget a
+     * hard bound rather than a suggestion.
+     */
+    std::vector<Key>
+    shrinkTo(uint64_t budget)
+    {
+        std::vector<Key> evicted;
+        while (bytes_ > budget && !order_.empty()) {
+            auto &[key, bytes] = order_.back();
+            bytes_ -= bytes;
+            index_.erase(key);
+            evicted.push_back(std::move(key));
+            order_.pop_back();
+        }
+        return evicted;
+    }
+
+  private:
+    /** Recency order, most-recently-used first; pairs of {key, bytes}. */
+    std::list<std::pair<Key, uint64_t>> order_;
+    std::unordered_map<Key, typename std::list<std::pair<Key, uint64_t>>::
+                                iterator>
+        index_;
+    uint64_t bytes_ = 0;
+};
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_LRU_HH

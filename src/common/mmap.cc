@@ -1,0 +1,65 @@
+#include "common/mmap.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rppm {
+
+namespace {
+
+[[noreturn]] void
+ioFail(const std::string &path, const char *op)
+{
+    throw std::runtime_error("mmap " + path + ": " + op + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+std::shared_ptr<const MappedFile>
+MappedFile::open(const std::string &path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        ioFail(path, "open");
+
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        ioFail(path, "fstat");
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+
+    const char *data = nullptr;
+    if (size > 0) {
+        void *p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (p == MAP_FAILED) {
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            ioFail(path, "mmap");
+        }
+        data = static_cast<const char *>(p);
+    }
+    // The mapping outlives the descriptor; close it now.
+    ::close(fd);
+
+    return std::shared_ptr<const MappedFile>(
+        new MappedFile(path, data, size));
+}
+
+MappedFile::~MappedFile()
+{
+    if (size_ > 0)
+        ::munmap(const_cast<char *>(data_), size_);
+}
+
+} // namespace rppm

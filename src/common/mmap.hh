@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Read-only memory-mapped file with RAII lifetime.
+ *
+ * The RPPM binary containers (RPPMTRC traces, RPPMPRF profiles) are laid
+ * out so that every column payload starts at an 8-byte-aligned offset;
+ * mapping such a file lets a reader point straight into the payloads
+ * instead of copying them into vectors. MappedFile owns the mapping; any
+ * structure that borrows pointers into it (Column<T> views inside a
+ * ColumnarTrace, for example) must keep a shared_ptr to the MappedFile
+ * alive for as long as the pointers are used.
+ *
+ * The mapping is strictly PROT_READ — writing through a borrowed view is
+ * a segfault, which is the cheap enforcement backing the "immutable after
+ * publish" discipline for shared artifacts.
+ */
+
+#ifndef RPPM_COMMON_MMAP_HH
+#define RPPM_COMMON_MMAP_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace rppm {
+
+/** An immutable byte image of a file, mapped with mmap(PROT_READ). */
+class MappedFile
+{
+  public:
+    /** Map @p path read-only; throws std::runtime_error on any I/O
+     *  failure (missing file, unreadable, mmap refusal). Empty files
+     *  yield a valid zero-length image without calling mmap. */
+    static std::shared_ptr<const MappedFile> open(const std::string &path);
+
+    ~MappedFile();
+
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const char *data() const { return data_; }
+    size_t size() const { return size_; }
+
+    /** The whole image as a view (no copy). */
+    std::string_view view() const { return {data_, size_}; }
+
+    /** Path the image was mapped from (diagnostics only). */
+    const std::string &path() const { return path_; }
+
+  private:
+    MappedFile(std::string path, const char *data, size_t size)
+        : path_(std::move(path)), data_(data), size_(size)
+    {}
+
+    std::string path_;
+    const char *data_;
+    size_t size_;
+};
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_MMAP_HH

@@ -117,6 +117,15 @@ struct WorkloadProfile
 
     /** Total micro-ops across all threads and epochs. */
     uint64_t totalOps() const;
+
+    /**
+     * Approximate resident heap footprint in bytes. Used by byte-budgeted
+     * cache eviction (common/lru.hh) — accuracy within a small constant
+     * factor is all the budget math needs, so this counts the dominant
+     * payloads (histogram buckets, micro-trace ops, branch tables) and
+     * ignores allocator overhead.
+     */
+    uint64_t approxResidentBytes() const;
 };
 
 } // namespace rppm

@@ -182,6 +182,32 @@ PredictionMemo::stats() const
     return out;
 }
 
+uint64_t
+PredictionMemo::approxResidentBytes() const
+{
+    MutexLock lock(mutex_);
+    // The engine pins its profile; charge it here so the pool budget
+    // sees the real cost of keeping the engine around.
+    uint64_t bytes = profile_->approxResidentBytes();
+    // One EpochStacks bundle ≈ five StatStacks (each a copied histogram
+    // plus survival prefix sums over the bucket table) plus the lazily
+    // built per-op stack distances of the epoch's micro-trace loads.
+    const uint64_t per_stack =
+        5 * 2 * LogHistogram::numBuckets() * sizeof(double);
+    for (const auto &[key, stacks] : stacks_) {
+        bytes += per_stack;
+        for (const auto &mt : stacks->epoch().microTraces)
+            bytes += mt.ops.size() * sizeof(EpochStacks::OpSd);
+    }
+    // Phase-1/2 entries are small next to the bundles; charge key +
+    // payload envelopes.
+    for (const auto &[key, pred] : threads_)
+        bytes += key.size() + sizeof(ThreadPrediction) + 64;
+    for (const auto &[key, sync] : sync_)
+        bytes += key.size() + sizeof(SyncModelResult) + 64;
+    return bytes;
+}
+
 // --------------------------------------------------- PredictionMemoPool ---
 
 std::shared_ptr<PredictionMemo>
@@ -196,7 +222,42 @@ PredictionMemoPool::forProfile(std::shared_ptr<const WorkloadProfile> profile)
                           std::make_shared<PredictionMemo>(profile))
                  .first;
     }
-    return it->second;
+    std::shared_ptr<PredictionMemo> engine = it->second;
+    // Re-charge on every touch: engines grow as their memo tables fill,
+    // and the recency bump is what makes the budget LRU rather than FIFO.
+    lru_.add(profile.get(), engine->approxResidentBytes());
+    enforceBudget();
+    return engine;
+}
+
+void
+PredictionMemoPool::setMaxResidentBytes(uint64_t bytes)
+{
+    MutexLock lock(mutex_);
+    maxResidentBytes_ = bytes;
+    enforceBudget();
+}
+
+void
+PredictionMemoPool::enforceBudget()
+{
+    if (maxResidentBytes_ == 0)
+        return;
+    for (const WorkloadProfile *victim : lru_.shrinkTo(maxResidentBytes_)) {
+        engines_.erase(victim);
+        ++evictions_;
+    }
+}
+
+PredictionMemoPool::PoolStats
+PredictionMemoPool::poolStats() const
+{
+    MutexLock lock(mutex_);
+    PoolStats out;
+    out.engines = engines_.size();
+    out.evictions = evictions_;
+    out.residentBytes = lru_.bytes();
+    return out;
 }
 
 MemoStats

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/lru.hh"
 #include "common/thread_annotations.hh"
 #include "rppm/predictor.hh"
 
@@ -78,6 +79,10 @@ class PredictionMemo
         RPPM_EXCLUDES(mutex_);
 
     MemoStats stats() const RPPM_EXCLUDES(mutex_);
+
+    /** Approximate heap footprint of the engine *including* the profile
+     *  it keeps alive — the unit the pool's byte budget evicts in. */
+    uint64_t approxResidentBytes() const RPPM_EXCLUDES(mutex_);
 
   private:
     std::shared_ptr<const EpochStacks>
@@ -118,11 +123,36 @@ class PredictionMemoPool
 
     bool empty() const RPPM_EXCLUDES(mutex_);
 
+    /**
+     * Cap the pool at roughly @p bytes of engines (profile + memo-table
+     * footprint per PredictionMemo::approxResidentBytes); 0 = unlimited,
+     * the default. Eviction drops whole least-recently-used engines —
+     * callers holding a shared_ptr from forProfile keep using theirs
+     * unaffected; the next forProfile for that profile just rebuilds.
+     * Engines hold their profile's shared_ptr, so the pointer keys can
+     * never alias a freed-and-reallocated profile.
+     */
+    void setMaxResidentBytes(uint64_t bytes) RPPM_EXCLUDES(mutex_);
+
+    /** Budget-tier counters (lastMemoStats-style snapshot). */
+    struct PoolStats
+    {
+        uint64_t engines = 0;       ///< engines currently resident
+        uint64_t evictions = 0;     ///< engines dropped by the budget
+        uint64_t residentBytes = 0; ///< approx bytes currently charged
+    };
+    PoolStats poolStats() const RPPM_EXCLUDES(mutex_);
+
   private:
+    void enforceBudget() RPPM_REQUIRES(mutex_);
+
     mutable Mutex mutex_;
     std::unordered_map<const WorkloadProfile *,
                        std::shared_ptr<PredictionMemo>>
         engines_ RPPM_GUARDED_BY(mutex_);
+    LruBudget<const WorkloadProfile *> lru_ RPPM_GUARDED_BY(mutex_);
+    uint64_t maxResidentBytes_ RPPM_GUARDED_BY(mutex_) = 0;
+    uint64_t evictions_ RPPM_GUARDED_BY(mutex_) = 0;
 };
 
 /**

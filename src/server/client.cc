@@ -1,0 +1,160 @@
+#include "server/client.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rppm {
+namespace server {
+
+namespace {
+
+void
+sysFail(const std::string &what)
+{
+    throw std::runtime_error("rppm client: " + what + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+RppmClient::~RppmClient()
+{
+    close();
+}
+
+void
+RppmClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    serverName_.clear();
+}
+
+void
+RppmClient::connect(const std::string &socketPath,
+                    const std::string &clientName)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("rppm client: socket path too long: " +
+                                 socketPath);
+    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0)
+        sysFail("socket");
+    if (::connect(fd_, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = err;
+        sysFail("connect " + socketPath);
+    }
+
+    try {
+        writeFrame(fd_, MsgType::Hello, encodeHello({clientName}));
+        Frame frame;
+        if (!readFrame(fd_, frame))
+            throw ProtocolError("server closed during negotiation");
+        if (frame.type == MsgType::Error)
+            throw std::runtime_error("rppm client: server rejected us: " +
+                                     decodeError(frame.payload).message);
+        if (frame.type != MsgType::HelloOk)
+            throw ProtocolError("expected HelloOk");
+        serverName_ = decodeHelloOk(frame.payload).serverName;
+    } catch (...) {
+        close();
+        throw;
+    }
+}
+
+std::vector<CellResult>
+RppmClient::evaluate(const Query &query,
+                     const std::function<void(const CellResult &)> &onResult)
+{
+    if (fd_ < 0)
+        throw std::logic_error("rppm client: not connected");
+
+    RequestMsg req;
+    req.id = nextId_++;
+    if (nextId_ == 0) // id 0 is reserved for connection-level errors
+        nextId_ = 1;
+    req.kind = query.kind;
+    req.workload = query.workload;
+    req.profiler = query.profiler;
+    req.rppm = query.rppm;
+    req.configs = query.configs;
+    writeFrame(fd_, MsgType::Request, encodeRequest(req));
+
+    std::vector<CellResult> results;
+    results.reserve(query.configs.size());
+    Frame frame;
+    for (;;) {
+        if (!readFrame(fd_, frame))
+            throw ProtocolError("server closed mid-request");
+        switch (frame.type) {
+        case MsgType::Result: {
+            const ResultMsg res = decodeResult(frame.payload);
+            if (res.id != req.id)
+                throw ProtocolError("Result for unknown request id");
+            if (res.cell >= query.configs.size())
+                throw ProtocolError("Result cell out of range");
+            CellResult cell;
+            cell.cell = res.cell;
+            cell.config = res.config;
+            cell.cycles = res.cycles;
+            cell.seconds = res.seconds;
+            cell.threadSeconds = res.threadSeconds;
+            if (onResult)
+                onResult(cell);
+            results.push_back(std::move(cell));
+            break;
+        }
+        case MsgType::Done: {
+            const DoneMsg done = decodeDone(frame.payload);
+            if (done.id != req.id)
+                throw ProtocolError("Done for unknown request id");
+            if (done.cells != results.size() ||
+                results.size() != query.configs.size())
+                throw ProtocolError("request completed with missing cells");
+            std::sort(results.begin(), results.end(),
+                      [](const CellResult &a, const CellResult &b) {
+                          return a.cell < b.cell;
+                      });
+            for (size_t i = 0; i < results.size(); ++i)
+                if (results[i].cell != i)
+                    throw ProtocolError("duplicate or missing result cell");
+            return results;
+        }
+        case MsgType::Error: {
+            const ErrorMsg err = decodeError(frame.payload);
+            throw std::runtime_error("rppm server error: " + err.message);
+        }
+        default:
+            throw ProtocolError("unexpected message type from server");
+        }
+    }
+}
+
+void
+RppmClient::shutdownServer()
+{
+    if (fd_ < 0)
+        throw std::logic_error("rppm client: not connected");
+    writeFrame(fd_, MsgType::Shutdown, encodeShutdown());
+}
+
+} // namespace server
+} // namespace rppm

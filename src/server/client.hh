@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Client library for the rppmd prediction daemon.
+ *
+ * RppmClient wraps one connection: connect() performs the
+ * Hello/HelloOk version negotiation, evaluate() submits a (workload,
+ * config-grid) query and collects the streamed per-cell results, and
+ * shutdownServer() asks the daemon to drain and exit. One client is one
+ * connection and is not thread-safe; concurrent queries take one client
+ * each (the daemon multiplexes them server-side).
+ *
+ * The daemon runs the same evaluation pipeline as an in-process
+ * Study::run(), so evaluate() results are bit-identical to a local
+ * study of the same workload/options/grid — at warm-daemon latency,
+ * because profiles and prediction memos persist across queries and
+ * clients.
+ */
+
+#ifndef RPPM_SERVER_CLIENT_HH
+#define RPPM_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hh"
+
+namespace rppm {
+namespace server {
+
+/** One completed grid cell of a query, in config-grid order. */
+struct CellResult
+{
+    uint64_t cell = 0; ///< index into Query::configs
+    std::string config;
+    double cycles = 0.0;
+    double seconds = 0.0;
+    std::vector<double> threadSeconds;
+};
+
+/** One prediction query: a workload reference plus the options and
+ *  config grid a Study would carry. */
+struct Query
+{
+    WorkloadRefKind kind = WorkloadRefKind::SuiteName;
+    std::string workload;
+    ProfilerOptions profiler;
+    RppmOptions rppm;
+    std::vector<MulticoreConfig> configs;
+};
+
+class RppmClient
+{
+  public:
+    RppmClient() = default;
+    ~RppmClient();
+
+    RppmClient(const RppmClient &) = delete;
+    RppmClient &operator=(const RppmClient &) = delete;
+
+    /**
+     * Connect to the daemon at @p socketPath and negotiate the protocol
+     * version. Throws std::runtime_error on connection failure and
+     * ProtocolError / std::invalid_argument when negotiation fails.
+     */
+    void connect(const std::string &socketPath,
+                 const std::string &clientName = "rppm_client");
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** The daemon's HelloOk name (empty before connect). */
+    const std::string &serverName() const { return serverName_; }
+
+    /**
+     * Submit @p query and block until the daemon delivers every cell.
+     * Returns one CellResult per config, sorted into config-grid order
+     * (the daemon streams them in completion order). @p onResult, when
+     * set, observes each result as it arrives. Throws std::runtime_error
+     * on a server-reported Error and ProtocolError on a broken stream.
+     */
+    std::vector<CellResult>
+    evaluate(const Query &query,
+             const std::function<void(const CellResult &)> &onResult = {});
+
+    /** Ask the daemon to drain and exit (connection stays usable until
+     *  the daemon closes it). */
+    void shutdownServer();
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    uint32_t nextId_ = 1;
+    std::string serverName_;
+};
+
+} // namespace server
+} // namespace rppm
+
+#endif // RPPM_SERVER_CLIENT_HH

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Wire protocol of the rppmd prediction daemon.
+ *
+ * Transport: a Unix-domain stream socket carrying length-prefixed
+ * *frames*. Each frame is a fixed 16-byte header — u32 frame magic,
+ * u32 message type, u64 payload length — followed by the payload. The
+ * payload of every message is an RPPM binary container
+ * (common/binio.hh) with magic "RPPMNET" and the protocol version in
+ * the container header, so version negotiation and malformed-payload
+ * rejection reuse exactly the discipline the on-disk RPPMTRC/RPPMPRF
+ * formats already have: a reader either understands a payload
+ * completely or rejects it loudly, never half-decodes it.
+ *
+ * Session lifecycle:
+ *
+ *   client                          server
+ *     | -- Hello (version in hdr) --> |
+ *     | <-- HelloOk | Error --------- |
+ *     | -- Request (id, workload,     |
+ *     |      options, config grid) -> |
+ *     | <-- Result (id, cell, ...) -- |   streamed as cells complete,
+ *     | <-- Result ... -------------- |   in no particular order
+ *     | <-- Done (id, count) -------- |
+ *     | -- Shutdown ----------------> |   (optional, drains the daemon)
+ *
+ * Multiple Requests may be in flight on one connection; Results carry
+ * the request id and cell index so the client can scatter them. Errors
+ * carry the offending request id (0 = connection-level, e.g. a bad
+ * frame or failed version negotiation; connection-level errors close
+ * the connection).
+ *
+ * Extending the protocol: add new message types (never renumber
+ * existing ones) and new *trailing* fields to payloads only together
+ * with a version bump; see CONTRIBUTING.md. kMaxFramePayload bounds
+ * untrusted lengths before any allocation.
+ */
+
+#ifndef RPPM_SERVER_PROTOCOL_HH
+#define RPPM_SERVER_PROTOCOL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arch/config.hh"
+#include "common/binio.hh"
+#include "profile/profiler.hh"
+#include "rppm/predictor.hh"
+
+namespace rppm {
+namespace server {
+
+/** Frame header magic ("RPMF", little-endian). */
+constexpr uint32_t kFrameMagic = 0x464d5052u;
+
+/** Container magic of every message payload. */
+constexpr char kWireMagic[8] = {'R', 'P', 'P', 'M', 'N', 'E', 'T', '\0'};
+
+/** Protocol version; negotiated via the Hello payload's container
+ *  header. Bump on any incompatible payload change. */
+constexpr uint32_t kWireVersion = 1;
+
+/** Upper bound on a frame payload; larger lengths are rejected before
+ *  allocation (a corrupt or hostile header must not OOM the daemon). */
+constexpr uint64_t kMaxFramePayload = 256ull * 1024 * 1024;
+
+enum class MsgType : uint32_t
+{
+    Hello = 1,    ///< client → server: version negotiation
+    HelloOk = 2,  ///< server → client: negotiation accepted
+    Request = 3,  ///< client → server: (workload, options, config grid)
+    Result = 4,   ///< server → client: one completed grid cell
+    Done = 5,     ///< server → client: all cells of a request delivered
+    Error = 6,    ///< server → client: request- or connection-level error
+    Shutdown = 7, ///< client → server: drain and exit
+};
+
+/** Malformed frame or payload (the wire analogue of
+ *  std::invalid_argument from the file loaders). */
+class ProtocolError : public std::runtime_error
+{
+  public:
+    explicit ProtocolError(const std::string &msg)
+        : std::runtime_error("rppm protocol: " + msg)
+    {}
+};
+
+/** Peer closed the connection at a frame boundary (clean EOF). */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    std::string payload;
+};
+
+// --- Frame transport over a connected stream socket fd.
+
+/** Write one frame; throws ProtocolError on a short or failed write. */
+void writeFrame(int fd, MsgType type, std::string_view payload);
+
+/**
+ * Read one frame. Returns false on clean EOF (peer closed between
+ * frames); throws ProtocolError on a bad magic, an oversized payload,
+ * or EOF mid-frame (short read).
+ */
+bool readFrame(int fd, Frame &out);
+
+// --- Message payload codecs. Encoders return the container image;
+// --- decoders throw std::invalid_argument (from BinReader) or
+// --- ProtocolError on malformed input.
+
+struct HelloMsg
+{
+    std::string clientName;
+};
+
+struct HelloOkMsg
+{
+    std::string serverName;
+    uint32_t version = kWireVersion;
+};
+
+/** How a Request names its workload. */
+enum class WorkloadRefKind : uint8_t
+{
+    SuiteName = 0, ///< a benchmark of the built-in suite (suite.hh)
+    TracePath = 1, ///< an RPPMTRC file on the *server's* filesystem,
+                   ///< mmap'd and shared zero-copy across requests
+};
+
+struct RequestMsg
+{
+    uint32_t id = 0; ///< client-chosen, echoed in Result/Done/Error
+    WorkloadRefKind kind = WorkloadRefKind::SuiteName;
+    std::string workload;
+    std::string evaluator = "rppm"; ///< reserved for future backends
+    ProfilerOptions profiler;
+    RppmOptions rppm;
+    std::vector<MulticoreConfig> configs;
+};
+
+struct ResultMsg
+{
+    uint32_t id = 0;
+    uint64_t cell = 0; ///< index into RequestMsg::configs
+    std::string config;
+    double cycles = 0.0;
+    double seconds = 0.0;
+    std::vector<double> threadSeconds;
+};
+
+struct DoneMsg
+{
+    uint32_t id = 0;
+    uint64_t cells = 0;
+};
+
+struct ErrorMsg
+{
+    uint32_t id = 0; ///< 0 = connection-level (connection closes)
+    std::string message;
+};
+
+std::string encodeHello(const HelloMsg &msg);
+HelloMsg decodeHello(std::string_view payload);
+
+std::string encodeHelloOk(const HelloOkMsg &msg);
+HelloOkMsg decodeHelloOk(std::string_view payload);
+
+std::string encodeRequest(const RequestMsg &msg);
+RequestMsg decodeRequest(std::string_view payload);
+
+std::string encodeResult(const ResultMsg &msg);
+ResultMsg decodeResult(std::string_view payload);
+
+std::string encodeDone(const DoneMsg &msg);
+DoneMsg decodeDone(std::string_view payload);
+
+std::string encodeError(const ErrorMsg &msg);
+ErrorMsg decodeError(std::string_view payload);
+
+std::string encodeShutdown();
+void decodeShutdown(std::string_view payload);
+
+/** Config codec shared by Request encode/decode (exposed for tests). */
+void encodeConfig(BinWriter &out, const MulticoreConfig &cfg);
+MulticoreConfig decodeConfig(BinReader &in);
+
+} // namespace server
+} // namespace rppm
+
+#endif // RPPM_SERVER_PROTOCOL_HH

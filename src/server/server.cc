@@ -1,0 +1,455 @@
+#include "server/server.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "arch/component_key.hh"
+#include "common/assert.hh"
+#include "trace/trace_io.hh"
+#include "workload/suite.hh"
+
+namespace rppm {
+namespace server {
+
+// ------------------------------------------------------ connection state ---
+
+/** One accepted socket. Writes are serialized by writeMutex; the first
+ *  failed write marks the peer dead and later sends become no-ops (a
+ *  vanished client must not take the daemon down with it). */
+struct RppmServer::Connection
+{
+    int fd = -1;
+    std::mutex writeMutex;
+    std::atomic<bool> dead{false};
+
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    void send(MsgType type, std::string_view payload)
+    {
+        if (dead.load(std::memory_order_relaxed))
+            return;
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (dead.load(std::memory_order_relaxed))
+            return;
+        try {
+            writeFrame(fd, type, payload);
+        } catch (const std::exception &) {
+            dead.store(true, std::memory_order_relaxed);
+        }
+    }
+};
+
+/** One admitted Request: its engine, options and config grid, plus the
+ *  countdown that triggers the Done frame. Immutable after enqueue
+ *  except for `remaining`. */
+struct RppmServer::RequestState
+{
+    std::shared_ptr<Connection> conn;
+    uint32_t id = 0;
+    std::shared_ptr<PredictionMemo> engine;
+    RppmOptions opts;
+    std::vector<MulticoreConfig> configs;
+    std::atomic<uint64_t> remaining{0};
+};
+
+namespace {
+
+/** Eq1Options ablation switches, packed for the batch key (mirrors the
+ *  fingerprint PredictionMemo folds into its phase-1 keys). */
+char
+eq1OptionsBits(const Eq1Options &opts)
+{
+    return static_cast<char>(
+        (opts.ilpReplay ? 1 : 0) | (opts.llcUsesGlobalRd ? 2 : 0) |
+        (opts.mlpOverlap ? 4 : 0) | (opts.branch ? 8 : 0) |
+        (opts.decompose ? 16 : 0));
+}
+
+/** Cells coalesce across requests (and clients) when they share the
+ *  engine, the component key of their design point and the rppm-option
+ *  fingerprint — exactly the inputs a memo hit needs to match. */
+std::string
+batchKey(const PredictionMemo *engine, const MulticoreConfig &cfg,
+         const RppmOptions &opts)
+{
+    std::string key = configComponentKey(cfg);
+    key.push_back(eq1OptionsBits(opts.eq1));
+    appendKeyF64(key, opts.sync.syncOpCost);
+    const void *p = engine;
+    key.append(reinterpret_cast<const char *>(&p), sizeof(p));
+    return key;
+}
+
+void
+sysFail(const std::string &what)
+{
+    throw std::runtime_error("rppm server: " + what + ": " +
+                             std::strerror(errno));
+}
+
+} // namespace
+
+// ------------------------------------------------------------- lifecycle ---
+
+RppmServer::RppmServer(ServerOptions opts) : opts_(std::move(opts))
+{
+    RPPM_REQUIRE(!opts_.socketPath.empty(), "empty socket path");
+    if (!opts_.profileDirectory.empty())
+        cache_.setDirectory(opts_.profileDirectory);
+    cache_.setMaxResidentBytes(opts_.maxProfileBytes);
+    pool_.setMaxResidentBytes(opts_.maxMemoBytes);
+}
+
+RppmServer::~RppmServer()
+{
+    stop();
+}
+
+void
+RppmServer::start()
+{
+    RPPM_REQUIRE(!started_, "server already started");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof(addr.sun_path))
+        throw std::runtime_error("rppm server: socket path too long: " +
+                                 opts_.socketPath);
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        sysFail("socket");
+    ::unlink(opts_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        sysFail("bind " + opts_.socketPath);
+    }
+    if (::listen(listenFd_, 64) < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        sysFail("listen");
+    }
+    if (::pipe(stopPipe_) < 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+        sysFail("pipe");
+    }
+
+    started_ = true;
+    running_ = true;
+
+    unsigned n = opts_.workers;
+    if (n == 0)
+        n = std::thread::hardware_concurrency();
+    if (n == 0)
+        n = 1;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+RppmServer::stop()
+{
+    if (!started_ || !running_.exchange(false))
+        return;
+
+    // 1. Wake the accept loop and every reader poll; no new work enters.
+    {
+        const char byte = 'x';
+        ssize_t rc;
+        do {
+            rc = ::write(stopPipe_[1], &byte, 1);
+        } while (rc < 0 && errno == EINTR);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        readers.swap(readers_);
+    }
+    for (std::thread &t : readers)
+        t.join();
+
+    // 2. Drain: every admitted cell completes and its frames flush.
+    {
+        std::unique_lock<std::mutex> lock(qMutex_);
+        drainCv_.wait(lock, [this] { return pendingCells_ == 0; });
+        workersStop_ = true;
+    }
+    qCv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+    workers_.clear();
+
+    // 3. Tear down sockets.
+    {
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns_.clear();
+    }
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::close(stopPipe_[0]);
+    ::close(stopPipe_[1]);
+    stopPipe_[0] = stopPipe_[1] = -1;
+    ::unlink(opts_.socketPath.c_str());
+}
+
+RppmServer::Stats
+RppmServer::stats() const
+{
+    Stats out;
+    out.connections = connections_.load();
+    out.requests = requests_.load();
+    out.cells = cells_.load();
+    out.batches = batches_.load();
+    out.profile = cache_.stats();
+    out.memo = pool_.poolStats();
+    return out;
+}
+
+// ------------------------------------------------------------ accept/read ---
+
+/** Block until @p fd is readable or stop is signalled; false = stop. */
+bool
+RppmServer::waitReadable(int fd) const
+{
+    for (;;) {
+        pollfd fds[2] = {{fd, POLLIN, 0}, {stopPipe_[0], POLLIN, 0}};
+        const int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (fds[1].revents != 0)
+            return false;
+        if (fds[0].revents != 0)
+            return true;
+    }
+}
+
+void
+RppmServer::acceptLoop()
+{
+    while (waitReadable(listenFd_)) {
+        const int fd =
+            ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>();
+        conn->fd = fd;
+        ++connections_;
+        std::lock_guard<std::mutex> lock(connMutex_);
+        conns_.push_back(conn);
+        readers_.emplace_back([this, conn] { serveConnection(conn); });
+    }
+}
+
+void
+RppmServer::serveConnection(const std::shared_ptr<Connection> &conn)
+{
+    try {
+        // Handshake: the first frame must be a Hello whose payload
+        // container carries a version we understand.
+        Frame frame;
+        if (!waitReadable(conn->fd) || !readFrame(conn->fd, frame))
+            return;
+        if (frame.type != MsgType::Hello) {
+            conn->send(MsgType::Error,
+                       encodeError({0, "expected Hello"}));
+            return;
+        }
+        decodeHello(frame.payload);
+        conn->send(MsgType::HelloOk,
+                   encodeHelloOk({opts_.serverName, kWireVersion}));
+
+        while (waitReadable(conn->fd) && readFrame(conn->fd, frame)) {
+            switch (frame.type) {
+            case MsgType::Request:
+                handleRequest(conn, frame.payload);
+                break;
+            case MsgType::Shutdown:
+                decodeShutdown(frame.payload);
+                if (opts_.onShutdownRequest)
+                    opts_.onShutdownRequest();
+                break;
+            default:
+                conn->send(MsgType::Error,
+                           encodeError({0, "unexpected message type"}));
+                conn->dead = true;
+                return;
+            }
+        }
+    } catch (const std::exception &e) {
+        // Malformed frame or payload: connection-level error, close.
+        conn->send(MsgType::Error, encodeError({0, e.what()}));
+        conn->dead = true;
+    }
+}
+
+// --------------------------------------------------------------- requests ---
+
+WorkloadSource
+RppmServer::resolveWorkload(WorkloadRefKind kind, const std::string &name)
+{
+    const std::string key =
+        (kind == WorkloadRefKind::SuiteName ? "name:" : "path:") + name;
+    std::lock_guard<std::mutex> lock(artMutex_);
+    const auto it = artifacts_.find(key);
+    if (it != artifacts_.end())
+        return it->second;
+    if (kind == WorkloadRefKind::SuiteName) {
+        const auto entry = findBenchmark(name);
+        if (!entry)
+            throw std::invalid_argument("unknown suite benchmark '" +
+                                        name + "'");
+        return artifacts_.emplace(key, WorkloadSource(entry->spec))
+            .first->second;
+    }
+    // Trace path: mmap a zero-copy view once; every later request (from
+    // any client) shares the same image and the profiles it feeds.
+    return artifacts_
+        .emplace(key, WorkloadSource(loadTraceViewFromFile(name)))
+        .first->second;
+}
+
+void
+RppmServer::handleRequest(const std::shared_ptr<Connection> &conn,
+                          const std::string &payload)
+{
+    // A decode failure here is a connection-level protocol error (we
+    // may not even know the request id) and propagates to the caller.
+    const RequestMsg req = decodeRequest(payload);
+
+    // From here on, failures are request-level: report them under the
+    // request's id and keep the connection serving.
+    try {
+        if (req.evaluator != "rppm")
+            throw std::invalid_argument("unknown evaluator '" +
+                                        req.evaluator + "'");
+        for (const MulticoreConfig &cfg : req.configs)
+            cfg.validate();
+
+        const WorkloadSource source =
+            resolveWorkload(req.kind, req.workload);
+        ProfilerOptions popts = req.profiler;
+        popts.jobs = opts_.jobs;
+        // Heavy on a cold cache; the per-key future inside the cache
+        // dedupes concurrent clients asking for the same profile.
+        const auto profile = source.profile(popts, cache_);
+        const auto engine = pool_.forProfile(profile);
+        ++requests_;
+
+        if (req.configs.empty()) {
+            conn->send(MsgType::Done, encodeDone({req.id, 0}));
+            return;
+        }
+        auto state = std::make_shared<RequestState>();
+        state->conn = conn;
+        state->id = req.id;
+        state->engine = engine;
+        state->opts = req.rppm;
+        state->configs = req.configs;
+        state->remaining = req.configs.size();
+        enqueue(state);
+    } catch (const std::exception &e) {
+        conn->send(MsgType::Error, encodeError({req.id, e.what()}));
+    }
+}
+
+void
+RppmServer::enqueue(const std::shared_ptr<RequestState> &req)
+{
+    std::lock_guard<std::mutex> lock(qMutex_);
+    pendingCells_ += req->configs.size();
+    for (uint64_t i = 0; i < req->configs.size(); ++i) {
+        std::string key =
+            batchKey(req->engine.get(), req->configs[i], req->opts);
+        auto [it, fresh] = groups_.try_emplace(std::move(key));
+        if (it->second.empty())
+            groupOrder_.push_back(it->first);
+        it->second.push_back(Cell{req, i});
+    }
+    qCv_.notify_all();
+}
+
+// ---------------------------------------------------------------- workers ---
+
+void
+RppmServer::workerLoop()
+{
+    for (;;) {
+        std::vector<Cell> batch;
+        {
+            std::unique_lock<std::mutex> lock(qMutex_);
+            qCv_.wait(lock, [this] {
+                return workersStop_ || !groupOrder_.empty();
+            });
+            if (groupOrder_.empty())
+                return; // workersStop_ and the queue is drained
+            const std::string key = std::move(groupOrder_.front());
+            groupOrder_.pop_front();
+            const auto it = groups_.find(key);
+            batch = std::move(it->second);
+            groups_.erase(it);
+        }
+        ++batches_;
+        // Whole-batch execution: every cell shares the engine and the
+        // component key, so after the first cell the rest are memo hits.
+        for (const Cell &cell : batch)
+            runCell(cell);
+        {
+            std::lock_guard<std::mutex> lock(qMutex_);
+            pendingCells_ -= batch.size();
+            if (pendingCells_ == 0)
+                drainCv_.notify_all();
+        }
+    }
+}
+
+void
+RppmServer::runCell(const Cell &cell)
+{
+    RequestState &req = *cell.req;
+    const MulticoreConfig &cfg = req.configs[cell.index];
+    try {
+        const RppmPrediction pred = req.engine->predict(cfg, req.opts);
+        ResultMsg res;
+        res.id = req.id;
+        res.cell = cell.index;
+        res.config = cfg.name;
+        res.cycles = pred.totalCycles;
+        res.seconds = pred.totalSeconds;
+        res.threadSeconds = pred.threadSeconds;
+        req.conn->send(MsgType::Result, encodeResult(res));
+    } catch (const std::exception &e) {
+        // Configs were validated at admission, so this is exceptional;
+        // the client aborts the request on the Error frame.
+        req.conn->send(MsgType::Error, encodeError({req.id, e.what()}));
+    }
+    ++cells_;
+    if (req.remaining.fetch_sub(1) == 1)
+        req.conn->send(MsgType::Done,
+                       encodeDone({req.id, req.configs.size()}));
+}
+
+} // namespace server
+} // namespace rppm

@@ -70,6 +70,19 @@ ProfileCache::setDirectory(std::string dir)
     dir_ = std::move(dir);
 }
 
+void
+ProfileCache::setMaxResidentBytes(uint64_t bytes)
+{
+    MutexLock lock(mutex_);
+    maxResidentBytes_ = bytes;
+    if (maxResidentBytes_ != 0) {
+        for (const std::string &victim : lru_.shrinkTo(maxResidentBytes_)) {
+            entries_.erase(victim);
+            ++stats_.evictions;
+        }
+    }
+}
+
 std::string
 ProfileCache::pathFor(const std::string &workload,
                       const ProfilerOptions &opts) const
@@ -94,6 +107,7 @@ ProfileCache::getOrCompute(const std::string &workload,
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             ++stats_.memoryHits;
+            lru_.touch(key);
             waitOn = it->second;
         } else {
             entries_.emplace(key, promise.get_future().share());
@@ -154,6 +168,19 @@ ProfileCache::getOrCompute(const std::string &workload,
                 ++stats_.diskHits;
             else
                 ++stats_.misses;
+            // The entry is complete: start charging it to the budget and
+            // evict LRU completed entries that no longer fit. In-flight
+            // computations are never in lru_, so they are never evicted;
+            // waiters on an evicted key hold their shared_future, so
+            // results are never lost, only forgotten.
+            lru_.add(key, profile->approxResidentBytes());
+            if (maxResidentBytes_ != 0) {
+                for (const std::string &victim :
+                     lru_.shrinkTo(maxResidentBytes_)) {
+                    entries_.erase(victim);
+                    ++stats_.evictions;
+                }
+            }
         }
         promise.set_value(profile);
         return profile;
@@ -174,13 +201,16 @@ ProfileCache::clearMemory()
 {
     MutexLock lock(mutex_);
     entries_.clear();
+    lru_.shrinkTo(0);
 }
 
 ProfileCache::Stats
 ProfileCache::stats() const
 {
     MutexLock lock(mutex_);
-    return stats_;
+    Stats out = stats_;
+    out.residentBytes = lru_.bytes();
+    return out;
 }
 
 } // namespace rppm

@@ -37,6 +37,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/lru.hh"
 #include "common/thread_annotations.hh"
 #include "profile/epoch_profile.hh"
 #include "profile/profiler.hh"
@@ -81,6 +82,24 @@ class ProfileCache
     /** Drop the in-memory tier (serialized profiles stay). */
     void clearMemory() RPPM_EXCLUDES(mutex_);
 
+    /**
+     * Cap the in-memory tier at roughly @p bytes
+     * (WorkloadProfile::approxResidentBytes accounting); 0 = unlimited,
+     * the default — behavior is then bit-identical to the pre-eviction
+     * cache. When a completed profile pushes the tier over budget, the
+     * least-recently-used *completed* entries are dropped (in-flight
+     * computations are never evicted; outstanding shared_ptr holders
+     * keep evicted profiles alive). Long-running daemons set this;
+     * one-shot studies should not bother.
+     */
+    void setMaxResidentBytes(uint64_t bytes) RPPM_EXCLUDES(mutex_);
+
+    uint64_t maxResidentBytes() const RPPM_EXCLUDES(mutex_)
+    {
+        MutexLock lock(mutex_);
+        return maxResidentBytes_;
+    }
+
     /** Hit/miss counters (memory hits include waiting on in-flight
      *  computations of the same key). */
     struct Stats
@@ -88,6 +107,8 @@ class ProfileCache
         uint64_t memoryHits = 0;
         uint64_t diskHits = 0;
         uint64_t misses = 0;
+        uint64_t evictions = 0;     ///< entries dropped by the budget
+        uint64_t residentBytes = 0; ///< approx bytes currently resident
     };
     Stats stats() const RPPM_EXCLUDES(mutex_);
 
@@ -102,6 +123,9 @@ class ProfileCache
         RPPM_GUARDED_BY(mutex_);
     std::string dir_ RPPM_GUARDED_BY(mutex_);
     Stats stats_ RPPM_GUARDED_BY(mutex_);
+    /** Recency/bytes bookkeeping for *completed* entries only. */
+    LruBudget<std::string> lru_ RPPM_GUARDED_BY(mutex_);
+    uint64_t maxResidentBytes_ RPPM_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace rppm

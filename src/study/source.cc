@@ -53,6 +53,13 @@ WorkloadSource::WorkloadSource(WorkloadTrace trace)
     state_->trace = std::move(trace);
 }
 
+WorkloadSource::WorkloadSource(ColumnarTrace trace)
+    : state_(std::make_shared<State>())
+{
+    state_->name = trace.name;
+    state_->columnar = std::move(trace);
+}
+
 WorkloadSource::WorkloadSource(WorkloadProfile profile)
     : state_(std::make_shared<State>())
 {
@@ -70,7 +77,8 @@ WorkloadSource::name() const
 bool
 WorkloadSource::hasTrace() const
 {
-    return state_->spec.has_value() || state_->trace.has_value();
+    return state_->spec.has_value() || state_->trace.has_value() ||
+        state_->columnar.has_value();
 }
 
 const WorkloadTrace &
@@ -82,6 +90,12 @@ WorkloadSource::trace(unsigned jobs) const
     std::call_once(s.traceOnce, [&] {
         if (s.trace)
             return; // trace-backed source: published at construction
+        if (s.columnar) {
+            // Columnar-backed source: reconstruct the AoS form (the
+            // conversion is lossless in both directions).
+            s.trace = s.columnar->toWorkload();
+            return;
+        }
         if (!s.spec) {
             throw std::logic_error(
                 "WorkloadSource '" + s.name +
@@ -95,12 +109,13 @@ WorkloadSource::trace(unsigned jobs) const
 const ColumnarTrace &
 WorkloadSource::columnar(unsigned jobs) const
 {
-    // Publish the AoS trace first; both members are immutable once
-    // their call_once returns, so the references stay valid forever.
-    const WorkloadTrace &aos = trace(jobs);
+    // Both members are immutable once their call_once returns, so the
+    // references stay valid forever.
     State &s = *state_;
     std::call_once(s.columnarOnce, [&] {
-        s.columnar = ColumnarTrace::fromWorkload(aos, jobs);
+        if (s.columnar)
+            return; // columnar-backed source: published at construction
+        s.columnar = ColumnarTrace::fromWorkload(trace(jobs), jobs);
     });
     return *s.columnar;
 }

@@ -42,6 +42,15 @@ class WorkloadSource
     /** Source backed by an existing trace. */
     explicit WorkloadSource(WorkloadTrace trace);
 
+    /**
+     * Source backed by an existing columnar trace — e.g. a zero-copy
+     * mmap view from loadTraceView(); borrowed storage stays borrowed
+     * (the trace carries its own file-image keepalive), so profiling
+     * such a source reads straight out of the page cache. The AoS view
+     * is reconstructed lazily only if a consumer asks for trace().
+     */
+    explicit WorkloadSource(ColumnarTrace trace);
+
     /** Profile-only source: analytical evaluators only. */
     explicit WorkloadSource(WorkloadProfile profile);
 

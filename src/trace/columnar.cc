@@ -7,6 +7,54 @@
 
 namespace rppm {
 
+namespace {
+
+template <typename T>
+std::vector<T>
+copyOut(const Column<T> &col)
+{
+    return std::vector<T>(col.begin(), col.end());
+}
+
+} // namespace
+
+bool
+ColumnarTrace::isBorrowed() const
+{
+    for (const ThreadColumns &t : threads) {
+        if (t.op.isBorrowed() || t.pc.isBorrowed() ||
+            t.dep1.isBorrowed() || t.dep2.isBorrowed() ||
+            t.addr.isBorrowed() || t.taken.isBorrowed() ||
+            t.syncPos.isBorrowed() || t.syncType.isBorrowed() ||
+            t.syncArg.isBorrowed()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+ColumnarTrace
+ColumnarTrace::toOwned() const
+{
+    ColumnarTrace out;
+    out.name = name;
+    out.threads.resize(threads.size());
+    for (size_t t = 0; t < threads.size(); ++t) {
+        const ThreadColumns &src = threads[t];
+        ThreadColumns &dst = out.threads[t];
+        dst.op = copyOut(src.op);
+        dst.pc = copyOut(src.pc);
+        dst.dep1 = copyOut(src.dep1);
+        dst.dep2 = copyOut(src.dep2);
+        dst.addr = copyOut(src.addr);
+        dst.taken = copyOut(src.taken);
+        dst.syncPos = copyOut(src.syncPos);
+        dst.syncType = copyOut(src.syncType);
+        dst.syncArg = copyOut(src.syncArg);
+    }
+    return out;
+}
+
 uint64_t
 ColumnarTrace::totalOps() const
 {

@@ -32,29 +32,39 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/column.hh"
+#include "common/mmap.hh"
 #include "trace/trace.hh"
 
 namespace rppm {
 
-/** One thread's trace as per-field columns (see file comment). */
+/**
+ * One thread's trace as per-field columns (see file comment).
+ *
+ * Each column is a Column<T> (common/column.hh): the read API of a const
+ * vector, but the storage may be *borrowed* from an mmap'd RPPMTRC image
+ * instead of owned — loadTraceView() builds such zero-copy traces. The
+ * enclosing ColumnarTrace keeps the backing file image alive.
+ */
 struct ThreadColumns
 {
     // --- Dense columns, one entry per record.
-    std::vector<OpClass> op;    ///< sync slots hold OpClass::IntAlu
-    std::vector<uint32_t> pc;   ///< sync slots hold 0
-    std::vector<uint16_t> dep1; ///< sync slots hold 0
-    std::vector<uint16_t> dep2; ///< sync slots hold 0
+    Column<OpClass> op;    ///< sync slots hold OpClass::IntAlu
+    Column<uint32_t> pc;   ///< sync slots hold 0
+    Column<uint16_t> dep1; ///< sync slots hold 0
+    Column<uint16_t> dep2; ///< sync slots hold 0
 
     // --- Sparse columns.
-    std::vector<uint64_t> addr;     ///< per memory record, in record order
-    std::vector<uint8_t> taken;     ///< per branch record, 0/1
-    std::vector<uint64_t> syncPos;  ///< record index of each sync record
-    std::vector<SyncType> syncType; ///< parallel to syncPos
-    std::vector<uint32_t> syncArg;  ///< parallel to syncPos
+    Column<uint64_t> addr;     ///< per memory record, in record order
+    Column<uint8_t> taken;     ///< per branch record, 0/1
+    Column<uint64_t> syncPos;  ///< record index of each sync record
+    Column<SyncType> syncType; ///< parallel to syncPos
+    Column<uint32_t> syncArg;  ///< parallel to syncPos
 
     size_t numRecords() const { return op.size(); }
 
@@ -152,7 +162,26 @@ struct ColumnarTrace
     std::string name;
     std::vector<ThreadColumns> threads;
 
+    /**
+     * Backing storage for borrowed columns. loadTraceView() points the
+     * thread columns into this mmap'd image; it must outlive them, so it
+     * rides along inside the trace (copies of the trace share it).
+     * Null for fully-owned traces.
+     */
+    std::shared_ptr<const MappedFile> storage;
+
     size_t numThreads() const { return threads.size(); }
+
+    /**
+     * True when any column borrows storage it does not own (i.e. the
+     * trace is a zero-copy view over an mmap'd file). Borrowed traces
+     * are immutable; consumers that need to mutate must deep-copy via
+     * toOwned().
+     */
+    bool isBorrowed() const;
+
+    /** Deep copy with every column in owned (vector) storage. */
+    ColumnarTrace toOwned() const;
 
     /** Total micro-ops across all threads. */
     uint64_t totalOps() const;

@@ -54,34 +54,71 @@ saveTrace(const ColumnarTrace &trace, std::ostream &os)
         throw std::runtime_error("trace write failed");
 }
 
-ColumnarTrace
-loadTrace(std::istream &is)
-{
-    std::ostringstream buf;
-    buf << is.rdbuf();
-    const std::string data = buf.str();
+namespace {
 
-    BinReader in(data, kTraceMagic, kTraceFormatVersion);
+/** Column policy for the copying loader: payloads land in owned
+ *  vectors. */
+struct CopyColumns
+{
+    BinReader &in;
+
+    template <typename T>
+    Column<T>
+    read(uint32_t tag, const char *what) const
+    {
+        return in.column<T>(tag, what);
+    }
+};
+
+/** Column policy for the zero-copy loader: payloads stay in the mapped
+ *  image and the columns borrow pointers into it. */
+struct ViewColumns
+{
+    BinReader &in;
+
+    template <typename T>
+    Column<T>
+    read(uint32_t tag, const char *what) const
+    {
+        const auto [p, n] = in.columnView<T>(tag, what);
+        return Column<T>::borrow(p, n);
+    }
+};
+
+/**
+ * Structural parse shared by both loaders; they differ only in how a
+ * column block becomes a Column<T>. Every validation path — header,
+ * tags, element sizes, bounds, trailing bytes, dense/sparse
+ * cross-consistency — is this one function, so the view loader rejects
+ * exactly what the copying loader rejects.
+ */
+template <typename ColumnPolicy>
+ColumnarTrace
+parseTrace(BinReader &in, size_t image_size, const ColumnPolicy &cols_in)
+{
     ColumnarTrace trace;
     trace.name = in.str("name");
     const uint64_t threads = in.u64("thread count");
     // An absurd thread count means corruption; fail before allocating.
-    if (threads > data.size())
+    if (threads > image_size)
         in.fail("thread count exceeds file size");
     trace.threads.resize(threads);
     for (uint64_t t = 0; t < threads; ++t) {
         ThreadColumns &cols = trace.threads[t];
         const uint64_t records = in.u64("record count");
-        cols.op = in.column<OpClass>(kTagOp, "op column");
-        cols.pc = in.column<uint32_t>(kTagPc, "pc column");
-        cols.dep1 = in.column<uint16_t>(kTagDep1, "dep1 column");
-        cols.dep2 = in.column<uint16_t>(kTagDep2, "dep2 column");
-        cols.addr = in.column<uint64_t>(kTagAddr, "addr column");
-        cols.taken = in.column<uint8_t>(kTagTaken, "taken column");
-        cols.syncPos = in.column<uint64_t>(kTagSyncPos, "syncPos column");
+        cols.op = cols_in.template read<OpClass>(kTagOp, "op column");
+        cols.pc = cols_in.template read<uint32_t>(kTagPc, "pc column");
+        cols.dep1 = cols_in.template read<uint16_t>(kTagDep1, "dep1 column");
+        cols.dep2 = cols_in.template read<uint16_t>(kTagDep2, "dep2 column");
+        cols.addr = cols_in.template read<uint64_t>(kTagAddr, "addr column");
+        cols.taken =
+            cols_in.template read<uint8_t>(kTagTaken, "taken column");
+        cols.syncPos =
+            cols_in.template read<uint64_t>(kTagSyncPos, "syncPos column");
         cols.syncType =
-            in.column<SyncType>(kTagSyncTyp, "syncType column");
-        cols.syncArg = in.column<uint32_t>(kTagSyncArg, "syncArg column");
+            cols_in.template read<SyncType>(kTagSyncTyp, "syncType column");
+        cols.syncArg =
+            cols_in.template read<uint32_t>(kTagSyncArg, "syncArg column");
         if (cols.op.size() != records)
             in.fail("record count does not match op column");
     }
@@ -92,6 +129,36 @@ loadTrace(std::istream &is)
     // index the sparse columns blindly.
     trace.validateColumnConsistency();
     return trace;
+}
+
+} // namespace
+
+ColumnarTrace
+loadTrace(std::istream &is)
+{
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string data = buf.str();
+
+    BinReader in(data, kTraceMagic, kTraceFormatVersion);
+    return parseTrace(in, data.size(), CopyColumns{in});
+}
+
+ColumnarTrace
+loadTraceView(std::shared_ptr<const MappedFile> image)
+{
+    BinReader in(image->view(), kTraceMagic, kTraceFormatVersion);
+    ColumnarTrace trace = parseTrace(in, image->size(), ViewColumns{in});
+    // The columns alias the mapped bytes; the trace keeps the image
+    // alive (and marks itself borrowed) by holding it.
+    trace.storage = std::move(image);
+    return trace;
+}
+
+ColumnarTrace
+loadTraceViewFromFile(const std::string &path)
+{
+    return loadTraceView(MappedFile::open(path));
 }
 
 void

@@ -40,6 +40,20 @@ ColumnarTrace loadTrace(std::istream &is);
 void saveTraceToFile(const ColumnarTrace &trace, const std::string &path);
 ColumnarTrace loadTraceFromFile(const std::string &path);
 
+/**
+ * Zero-copy load: parse the container structure of @p image but point
+ * the trace's columns straight into the mapped payload bytes instead of
+ * copying them out (the format keeps every payload 8-byte aligned for
+ * exactly this). The returned trace holds @p image alive via
+ * ColumnarTrace::storage and reports isBorrowed() == true; it validates
+ * the same invariants and rejects the same malformed inputs as
+ * loadTrace(), and compares equal to the copying loader's result.
+ */
+ColumnarTrace loadTraceView(std::shared_ptr<const MappedFile> image);
+
+/** Map @p path (common/mmap.hh) and loadTraceView() it. */
+ColumnarTrace loadTraceViewFromFile(const std::string &path);
+
 } // namespace rppm
 
 #endif // RPPM_TRACE_TRACE_IO_HH

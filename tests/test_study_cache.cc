@@ -205,5 +205,110 @@ TEST(ProfileCache, FailedComputationIsRetriable)
     EXPECT_EQ(profile->name, "flaky");
 }
 
+// ----------------------------------------------- byte-budgeted tier ---
+
+TEST(ProfileCache, UnlimitedBudgetNeverEvicts)
+{
+    ProfileCache cache;
+    for (const char *name : {"evict-a", "evict-b", "evict-c"}) {
+        const WorkloadSpec spec = cacheSpec(name);
+        cache.getOrCompute(name, {},
+                           [&] { return profileWorkload(generateWorkload(spec)); });
+    }
+    const ProfileCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_GT(stats.residentBytes, 0u);
+}
+
+TEST(ProfileCache, BudgetEvictsLeastRecentlyUsed)
+{
+    ProfileCache cache;
+    int computations = 0;
+    auto computeFor = [&](const char *name) {
+        return [&, name] {
+            ++computations;
+            return profileWorkload(generateWorkload(cacheSpec(name)));
+        };
+    };
+    const auto a = cache.getOrCompute("evict-a", {}, computeFor("evict-a"));
+
+    // A budget that fits roughly one profile: adding a second must push
+    // the least-recently-used one out.
+    cache.setMaxResidentBytes(a->approxResidentBytes() +
+                              a->approxResidentBytes() / 2);
+    cache.getOrCompute("evict-b", {}, computeFor("evict-b"));
+    EXPECT_GE(cache.stats().evictions, 1u);
+
+    // "evict-a" was evicted, so asking again recomputes...
+    EXPECT_EQ(computations, 2);
+    cache.getOrCompute("evict-a", {}, computeFor("evict-a"));
+    EXPECT_EQ(computations, 3);
+
+    // ...while holders of the old shared_ptr keep a live profile.
+    EXPECT_EQ(a->name, "evict-a");
+
+    // The budget caps residency within one entry's slack.
+    EXPECT_LE(cache.stats().residentBytes,
+              cache.maxResidentBytes() + a->approxResidentBytes());
+}
+
+TEST(ProfileCache, TouchRefreshesRecency)
+{
+    ProfileCache cache;
+    int computations = 0;
+    auto computeFor = [&](const char *name) {
+        return [&, name] {
+            ++computations;
+            return profileWorkload(generateWorkload(cacheSpec(name)));
+        };
+    };
+    const auto a = cache.getOrCompute("lru-a", {}, computeFor("lru-a"));
+    cache.setMaxResidentBytes(2 * a->approxResidentBytes() +
+                              a->approxResidentBytes() / 2);
+    cache.getOrCompute("lru-b", {}, computeFor("lru-b"));
+
+    // Touch "lru-a" so "lru-b" becomes the LRU victim of the next add.
+    cache.getOrCompute("lru-a", {}, computeFor("lru-a"));
+    cache.getOrCompute("lru-c", {}, computeFor("lru-c"));
+
+    EXPECT_EQ(computations, 3);
+    cache.getOrCompute("lru-a", {}, computeFor("lru-a")); // still resident
+    EXPECT_EQ(computations, 3);
+    cache.getOrCompute("lru-b", {}, computeFor("lru-b")); // was evicted
+    EXPECT_EQ(computations, 4);
+}
+
+TEST(MemoPool, BudgetEvictsWholeEngines)
+{
+    const auto profileFor = [](const char *name) {
+        return std::make_shared<const WorkloadProfile>(
+            profileWorkload(generateWorkload(cacheSpec(name))));
+    };
+    const auto pa = profileFor("memo-a");
+    const auto pb = profileFor("memo-b");
+
+    PredictionMemoPool pool;
+    const auto ea = pool.forProfile(pa);
+    EXPECT_EQ(pool.forProfile(pa).get(), ea.get());
+
+    // Budget below one engine's footprint: each forProfile evicts the
+    // other engine, but outstanding shared_ptrs stay fully usable.
+    pool.setMaxResidentBytes(ea->approxResidentBytes() / 2);
+    EXPECT_GE(pool.poolStats().evictions, 1u);
+    const auto eb = pool.forProfile(pb);
+    const auto ea2 = pool.forProfile(pa);
+    EXPECT_NE(ea2.get(), ea.get()); // rebuilt after eviction
+    EXPECT_GE(pool.poolStats().evictions, 2u);
+
+    // Evicted-then-rebuilt engines still predict bit-identically.
+    const MulticoreConfig cfg = baseConfig();
+    const RppmPrediction before = ea->predict(cfg);
+    const RppmPrediction after = ea2->predict(cfg);
+    EXPECT_EQ(before.totalCycles, after.totalCycles);
+    EXPECT_EQ(before.threadSeconds, after.threadSeconds);
+    (void)eb;
+}
+
 } // namespace
 } // namespace rppm

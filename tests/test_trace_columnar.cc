@@ -217,6 +217,131 @@ TEST(TraceIo, RejectsTrailingGarbage)
     EXPECT_THROW(loadTrace(in), std::invalid_argument);
 }
 
+// ------------------------------------------- zero-copy mmap views ---
+
+namespace {
+
+/** Write raw bytes to a temp path and return the path. */
+std::string
+writeTempFile(const std::string &bytes, const char *name)
+{
+    const std::string path = std::string("/tmp/") + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+}
+
+} // namespace
+
+TEST(TraceView, BorrowedViewEqualsOwnedLoad)
+{
+    const ColumnarTrace original =
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec()));
+    const std::string path =
+        writeTempFile(serializeTrace(original), "rppm_test_view.rppmtrc");
+
+    const ColumnarTrace owned = loadTraceFromFile(path);
+    const ColumnarTrace view = loadTraceViewFromFile(path);
+
+    // The view borrows the mmap image; the copying loader owns vectors.
+    EXPECT_TRUE(view.isBorrowed());
+    EXPECT_FALSE(owned.isBorrowed());
+    EXPECT_NE(view.storage, nullptr);
+
+    // Same trace either way, element-for-element and byte-for-byte.
+    EXPECT_TRUE(view == owned);
+    EXPECT_TRUE(view == original);
+    EXPECT_TRUE(serializeTrace(view) == serializeTrace(owned));
+
+    // Deep-copying the view drops the borrow and preserves content.
+    const ColumnarTrace detached = view.toOwned();
+    EXPECT_FALSE(detached.isBorrowed());
+    EXPECT_TRUE(detached == original);
+
+    std::filesystem::remove(path);
+}
+
+TEST(TraceView, ProfilesBitIdenticallyToOwnedLoad)
+{
+    const ColumnarTrace original =
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec()));
+    const std::string path = writeTempFile(
+        serializeTrace(original), "rppm_test_view_prof.rppmtrc");
+
+    ProfilerOptions opts;
+    opts.microTraceLength = 60;
+    opts.microTraceInterval = 400;
+    const WorkloadProfile fromView =
+        profileWorkload(loadTraceViewFromFile(path), opts);
+    const WorkloadProfile fromOwned =
+        profileWorkload(loadTraceFromFile(path), opts);
+    EXPECT_TRUE(serializeProfileText(fromView) ==
+                serializeProfileText(fromOwned));
+
+    std::filesystem::remove(path);
+}
+
+TEST(TraceView, RejectsExactlyWhatTheCopyLoaderRejects)
+{
+    const std::string bytes = serializeTrace(
+        ColumnarTrace::fromWorkload(generateWorkload(richSpec())));
+    const char *path_name = "rppm_test_view_bad.rppmtrc";
+
+    // Bad magic.
+    {
+        const std::string path =
+            writeTempFile("definitely not a trace file", path_name);
+        EXPECT_THROW(loadTraceViewFromFile(path), std::invalid_argument);
+    }
+    // Old/unknown format version (field after magic + endian marker).
+    {
+        std::string bad = bytes;
+        bad[12] = static_cast<char>(kTraceFormatVersion + 1);
+        const std::string path = writeTempFile(bad, path_name);
+        EXPECT_THROW(loadTraceViewFromFile(path), std::invalid_argument);
+    }
+    // Truncation at several depths.
+    for (const double frac : {0.25, 0.5, 0.9}) {
+        const std::string path = writeTempFile(
+            bytes.substr(0, static_cast<size_t>(
+                                static_cast<double>(bytes.size()) * frac)),
+            path_name);
+        EXPECT_THROW(loadTraceViewFromFile(path), std::invalid_argument)
+            << frac;
+    }
+    // Trailing garbage.
+    {
+        const std::string path = writeTempFile(bytes + "garbage.", path_name);
+        EXPECT_THROW(loadTraceViewFromFile(path), std::invalid_argument);
+    }
+    // Missing file is an I/O error, not a format error.
+    EXPECT_THROW(loadTraceViewFromFile("/tmp/rppm_no_such_trace.rppmtrc"),
+                 std::runtime_error);
+    std::filesystem::remove(std::string("/tmp/") + path_name);
+}
+
+TEST(TraceView, ColumnBorrowSemantics)
+{
+    const std::vector<uint32_t> backing = {1, 2, 3, 4, 5};
+    const Column<uint32_t> borrowed =
+        Column<uint32_t>::borrow(backing.data(), backing.size());
+    EXPECT_TRUE(borrowed.isBorrowed());
+    EXPECT_EQ(borrowed.size(), backing.size());
+    EXPECT_EQ(borrowed[3], 4u);
+
+    // Copies of a borrowed column stay borrowed views of the same data.
+    const Column<uint32_t> copy = borrowed;
+    EXPECT_TRUE(copy.isBorrowed());
+    EXPECT_EQ(copy.data(), backing.data());
+
+    // Owned columns compare equal to borrowed ones by content.
+    Column<uint32_t> owned;
+    owned = backing;
+    EXPECT_FALSE(owned.isBorrowed());
+    EXPECT_TRUE(owned == borrowed);
+    EXPECT_NE(owned.data(), borrowed.data());
+}
+
 // ------------------------------------ fused vs. legacy equivalence ---
 
 TEST(FusedProfiler, BitIdenticalToLegacyOnEveryKernel)
