@@ -17,6 +17,7 @@
  *              [--min-profile-speedup F] [--min-profile-par-speedup F]
  *              [--min-sim-speedup F] [--min-sim-par-speedup F]
  *              [--min-grid-speedup F] [--min-serve-speedup F]
+ *              [--max-stream-overhead F]
  *              [--write-baseline FILE]
  *
  * --jobs drives every parallel knob at once: the Study worker pool of
@@ -62,8 +63,23 @@
  * study_cold_ms / serve_warm_ms is gated as a geomean via
  * --min-serve-speedup — the "predict many" payoff of keeping the
  * profile-once state alive in a daemon.
+ *
+ * The profile_stream phase runs the out-of-core streaming engine
+ * (default chunk size, --jobs workers) over the in-memory trace;
+ * stream_overhead = profile_stream_ms / profile_fused_ms is the price
+ * of chunked execution on a trace that would have fit in memory anyway
+ * — its geomean is gated via --max-stream-overhead (CI uses 1.15: the
+ * pipeline may cost at most 15% over the fused sweep at smoke scale).
+ *
+ * Every medianOf-timed phase also records the getrusage max-RSS *delta*
+ * across its repeats as <metric>_rss_delta_kb: how much that phase grew
+ * the process's resident high-water mark. Deltas are order-dependent (a
+ * phase dwarfed by an earlier one reports 0), but they make per-phase
+ * memory growth visible in the nightly trajectory — in particular that
+ * profile_stream's footprint stays small while traces scale.
  */
 
+#include <sys/resource.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -114,12 +130,17 @@ struct KernelResult
     uint64_t ops = 0;
     // Wall milliseconds, median of N repeats.
     std::map<std::string, double> ms;
+    // Growth of the process max-RSS high-water mark across a phase's
+    // repeats, in kB (see file comment; kept separate from ms so the
+    // ns/op machinery never treats it as a timing).
+    std::map<std::string, double> rssDeltaKb;
     double profileSpeedup = 0.0;
     double profileParSpeedup = 0.0;
     double simSpeedup = 0.0;
     double simParSpeedup = 0.0;
     double gridSpeedup = 0.0;
     double serveSpeedup = 0.0;
+    double streamOverhead = 0.0;
 
     double
     nsPerOp(const std::string &metric) const
@@ -135,6 +156,15 @@ double
 elapsedMs(Clock::time_point from, Clock::time_point to)
 {
     return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+/** Process max-RSS high-water mark in kB (Linux ru_maxrss unit). */
+double
+maxRssKb()
+{
+    struct rusage u;
+    getrusage(RUSAGE_SELF, &u);
+    return static_cast<double>(u.ru_maxrss);
 }
 
 /**
@@ -228,7 +258,7 @@ sweepConfigs(uint32_t numThreads)
 
 KernelResult
 measureKernel(const SuiteEntry &entry, double scale, int repeat,
-              unsigned jobs)
+              unsigned jobs, uint64_t stream_chunk)
 {
     KernelResult result;
     const WorkloadSpec spec = scaleSpec(entry.spec, scale);
@@ -236,22 +266,25 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
     result.suite = entry.suite;
     result.threads = spec.numThreads();
 
+    // Timed phase wrapper: wall median plus the max-RSS growth across
+    // the phase's repeats (see file comment on order dependence).
+    const auto timed = [&](const char *metric,
+                           const std::function<void()> &fn) {
+        const double rss0 = maxRssKb();
+        result.ms[metric] = medianOf(repeat, fn);
+        result.rssDeltaKb[metric] = maxRssKb() - rss0;
+    };
+
     WorkloadTrace trace;
-    result.ms["build"] = medianOf(repeat, [&] {
-        trace = generateWorkload(spec);
-    });
+    timed("build", [&] { trace = generateWorkload(spec); });
     result.ops = trace.totalOps();
 
     ColumnarTrace cols;
-    result.ms["columnar"] = medianOf(repeat, [&] {
-        cols = ColumnarTrace::fromWorkload(trace);
-    });
+    timed("columnar", [&] { cols = ColumnarTrace::fromWorkload(trace); });
 
     WorkloadProfile profile;
-    result.ms["profile_fused"] = medianOf(repeat, [&] {
-        profile = profileWorkload(cols);
-    });
-    result.ms["profile_legacy"] = medianOf(repeat, [&] {
+    timed("profile_fused", [&] { profile = profileWorkload(cols); });
+    timed("profile_legacy", [&] {
         WorkloadProfile legacy = profileWorkloadLegacy(trace);
         if (legacy.totalOps() != profile.totalOps())
             std::fprintf(stderr, "warning: legacy/fused op mismatch\n");
@@ -268,7 +301,7 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
     ProfilerOptions paropts;
     paropts.jobs = jobs;
     WorkloadProfile parProfile;
-    result.ms["profile_par"] = medianOf(repeat, [&] {
+    timed("profile_par", [&] {
         parProfile = profileWorkloadParallel(cols, paropts);
     });
     if (parProfile.totalOps() != profile.totalOps())
@@ -276,8 +309,28 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
     result.profileParSpeedup =
         result.ms["profile_fused"] / result.ms["profile_par"];
 
+    // Out-of-core streaming engine over the same in-memory trace:
+    // stream_overhead is what the chunk pipeline costs relative to the
+    // fused sweep when memory pressure is not an issue (the case the
+    // engine exists for is gated by the CI memory-cap job instead). The
+    // chunk size is scaled so smoke-sized traces still split into
+    // enough chunks to exercise the pipeline overlap, like a real
+    // out-of-core run would.
+    ProfilerOptions streamopts = paropts;
+    streamopts.streamChunkRecords = stream_chunk > 0 ?
+        stream_chunk :
+        std::max<uint64_t>(result.ops / (8 * spec.numThreads()), 4096);
+    WorkloadProfile streamProfile;
+    timed("profile_stream", [&] {
+        streamProfile = profileWorkloadStreaming(cols, streamopts);
+    });
+    if (streamProfile.totalOps() != profile.totalOps())
+        std::fprintf(stderr, "warning: streaming/fused op mismatch\n");
+    result.streamOverhead =
+        result.ms["profile_stream"] / result.ms["profile_fused"];
+
     const MulticoreConfig base = baseConfig();
-    result.ms["predict"] = medianOf(repeat, [&] {
+    timed("predict", [&] {
         const RppmPrediction pred = predict(profile, base);
         if (pred.totalCycles <= 0.0)
             std::fprintf(stderr, "warning: degenerate prediction\n");
@@ -329,15 +382,15 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
         if (grid.cells().empty())
             std::fprintf(stderr, "warning: empty grid\n");
     };
-    result.ms["grid"] = medianOf(repeat, [&] { runGrid(false); });
-    result.ms["grid_memo"] = medianOf(repeat, [&] { runGrid(true); });
+    timed("grid", [&] { runGrid(false); });
+    timed("grid_memo", [&] { runGrid(true); });
     result.gridSpeedup = result.ms["grid"] / result.ms["grid_memo"];
 
     // Cold end-to-end Study: trace synthesis + (parallel) profiling +
     // the memoized sweep grid, all inside one spec-backed Study with
     // every jobs knob set — the "first contact with a new workload"
     // number the profile-once-predict-many pitch rests on.
-    result.ms["study_cold"] = medianOf(repeat, [&] {
+    timed("study_cold", [&] {
         Study study;
         study.addWorkload(spec)
             .addConfigs(sweep)
@@ -377,7 +430,7 @@ measureKernel(const SuiteEntry &entry, double scale, int repeat,
         // measured repeats are the steady-state request latency.
         if (client.evaluate(query).size() != sweep.size())
             std::fprintf(stderr, "warning: short serve grid\n");
-        result.ms["serve_warm"] = medianOf(repeat, [&] {
+        timed("serve_warm", [&] {
             if (client.evaluate(query).size() != sweep.size())
                 std::fprintf(stderr, "warning: short serve grid\n");
         });
@@ -447,7 +500,11 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
                << "      \"" << metric << "_ns_per_op\": "
                << r.nsPerOp(metric) << ",\n";
         }
-        os << "      \"profile_speedup\": " << r.profileSpeedup << ",\n"
+        for (const auto &[metric, kb] : r.rssDeltaKb)
+            os << "      \"" << metric << "_rss_delta_kb\": " << kb
+               << ",\n";
+        os << "      \"stream_overhead\": " << r.streamOverhead << ",\n"
+           << "      \"profile_speedup\": " << r.profileSpeedup << ",\n"
            << "      \"profile_par_speedup\": " << r.profileParSpeedup
            << ",\n"
            << "      \"sim_speedup\": " << r.simSpeedup << ",\n"
@@ -484,6 +541,11 @@ resultsToJson(const std::vector<KernelResult> &results, double scale,
        << "    \"grid_speedup_geomean\": "
        << geomean(results, [](const KernelResult &r) {
               return r.gridSpeedup;
+          })
+       << ",\n"
+       << "    \"stream_overhead_geomean\": "
+       << geomean(results, [](const KernelResult &r) {
+              return r.streamOverhead;
           })
        << ",\n"
        << "    \"study_cold_ms_geomean\": "
@@ -655,7 +717,8 @@ checkRegressions(const std::vector<KernelResult> &results,
                  const std::string &baseline_path, double max_regression,
                  double min_profile_speedup, double min_profile_par_speedup,
                  double min_sim_speedup, double min_sim_par_speedup,
-                 double min_grid_speedup, double min_serve_speedup)
+                 double min_grid_speedup, double min_serve_speedup,
+                 double max_stream_overhead)
 {
     std::ifstream is(baseline_path);
     if (!is) {
@@ -750,6 +813,23 @@ checkRegressions(const std::vector<KernelResult> &results,
         if (bad)
             ++failures;
     }
+    // The streaming-overhead gate is self-relative (streaming vs. fused
+    // wall time in the same run) and a geomean, for the same noise
+    // reasons as the sim gates; profile_stream stays out of
+    // kGatedMetrics because the ratio, not the machine-dependent ns/op,
+    // is the contract.
+    if (max_stream_overhead > 0.0) {
+        const double g = geomean(results, [](const KernelResult &r) {
+            return r.streamOverhead;
+        });
+        const bool bad = g > max_stream_overhead;
+        std::printf("  %-16s stream_overhead geomean %.2fx "
+                    "(allowed %.2fx)%s\n",
+                    "(all kernels)", g, max_stream_overhead,
+                    bad ? "  REGRESSION" : "");
+        if (bad)
+            ++failures;
+    }
     // The serving gate is a geomean for the same reason: a warm daemon
     // round-trip is milliseconds at smoke scale, so per-kernel ratios
     // are dominated by scheduler noise.
@@ -822,6 +902,8 @@ main(int argc, char **argv)
     double min_sim_par_speedup = 0.0;
     double min_grid_speedup = 0.0;
     double min_serve_speedup = 0.0;
+    double max_stream_overhead = 0.0;
+    uint64_t stream_chunk = 0;
     int repeat = 3;
     unsigned jobs = 1;
 
@@ -865,6 +947,10 @@ main(int argc, char **argv)
             min_grid_speedup = std::stod(next());
         } else if (arg == "--min-serve-speedup") {
             min_serve_speedup = std::stod(next());
+        } else if (arg == "--max-stream-overhead") {
+            max_stream_overhead = std::stod(next());
+        } else if (arg == "--stream-chunk") {
+            stream_chunk = std::strtoull(next().c_str(), nullptr, 10);
         } else if (arg == "--write-baseline") {
             write_baseline_path = next();
         } else if (arg == "--list") {
@@ -917,9 +1003,11 @@ main(int argc, char **argv)
                 entries.size(), scale, repeat);
     std::vector<KernelResult> results;
     for (const SuiteEntry &entry : entries) {
-        KernelResult r = measureKernel(entry, scale, repeat, jobs);
+        KernelResult r =
+            measureKernel(entry, scale, repeat, jobs, stream_chunk);
         std::printf("  %-16s ops=%8llu build=%7.1fms profile=%7.1fms "
-                    "(legacy %7.1fms, %.2fx; par %7.1fms, %.2fx) "
+                    "(legacy %7.1fms, %.2fx; par %7.1fms, %.2fx; stream "
+                    "%7.1fms, %.2fx) "
                     "sim=%7.1fms (legacy %7.1fms, %.2fx; par %7.1fms, "
                     "%.2fx) predict=%6.2fms grid=%7.1fms (memo %7.1fms, "
                     "%.2fx) cold=%7.1fms serve=%6.1fms (%.2fx)\n",
@@ -927,7 +1015,8 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(r.ops), r.ms["build"],
                     r.ms["profile_fused"], r.ms["profile_legacy"],
                     r.profileSpeedup, r.ms["profile_par"],
-                    r.profileParSpeedup, r.ms["sim"], r.ms["sim_legacy"],
+                    r.profileParSpeedup, r.ms["profile_stream"],
+                    r.streamOverhead, r.ms["sim"], r.ms["sim_legacy"],
                     r.simSpeedup, r.ms["sim_par"], r.simParSpeedup,
                     r.ms["predict"], r.ms["grid"],
                     r.ms["grid_memo"], r.gridSpeedup, r.ms["study_cold"],
@@ -935,7 +1024,8 @@ main(int argc, char **argv)
         results.push_back(std::move(r));
     }
     std::printf("bench_perf: geomean profile_speedup %.2fx | "
-                "profile_par_speedup %.2fx (jobs %u) | sim_speedup "
+                "profile_par_speedup %.2fx (jobs %u) | stream_overhead "
+                "%.2fx | sim_speedup "
                 "%.2fx | sim_par_speedup %.2fx | grid_speedup "
                 "%.2fx | study_cold %.1fms | serve_warm %.1fms "
                 "(%.2fx)\n",
@@ -946,6 +1036,9 @@ main(int argc, char **argv)
                     return r.profileParSpeedup;
                 }),
                 jobs,
+                geomean(results, [](const KernelResult &r) {
+                    return r.streamOverhead;
+                }),
                 geomean(results, [](const KernelResult &r) {
                     return r.simSpeedup;
                 }),
@@ -981,7 +1074,7 @@ main(int argc, char **argv)
                                 min_profile_speedup,
                                 min_profile_par_speedup, min_sim_speedup,
                                 min_sim_par_speedup, min_grid_speedup,
-                                min_serve_speedup);
+                                min_serve_speedup, max_stream_overhead);
     }
     return 0;
 }

@@ -62,4 +62,82 @@ MappedFile::~MappedFile()
         ::munmap(const_cast<char *>(data_), size_);
 }
 
+FdFile::FdFile(const std::string &path)
+    : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0)
+        ioFail(path, "open");
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        errno = saved;
+        ioFail(path, "fstat");
+    }
+    size_ = static_cast<size_t>(st.st_size);
+}
+
+FdFile::~FdFile()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+FdFile::pread(void *dst, size_t n, uint64_t offset) const
+{
+    char *out = static_cast<char *>(dst);
+    while (n > 0) {
+        const ssize_t got =
+            ::pread(fd_, out, n, static_cast<off_t>(offset));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            ioFail(path_, "pread");
+        }
+        if (got == 0) {
+            throw std::runtime_error("mmap " + path_ +
+                                     ": pread: unexpected end of file");
+        }
+        out += got;
+        offset += static_cast<uint64_t>(got);
+        n -= static_cast<size_t>(got);
+    }
+}
+
+void
+MappedWindow::map(const FdFile &file, uint64_t offset, size_t len)
+{
+    reset();
+    if (len == 0)
+        return;
+    if (offset + len < offset || offset + len > file.size()) {
+        throw std::runtime_error(
+            "mmap " + file.path() + ": window out of bounds");
+    }
+    const size_t page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+    const uint64_t aligned = offset & ~static_cast<uint64_t>(page - 1);
+    const size_t mapLen = static_cast<size_t>(offset - aligned) + len;
+    void *p = ::mmap(nullptr, mapLen, PROT_READ, MAP_PRIVATE, file.fd(),
+                     static_cast<off_t>(aligned));
+    if (p == MAP_FAILED)
+        ioFail(file.path(), "mmap window");
+    base_ = static_cast<char *>(p);
+    mapLen_ = mapLen;
+    data_ = base_ + (offset - aligned);
+    len_ = len;
+}
+
+void
+MappedWindow::reset()
+{
+    if (base_ != nullptr)
+        ::munmap(base_, mapLen_);
+    base_ = nullptr;
+    mapLen_ = 0;
+    data_ = nullptr;
+    len_ = 0;
+}
+
 } // namespace rppm

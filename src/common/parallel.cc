@@ -75,4 +75,115 @@ ParallelExecutor::forEach(size_t count,
         std::rethrow_exception(error);
 }
 
+WorkDeque::WorkDeque(unsigned jobs)
+    : jobs_(resolveJobs(jobs))
+{
+    // The waiting caller helps drain the deque, so it occupies one of
+    // the job slots; spawn the rest as dedicated workers.
+    for (unsigned t = 1; t < jobs_; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+WorkDeque::~WorkDeque()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+        tasks_.clear();
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+WorkDeque::runTask(Task &&task)
+{
+    bool skip;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        skip = task.group->error_ != nullptr;
+    }
+    std::exception_ptr error;
+    if (!skip) {
+        try {
+            task.fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (error && !task.group->error_)
+            task.group->error_ = error;
+        if (--task.group->pending_ == 0)
+            cv_.notify_all();
+    }
+}
+
+void
+WorkDeque::workerLoop()
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+            if (stop_)
+                return;
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        runTask(std::move(task));
+    }
+}
+
+void
+WorkDeque::post(Group &group, std::function<void()> fn)
+{
+    if (jobs_ == 1) {
+        // Degenerate deterministic mode: run inline in post order,
+        // capturing the error exactly as a worker would.
+        ++group.pending_;
+        runTask(Task{&group, std::move(fn)});
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++group.pending_;
+        tasks_.push_back(Task{&group, std::move(fn)});
+    }
+    cv_.notify_one();
+}
+
+void
+WorkDeque::wait(Group &group)
+{
+    while (true) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (group.pending_ == 0)
+                break;
+            if (tasks_.empty()) {
+                // Nothing to steal: sleep until the group drains or new
+                // work shows up to help with.
+                cv_.wait(lock, [&] {
+                    return group.pending_ == 0 || !tasks_.empty();
+                });
+                continue;
+            }
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        runTask(std::move(task));
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (group.error_) {
+        const std::exception_ptr error = group.error_;
+        group.error_ = nullptr;
+        std::rethrow_exception(error);
+    }
+}
+
 } // namespace rppm

@@ -13,26 +13,22 @@
  * The functional replay (round-robin quanta, functional synchronization,
  * write-invalidation detection) is semantically identical to the
  * reference implementation in profiler_legacy.cc — tests assert the two
- * produce bit-identical profiles. What changed is the data layout: the
- * per-line reuse/coherence state and the per-thread instruction-line
- * state live in open-addressing tables with flat per-thread rows instead
- * of std::unordered_map nodes, and micro-op runs between sync events are
- * processed without per-record sync checks.
+ * produce bit-identical profiles. The per-record statistics loop itself
+ * lives in profile/stat_sweep.hh, shared with the parallel and streaming
+ * engines; this engine instantiates it with a *live* reuse-distance
+ * provider that probes the global LineTable in replay order, fusing
+ * reuse-distance resolution into the same pass.
  */
 
 #include "profile/profiler.hh"
 
 #include <algorithm>
-#include <array>
-#include <memory>
-#include <set>
-#include <type_traits>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hh"
-#include "common/hash.hh"
 #include "profile/reuse_tables.hh"
+#include "profile/stat_sweep.hh"
 #include "sim/sync_state.hh"
 #include "trace/columnar.hh"
 
@@ -47,24 +43,12 @@ namespace {
 /** Per-thread profiling cursor and scratch state. */
 struct ThreadState
 {
-    // --- Column cursors.
-    size_t next = 0;     ///< next record index
-    size_t memIdx = 0;   ///< next entry in the sparse addr column
-    size_t brIdx = 0;    ///< next entry in the sparse taken column
-    size_t syncIdx = 0;  ///< next entry in the sparse sync columns
+    size_t next = 0; ///< next record index
     bool done = false;
-
-    // --- Profiling state (identical to the legacy implementation).
-    uint64_t localDataSeq = 0;     ///< this thread's data access counter
-    uint64_t instrSeq = 0;         ///< this thread's fetch counter
-    uint64_t opsInEpoch = 0;
-    uint64_t opsSinceLastLoad = 0;
-    uint64_t nextMicroTraceAt = 0; ///< op index (in epoch) of next sample
-    uint64_t microTraceRemaining = 0;
-    /** Ring of recent op classes for load->load dependence detection. */
-    std::vector<OpClass> recentOps;
-    uint64_t emitted = 0;
-    InstrLineMap instrLast; ///< pc line -> seq
+    /** Shared-sweep cursor (column indices, sampling windows, op ring). */
+    SweepState sweep;
+    uint64_t localDataSeq = 0; ///< this thread's data access counter
+    InstrLineMap instrLast;    ///< pc line -> seq
 };
 
 } // namespace
@@ -90,11 +74,6 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
     SyncState sync(num_threads, profile.barrierPopulation);
 
     std::vector<ThreadState> state(num_threads);
-    constexpr size_t kRecentOps = 512;
-    for (auto &ts : state) {
-        ts.recentOps.assign(kRecentOps, OpClass::IntAlu);
-        ts.nextMicroTraceAt = 0; // sample at every epoch start
-    }
     for (uint32_t t = 0; t < num_threads; ++t) {
         profile.threads[t].epochs.emplace_back();
     }
@@ -106,226 +85,24 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
     uint64_t global_seq = 0;
     uint64_t step = 0;
 
-    // Condvar classification bookkeeping: which threads wait at / release
-    // each condvar-backed object (recognition rule of paper Sec. III-B).
-    std::unordered_map<uint32_t, std::set<uint32_t>> cond_waiters;
-    std::unordered_map<uint32_t, std::set<uint32_t>> cond_releasers;
-
     auto close_epoch = [&](uint32_t tid, SyncType type, uint32_t arg) {
         ThreadProfile &tp = profile.threads[tid];
         tp.epochs.back().endType = type;
         tp.epochs.back().endArg = arg;
         tp.epochs.emplace_back();
-        ThreadState &ts = state[tid];
+        SweepState &ts = state[tid].sweep;
         ts.opsInEpoch = 0;
         ts.nextMicroTraceAt = 0;
         ts.microTraceRemaining = 0;
     };
 
-    // One run of pure micro-ops [start, end) of thread tid — no sync
-    // records inside, so the epoch and thread state are stable. The
-    // per-component statistics are *fissioned* into tight per-column
-    // loops: every statistic below is a histogram or counter whose
-    // content does not depend on the interleaving of the component
-    // updates, only on the per-component order, which each loop
-    // preserves. The union of the loops is a field-for-field port of the
-    // legacy per-record process_op.
-    auto process_run = [&](uint32_t tid, const ThreadColumns &cols,
-                           ThreadState &ts, EpochProfile &ep,
-                           size_t start, size_t end) {
-        // --- Instruction mix (op column only).
-        {
-            std::array<uint64_t, kNumOpClasses> mix_local{};
-            for (size_t i = start; i < end; ++i)
-                ++mix_local[static_cast<size_t>(cols.op[i])];
-            for (size_t c = 0; c < kNumOpClasses; ++c)
-                ep.mix[c] += mix_local[c];
-            ep.numOps += end - start;
-        }
-
-        // --- Dependence distances (dep columns) and instruction-stream
-        //     reuse distance at line granularity (pc column).
-        for (size_t i = start; i < end; ++i) {
-            if (cols.dep1[i])
-                ep.depDist.add(cols.dep1[i]);
-            if (cols.dep2[i])
-                ep.depDist.add(cols.dep2[i]);
-
-            const uint64_t pc_line = cols.pc[i] / opts.lineBytes;
-            ++ts.instrSeq;
-            bool inserted = false;
-            uint64_t &last_fetch = ts.instrLast.lookup(pc_line, inserted);
-            if (!inserted) {
-                ep.instrRd.add(ts.instrSeq - last_fetch - 1);
-            } else {
-                ep.instrRd.add(LogHistogram::kInfinity);
-            }
-            last_fetch = ts.instrSeq;
-        }
-
-        // --- Stateful sweep: micro-trace sampling windows, memory /
-        //     StatStack reuse distances, branches, MLP statistics.
-        //     Specialized on whether any op of this run can fall inside
-        //     a sampling window: when none can (the common case — the
-        //     windows cover ~10% of the stream), the per-op sampling
-        //     checks and the micro-trace push vanish from the loop.
-        auto stateful = [&](auto sampling_tag, size_t s_begin,
-                            size_t s_end) {
-            constexpr bool kSampling = decltype(sampling_tag)::value;
-        for (size_t i = s_begin; i < s_end; ++i) {
-            const OpClass op = cols.op[i];
-
-            // Micro-trace sampling policy: a snippet at each epoch start
-            // and then one every microTraceInterval ops.
-            if (kSampling && ts.microTraceRemaining == 0 &&
-                ts.opsInEpoch >= ts.nextMicroTraceAt) {
-                // No up-front reserve: epochs delimited by frequent sync
-                // (critical-section-heavy workloads) truncate most
-                // snippets after a handful of ops, so geometric growth
-                // wastes less than reserving the full snippet would.
-                ep.microTraces.emplace_back();
-                ts.microTraceRemaining = opts.microTraceLength;
-                ts.nextMicroTraceAt =
-                    ts.opsInEpoch + opts.microTraceInterval;
-            }
-
-            uint64_t local_rd = LogHistogram::kInfinity;
-            uint64_t global_rd = LogHistogram::kInfinity;
-
-            if (isMemory(op)) {
-                const uint64_t line =
-                    cols.addr[ts.memIdx++] / opts.lineBytes;
-                const bool is_store = op == OpClass::Store;
-                ++global_seq;
-                ++ts.localDataSeq;
-
-                const size_t s = lines.slot(line);
-                LineTable::Meta &meta = lines.meta(s);
-                LineTable::PerThread &mine = lines.perThread(s, tid);
-
-                // Global (interleaved) reuse distance: accesses by
-                // anyone since the line was last touched by anyone.
-                if (meta.lastGlobalSeq != 0)
-                    global_rd = global_seq - meta.lastGlobalSeq - 1;
-
-                // Per-thread reuse distance with write-invalidation: if
-                // any other thread wrote the line since our last access,
-                // the reuse is broken — record an infinite distance
-                // (coherence miss), as in the paper's StatStack
-                // extension.
-                if (mine.count != 0) {
-                    const bool invalidated = opts.detectInvalidation &&
-                        meta.lastWriteSeq > mine.seq &&
-                        meta.lastWriter != tid;
-                    if (!invalidated)
-                        local_rd = ts.localDataSeq - mine.count - 1;
-                }
-
-                ep.localRd.add(local_rd);
-                ep.globalRd.add(global_rd);
-                if (!is_store) {
-                    ep.loadLocalRd.add(local_rd);
-                    ep.loadGlobalRd.add(global_rd);
-                }
-
-                mine.count = ts.localDataSeq;
-                mine.seq = global_seq;
-                meta.lastGlobalSeq = global_seq;
-                if (is_store) {
-                    meta.lastWriteSeq = global_seq;
-                    meta.lastWriter = tid;
-                }
-
-                if (is_store) {
-                    ++ep.numStores;
-                } else {
-                    ++ep.numLoads;
-                    ep.loadGap.add(ts.opsSinceLastLoad);
-                    ts.opsSinceLastLoad = 0;
-                    // Pointer-chase detection: does a source operand
-                    // name a load among the recent ops?
-                    auto dep_is_load = [&](uint16_t dep) {
-                        if (dep == 0 || dep > ts.emitted ||
-                            dep >= kRecentOps) {
-                            return false;
-                        }
-                        return ts.recentOps[(ts.emitted - dep) %
-                                            kRecentOps] == OpClass::Load;
-                    };
-                    if (dep_is_load(cols.dep1[i]) ||
-                        dep_is_load(cols.dep2[i])) {
-                        ++ep.loadsDependingOnLoad;
-                    }
-                }
-            }
-
-            if (op == OpClass::Branch) {
-                ++ep.numBranches;
-                ep.branches.record(cols.pc[i],
-                                   cols.taken[ts.brIdx++] != 0);
-            }
-
-            if (kSampling && ts.microTraceRemaining > 0) {
-                MicroTraceOp mop;
-                mop.op = op;
-                mop.dep1 = cols.dep1[i];
-                mop.dep2 = cols.dep2[i];
-                mop.localRd = local_rd;
-                mop.globalRd = global_rd;
-                ep.microTraces.back().ops.push_back(mop);
-                --ts.microTraceRemaining;
-            }
-
-            ts.recentOps[ts.emitted % kRecentOps] = op;
-            ++ts.emitted;
-            ++ts.opsInEpoch;
-            if (!isMemory(op) || op == OpClass::Store)
-                ++ts.opsSinceLastLoad;
-        }
-        };
-
-        // A run is sampling-free iff no window is open and the window
-        // trigger (opsInEpoch >= nextMicroTraceAt) cannot fire for any
-        // op in it.
-        if (ts.microTraceRemaining == 0 &&
-            ts.opsInEpoch + (end - start) <= ts.nextMicroTraceAt) {
-            stateful(std::false_type{}, start, end);
-        } else {
-            stateful(std::true_type{}, start, end);
-        }
-    };
-
     auto process_sync = [&](uint32_t tid, SyncType type,
                             uint32_t arg) -> bool {
-        // Returns true when the thread blocks.
-        switch (type) {
-          case SyncType::MutexLock:
-            ++profile.syncCounts.criticalSections;
-            break;
-          case SyncType::BarrierWait:
-            ++profile.syncCounts.barriers;
-            break;
-          case SyncType::CondBarrier:
-            ++profile.syncCounts.condVars;
-            cond_waiters[arg].insert(tid);
-            cond_releasers[arg].insert(tid);
-            break;
-          case SyncType::QueuePop:
-            ++profile.syncCounts.condVars;
-            cond_waiters[arg].insert(tid);
-            break;
-          case SyncType::QueuePush:
-            ++profile.syncCounts.condVars;
-            cond_releasers[arg].insert(tid);
-            break;
-          default:
-            break;
-        }
-
+        // Returns true when the thread blocks. Sync counts and condvar
+        // classification are order-independent aggregates over the sync
+        // columns, computed once at the end (classifySyncProfile).
         if (type == SyncType::CondMarker) {
-            // Source marker: the thread *could* wait here. Recorded for
-            // classification; does not delineate an epoch.
-            cond_waiters[arg];
+            // Source marker: does not delineate an epoch.
             return false;
         }
 
@@ -360,14 +137,60 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
         ThreadState &ts = state[pick];
         const ThreadColumns &cols = trace.threads[pick];
         const size_t num_records = cols.numRecords();
+
+        // Live reuse-distance provider: resolves local and global reuse
+        // against the global LineTable at the access's position in the
+        // interleaved replay — the "fused" in the engine's name.
+        auto live_rd = [&](size_t memIdx,
+                           bool is_store) -> std::pair<uint64_t, uint64_t> {
+            const uint64_t line = cols.addr[memIdx] / opts.lineBytes;
+            ++global_seq;
+            ++ts.localDataSeq;
+
+            uint64_t local_rd = LogHistogram::kInfinity;
+            uint64_t global_rd = LogHistogram::kInfinity;
+
+            const size_t s = lines.slot(line);
+            LineTable::Meta &meta = lines.meta(s);
+            LineTable::PerThread &mine = lines.perThread(s, pick);
+
+            // Global (interleaved) reuse distance: accesses by anyone
+            // since the line was last touched by anyone.
+            if (meta.lastGlobalSeq != 0)
+                global_rd = global_seq - meta.lastGlobalSeq - 1;
+
+            // Per-thread reuse distance with write-invalidation: if any
+            // other thread wrote the line since our last access, the
+            // reuse is broken — record an infinite distance (coherence
+            // miss), as in the paper's StatStack extension.
+            if (mine.count != 0) {
+                const bool invalidated = opts.detectInvalidation &&
+                    meta.lastWriteSeq > mine.seq &&
+                    meta.lastWriter != pick;
+                if (!invalidated)
+                    local_rd = ts.localDataSeq - mine.count - 1;
+            }
+
+            mine.count = ts.localDataSeq;
+            mine.seq = global_seq;
+            meta.lastGlobalSeq = global_seq;
+            if (is_store) {
+                meta.lastWriteSeq = global_seq;
+                meta.lastWriter = pick;
+            }
+            return {local_rd, global_rd};
+        };
+
         uint32_t executed = 0;
         while (ts.next < num_records && executed < opts.quantum) {
-            const size_t next_sync = ts.syncIdx < cols.syncPos.size() ?
-                static_cast<size_t>(cols.syncPos[ts.syncIdx]) : num_records;
+            const size_t next_sync =
+                ts.sweep.syncIdx < cols.syncPos.size() ?
+                static_cast<size_t>(cols.syncPos[ts.sweep.syncIdx]) :
+                num_records;
             if (ts.next == next_sync) {
-                const SyncType type = cols.syncType[ts.syncIdx];
-                const uint32_t arg = cols.syncArg[ts.syncIdx];
-                ++ts.syncIdx;
+                const SyncType type = cols.syncType[ts.sweep.syncIdx];
+                const uint32_t arg = cols.syncArg[ts.sweep.syncIdx];
+                ++ts.sweep.syncIdx;
                 ++ts.next;
                 ++step;
                 ++executed;
@@ -385,7 +208,8 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
                 ts.next + (opts.quantum - executed));
             const size_t run = run_end - ts.next;
             EpochProfile &ep = profile.threads[pick].epochs.back();
-            process_run(pick, cols, ts, ep, ts.next, run_end);
+            sweepRun(cols, opts, ts.sweep, ts.instrLast, live_rd,
+                     coldFirstTouch, ep, ts.next, run_end);
             ts.next = run_end;
             step += run;
             executed += static_cast<uint32_t>(run);
@@ -397,18 +221,11 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
         }
     }
 
-    // Classify condvar-backed objects: symmetric waiter/releaser sets
-    // mean a barrier; disjoint sets mean producer-consumer.
-    // rppm-lint: ordered-ok(distinct condVarClasses key per id)
-    for (const auto &[id, waiters] : cond_waiters) {
-        const auto rel_it = cond_releasers.find(id);
-        std::set<uint32_t> releasers =
-            rel_it == cond_releasers.end() ? std::set<uint32_t>{} :
-            rel_it->second;
-        const bool symmetric = !waiters.empty() && waiters == releasers;
-        profile.condVarClasses[id] = symmetric ?
-            CondVarClass::BarrierLike : CondVarClass::ProducerConsumer;
-    }
+    std::vector<SyncView> sync_views;
+    sync_views.reserve(num_threads);
+    for (const ThreadColumns &cols : trace.threads)
+        sync_views.push_back(syncView(cols));
+    classifySyncProfile(profile, sync_views);
 
     return profile;
 }
@@ -416,11 +233,15 @@ profileWorkloadFused(const ColumnarTrace &trace, const ProfilerOptions &opts)
 WorkloadProfile
 profileWorkload(const ColumnarTrace &trace, const ProfilerOptions &opts)
 {
-    // jobs == 1 keeps the original single-threaded fused sweep (no
-    // scheduling-pass or scatter overhead); any other value routes to
-    // the epoch-sharded parallel engine. Both produce bit-identical
-    // profiles, so the knob is pure policy and stays out of the
-    // ProfileCache key (study/profile_cache.cc).
+    // Engine selection is pure policy — all engines produce bit-identical
+    // profiles, so neither jobs nor streamChunkRecords enters the
+    // ProfileCache key (study/profile_cache.cc). streamChunkRecords > 0
+    // opts into the bounded-memory chunked engine; otherwise jobs == 1
+    // keeps the original single-threaded fused sweep (no scheduling-pass
+    // or scatter overhead) and any other value routes to the
+    // epoch-sharded parallel engine.
+    if (opts.streamChunkRecords > 0)
+        return profileWorkloadStreaming(trace, opts);
     if (opts.jobs == 1)
         return profileWorkloadFused(trace, opts);
     return profileWorkloadParallel(trace, opts);

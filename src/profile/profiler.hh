@@ -31,6 +31,7 @@
 #define RPPM_PROFILE_PROFILER_HH
 
 #include <cstdint>
+#include <string>
 
 #include "profile/epoch_profile.hh"
 #include "trace/columnar.hh"
@@ -72,7 +73,21 @@ struct ProfilerOptions
      * keys — a cached profile serves every job count.
      */
     unsigned jobs = 1;
+
+    /**
+     * Records per streaming chunk for the out-of-core engine (0 = do not
+     * stream; profileWorkload() picks fused/parallel as usual). Like
+     * jobs, pure execution policy — the streaming engine is bit-identical
+     * to the fused sweep at every chunk size, so this knob too stays out
+     * of profilerOptionsKey() and ProfileCache keys.
+     */
+    uint64_t streamChunkRecords = 0;
 };
+
+/** Default chunk size when an entry point wants streaming but the caller
+ *  left streamChunkRecords at 0 (~4M records ≈ 32 MiB of dense columns
+ *  per in-flight chunk per thread). */
+constexpr uint64_t kDefaultStreamChunkRecords = uint64_t{1} << 22;
 
 /** Profile @p trace once; the result predicts any architecture. This is
  *  the hot path of every Study grid: opts.jobs == 1 runs the fused
@@ -104,6 +119,30 @@ WorkloadProfile profileWorkloadFused(const ColumnarTrace &trace,
  */
 WorkloadProfile profileWorkloadParallel(const ColumnarTrace &trace,
                                         const ProfilerOptions &opts = {});
+
+/**
+ * The chunked streaming profiler over an in-memory columnar trace,
+ * callable directly regardless of opts.streamChunkRecords (0 falls back
+ * to kDefaultStreamChunkRecords). Processes each thread's records in
+ * fixed-size chunks through the same phase decomposition as the parallel
+ * engine — per-chunk bucketing overlaps with shard resolution of the
+ * previous chunk, and the statistics sweep consumes chunk-local reuse
+ * arrays from a carried cursor — so peak scratch memory is bounded by
+ * the chunk size instead of the trace size. Bit-identical to
+ * profileWorkloadFused() by construction and by test.
+ */
+WorkloadProfile profileWorkloadStreaming(const ColumnarTrace &trace,
+                                         const ProfilerOptions &opts = {});
+
+/**
+ * The out-of-core entry point: streams an RPPMTRC container straight
+ * from disk without ever materializing whole columns. Only the sparse
+ * sync columns are resident; dense column data is read through small
+ * per-chunk mapped windows, so peak RSS is O(chunk × threads), not
+ * O(file). Profiles traces larger than physical memory.
+ */
+WorkloadProfile profileWorkloadStreamingFile(const std::string &path,
+                                             const ProfilerOptions &opts = {});
 
 /** AoS convenience overload: converts to columnar form, then profiles. */
 WorkloadProfile profileWorkload(const WorkloadTrace &trace,

@@ -13,11 +13,13 @@
  *  A. Index     (parallel, one task per thread) Per-thread prefix
  *               counts of memory records, so any record range can be
  *               converted to a memory-access count in O(1).
- *  B. Schedule  (sequential, cheap) A replay of the round-robin quantum
- *               scheduler over the *sparse sync columns only*: it runs
- *               the same SyncState machine as the fused sweep but skips
- *               all per-record statistics, so it costs O(#runs + #sync)
- *               instead of O(#records). Its output is the exact global
+ *  B. Schedule  (sequential, cheap) The pausable replay of the
+ *               round-robin quantum scheduler over the *sparse sync
+ *               columns only* (profile/schedule_replay.hh, shared with
+ *               the streaming engine): it runs the same SyncState
+ *               machine as the fused sweep but skips all per-record
+ *               statistics, so it costs O(#runs + #sync) instead of
+ *               O(#records). Its output is the exact global
  *               interleaving: for every run of micro-ops it executed,
  *               the global-sequence number its first memory access will
  *               receive.
@@ -40,15 +42,26 @@
  *               scatter into per-thread arrays indexed by access
  *               ordinal — every slot is written exactly once, so shards
  *               need no locks.
- *  E. Sweep     (parallel, one task per thread) The full per-thread
+ *  E. Sweep     (parallel, one task per *segment*) The per-thread
  *               statistics pass of the fused sweep — instruction mix,
  *               dependence distances, instruction-stream reuse, branch
  *               entropy, load gaps, pointer-chase detection, micro-trace
  *               sampling, epoch delimitation — which only reads thread-
  *               local state plus the pre-resolved reuse arrays from D.
+ *               The loop itself is the shared sweep template
+ *               (profile/stat_sweep.hh), instantiated here with an
+ *               array-reader reuse-distance provider. To scale past the
+ *               workload's thread count (most suite kernels have 2-4
+ *               threads), each thread's record range splits into up to
+ *               4 x jobs segments: a cheap cursor dry-run pins the exact
+ *               sweep state at each boundary, the segments sweep
+ *               concurrently, and a sequential per-thread stitch
+ *               resolves cross-segment instruction reuse and open
+ *               micro-trace windows exactly (stat_sweep.hh).
  *  F. Classify  (sequential, cheap) Synchronization counts and condvar
  *               classification from the sync columns; both are
- *               order-independent aggregates.
+ *               order-independent aggregates (classifySyncProfile,
+ *               shared with the other engines).
  *
  * Nothing here is sampled or approximated: phase B pins down the exact
  * interleaving the fused sweep would have produced, and phases C-E are
@@ -58,13 +71,9 @@
  */
 
 #include <algorithm>
-#include <array>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
-#include <set>
-#include <type_traits>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hh"
@@ -72,7 +81,8 @@
 #include "common/parallel.hh"
 #include "profile/profiler.hh"
 #include "profile/reuse_tables.hh"
-#include "sim/sync_state.hh"
+#include "profile/schedule_replay.hh"
+#include "profile/stat_sweep.hh"
 #include "trace/columnar.hh"
 
 namespace rppm {
@@ -97,272 +107,20 @@ struct AccessEntry
     uint32_t isStore;
 };
 
-/** Per-thread state of the statistics sweep (phase E). */
-struct SweepState
+/** Records below which a thread's range is not worth splitting: the
+ *  boundary dry-run and stitch are O(range) and O(touched lines), so
+ *  tiny segments would be all overhead. */
+constexpr size_t kMinSegmentRecords = 4096;
+
+/** One phase-E work item: records [lo, hi) of thread tid, entered with
+ *  the exact sweep cursor the sequential sweep would hold at lo. */
+struct Segment
 {
-    size_t memIdx = 0;
-    size_t brIdx = 0;
-    uint64_t instrSeq = 0;
-    uint64_t opsInEpoch = 0;
-    uint64_t opsSinceLastLoad = 0;
-    uint64_t nextMicroTraceAt = 0;
-    uint64_t microTraceRemaining = 0;
-    std::vector<OpClass> recentOps;
-    uint64_t emitted = 0;
-    InstrLineMap instrLast;
+    uint32_t tid;
+    size_t lo;
+    size_t hi;
+    SweepState entry;
 };
-
-/**
- * Phase B: replay the fused sweep's round-robin quantum scheduler using
- * only the sync columns and the phase-A memory prefix counts. The loop
- * structure mirrors profileWorkloadFused() exactly — same quantum
- * accounting, same step clock driving SyncState, same deadlock check —
- * minus all per-record work.
- */
-std::vector<std::vector<Run>>
-replaySchedule(const ColumnarTrace &trace, const ProfilerOptions &opts,
-               const std::vector<std::vector<uint32_t>> &memPrefix,
-               const std::unordered_map<uint32_t, uint32_t> &barriers)
-{
-    const uint32_t num_threads = static_cast<uint32_t>(trace.numThreads());
-    SyncState sync(num_threads, barriers);
-
-    struct Cursor
-    {
-        size_t next = 0;
-        size_t syncIdx = 0;
-        bool done = false;
-    };
-    std::vector<Cursor> cur(num_threads);
-    std::vector<std::vector<Run>> runs(num_threads);
-
-    uint64_t global_seq = 0;
-    uint64_t step = 0;
-    uint32_t live = num_threads;
-    uint32_t cursor = 0;
-    while (live > 0) {
-        uint32_t pick = UINT32_MAX;
-        for (uint32_t i = 0; i < num_threads; ++i) {
-            const uint32_t t = (cursor + i) % num_threads;
-            if (!cur[t].done && !sync.blocked(t)) {
-                pick = t;
-                break;
-            }
-        }
-        RPPM_REQUIRE(pick != UINT32_MAX,
-                     "deadlock during profiling (malformed trace)");
-        cursor = (pick + 1) % num_threads;
-
-        Cursor &ts = cur[pick];
-        const ThreadColumns &cols = trace.threads[pick];
-        const size_t num_records = cols.numRecords();
-        uint32_t executed = 0;
-        while (ts.next < num_records && executed < opts.quantum) {
-            const size_t next_sync = ts.syncIdx < cols.syncPos.size() ?
-                static_cast<size_t>(cols.syncPos[ts.syncIdx]) : num_records;
-            if (ts.next == next_sync) {
-                const SyncType type = cols.syncType[ts.syncIdx];
-                const uint32_t arg = cols.syncArg[ts.syncIdx];
-                ++ts.syncIdx;
-                ++ts.next;
-                ++step;
-                ++executed;
-                // Source markers never reach SyncState (and never block)
-                // in the fused sweep; everything else does.
-                if (type == SyncType::CondMarker)
-                    continue;
-                TraceRecord rec;
-                rec.sync = type;
-                rec.syncArg = arg;
-                const SyncOutcome out =
-                    sync.apply(pick, rec, static_cast<double>(step));
-                if (out.blocks)
-                    break;
-                continue;
-            }
-            const size_t run_end = std::min(
-                next_sync, ts.next + (opts.quantum - executed));
-            const size_t run = run_end - ts.next;
-            const uint64_t mem = memPrefix[pick][run_end] -
-                                 memPrefix[pick][ts.next];
-            if (mem > 0) {
-                runs[pick].push_back(Run{ts.next, run_end, global_seq});
-                global_seq += mem;
-            }
-            ts.next = run_end;
-            step += run;
-            executed += static_cast<uint32_t>(run);
-        }
-        if (ts.next >= num_records && !ts.done) {
-            ts.done = true;
-            --live;
-            sync.finish(pick, static_cast<double>(step));
-        }
-    }
-    return runs;
-}
-
-/**
- * Phase E worker: the fused sweep's per-thread statistics, reading the
- * pre-resolved reuse distances instead of probing a global LineTable.
- * Field-for-field identical to profileWorkloadFused()'s process_run /
- * close_epoch pair restricted to one thread.
- */
-void
-sweepThread(const ThreadColumns &cols, const ProfilerOptions &opts,
-            const std::vector<uint64_t> &localRd,
-            const std::vector<uint64_t> &globalRd, ThreadProfile &tp)
-{
-    constexpr size_t kRecentOps = 512;
-    SweepState ts;
-    ts.recentOps.assign(kRecentOps, OpClass::IntAlu);
-    tp.epochs.emplace_back();
-
-    auto process_run = [&](EpochProfile &ep, size_t start, size_t end) {
-        // --- Instruction mix (op column only).
-        {
-            std::array<uint64_t, kNumOpClasses> mix_local{};
-            for (size_t i = start; i < end; ++i)
-                ++mix_local[static_cast<size_t>(cols.op[i])];
-            for (size_t c = 0; c < kNumOpClasses; ++c)
-                ep.mix[c] += mix_local[c];
-            ep.numOps += end - start;
-        }
-
-        // --- Dependence distances and instruction-stream reuse.
-        for (size_t i = start; i < end; ++i) {
-            if (cols.dep1[i])
-                ep.depDist.add(cols.dep1[i]);
-            if (cols.dep2[i])
-                ep.depDist.add(cols.dep2[i]);
-
-            const uint64_t pc_line = cols.pc[i] / opts.lineBytes;
-            ++ts.instrSeq;
-            bool inserted = false;
-            uint64_t &last_fetch = ts.instrLast.lookup(pc_line, inserted);
-            if (!inserted) {
-                ep.instrRd.add(ts.instrSeq - last_fetch - 1);
-            } else {
-                ep.instrRd.add(LogHistogram::kInfinity);
-            }
-            last_fetch = ts.instrSeq;
-        }
-
-        // --- Stateful sweep: sampling windows, memory statistics (from
-        //     the resolved arrays), branches, MLP statistics.
-        auto stateful = [&](auto sampling_tag, size_t s_begin,
-                            size_t s_end) {
-            constexpr bool kSampling = decltype(sampling_tag)::value;
-        for (size_t i = s_begin; i < s_end; ++i) {
-            const OpClass op = cols.op[i];
-
-            if (kSampling && ts.microTraceRemaining == 0 &&
-                ts.opsInEpoch >= ts.nextMicroTraceAt) {
-                ep.microTraces.emplace_back();
-                ts.microTraceRemaining = opts.microTraceLength;
-                ts.nextMicroTraceAt =
-                    ts.opsInEpoch + opts.microTraceInterval;
-            }
-
-            uint64_t local_rd = LogHistogram::kInfinity;
-            uint64_t global_rd = LogHistogram::kInfinity;
-
-            if (isMemory(op)) {
-                const bool is_store = op == OpClass::Store;
-                local_rd = localRd[ts.memIdx];
-                global_rd = globalRd[ts.memIdx];
-                ++ts.memIdx;
-
-                ep.localRd.add(local_rd);
-                ep.globalRd.add(global_rd);
-                if (!is_store) {
-                    ep.loadLocalRd.add(local_rd);
-                    ep.loadGlobalRd.add(global_rd);
-                }
-
-                if (is_store) {
-                    ++ep.numStores;
-                } else {
-                    ++ep.numLoads;
-                    ep.loadGap.add(ts.opsSinceLastLoad);
-                    ts.opsSinceLastLoad = 0;
-                    auto dep_is_load = [&](uint16_t dep) {
-                        if (dep == 0 || dep > ts.emitted ||
-                            dep >= kRecentOps) {
-                            return false;
-                        }
-                        return ts.recentOps[(ts.emitted - dep) %
-                                            kRecentOps] == OpClass::Load;
-                    };
-                    if (dep_is_load(cols.dep1[i]) ||
-                        dep_is_load(cols.dep2[i])) {
-                        ++ep.loadsDependingOnLoad;
-                    }
-                }
-            }
-
-            if (op == OpClass::Branch) {
-                ++ep.numBranches;
-                ep.branches.record(cols.pc[i],
-                                   cols.taken[ts.brIdx++] != 0);
-            }
-
-            if (kSampling && ts.microTraceRemaining > 0) {
-                MicroTraceOp mop;
-                mop.op = op;
-                mop.dep1 = cols.dep1[i];
-                mop.dep2 = cols.dep2[i];
-                mop.localRd = local_rd;
-                mop.globalRd = global_rd;
-                ep.microTraces.back().ops.push_back(mop);
-                --ts.microTraceRemaining;
-            }
-
-            ts.recentOps[ts.emitted % kRecentOps] = op;
-            ++ts.emitted;
-            ++ts.opsInEpoch;
-            if (!isMemory(op) || op == OpClass::Store)
-                ++ts.opsSinceLastLoad;
-        }
-        };
-
-        if (ts.microTraceRemaining == 0 &&
-            ts.opsInEpoch + (end - start) <= ts.nextMicroTraceAt) {
-            stateful(std::false_type{}, start, end);
-        } else {
-            stateful(std::true_type{}, start, end);
-        }
-    };
-
-    const size_t num_records = cols.numRecords();
-    size_t i = 0;
-    size_t syncIdx = 0;
-    while (i < num_records) {
-        const size_t next_sync = syncIdx < cols.syncPos.size() ?
-            static_cast<size_t>(cols.syncPos[syncIdx]) : num_records;
-        if (i == next_sync) {
-            const SyncType type = cols.syncType[syncIdx];
-            const uint32_t arg = cols.syncArg[syncIdx];
-            ++syncIdx;
-            ++i;
-            if (type == SyncType::CondMarker)
-                continue; // markers do not delineate epochs
-            tp.epochs.back().endType = type;
-            tp.epochs.back().endArg = arg;
-            tp.epochs.emplace_back();
-            ts.opsInEpoch = 0;
-            ts.nextMicroTraceAt = 0;
-            ts.microTraceRemaining = 0;
-            continue;
-        }
-        // The whole run up to the next sync event: unlike the fused
-        // sweep, no quantum boundary ever splits it — quanta only order
-        // the global interleaving, which phase D already resolved.
-        EpochProfile &ep = tp.epochs.back();
-        process_run(ep, i, next_sync);
-        i = next_sync;
-    }
-}
 
 } // namespace
 
@@ -398,8 +156,23 @@ profileWorkloadParallel(const ColumnarTrace &trace,
     });
 
     // --- Phase B: schedule replay (sequential, O(#runs + #sync)).
-    const std::vector<std::vector<Run>> runs =
-        replaySchedule(trace, opts, memPrefix, profile.barrierPopulation);
+    std::vector<SyncView> sync_views;
+    sync_views.reserve(num_threads);
+    for (const ThreadColumns &cols : trace.threads)
+        sync_views.push_back(syncView(cols));
+
+    std::vector<std::vector<Run>> runs(num_threads);
+    ScheduleReplayer replayer(opts, sync_views, profile.barrierPopulation);
+    replayer.advance(
+        [&](uint32_t t, size_t lo, size_t hi) -> uint64_t {
+            return memPrefix[t][hi] - memPrefix[t][lo];
+        },
+        [&](uint32_t t, size_t lo, size_t hi, uint64_t gseqBase,
+            uint64_t mem) {
+            if (mem > 0)
+                runs[t].push_back(Run{lo, hi, gseqBase});
+        },
+        [] { return false; });
 
     // --- Phase C: emit shard-bucketed access streams (parallel).
     // Shards partition the line space by the *high* bits of the same
@@ -502,57 +275,68 @@ profileWorkloadParallel(const ColumnarTrace &trace,
     buckets.clear();
     buckets.shrink_to_fit();
 
-    // --- Phase E: per-thread statistics sweep (parallel).
-    pool.forEach(num_threads, [&](size_t t) {
-        sweepThread(trace.threads[t], opts, localRd[t], globalRd[t],
-                    profile.threads[t]);
-    });
-
-    // --- Phase F: synchronization aggregates (order-independent).
-    std::unordered_map<uint32_t, std::set<uint32_t>> cond_waiters;
-    std::unordered_map<uint32_t, std::set<uint32_t>> cond_releasers;
-    for (uint32_t t = 0; t < num_threads; ++t) {
-        const ThreadColumns &cols = trace.threads[t];
-        for (size_t k = 0; k < cols.syncPos.size(); ++k) {
-            const uint32_t arg = cols.syncArg[k];
-            switch (cols.syncType[k]) {
-              case SyncType::MutexLock:
-                ++profile.syncCounts.criticalSections;
-                break;
-              case SyncType::BarrierWait:
-                ++profile.syncCounts.barriers;
-                break;
-              case SyncType::CondBarrier:
-                ++profile.syncCounts.condVars;
-                cond_waiters[arg].insert(t);
-                cond_releasers[arg].insert(t);
-                break;
-              case SyncType::QueuePop:
-                ++profile.syncCounts.condVars;
-                cond_waiters[arg].insert(t);
-                break;
-              case SyncType::QueuePush:
-                ++profile.syncCounts.condVars;
-                cond_releasers[arg].insert(t);
-                break;
-              case SyncType::CondMarker:
-                cond_waiters[arg];
-                break;
-              default:
-                break;
+    // --- Phase E: segmented statistics sweep (parallel, one task per
+    //     segment). Boundary cursors first: a dry-run of the sweep's
+    //     cursor arithmetic (1-byte op column reads, no statistics) per
+    //     thread, snapshotting the exact SweepState at each segment
+    //     edge so segments are independent by construction.
+    std::vector<Segment> segments;
+    std::vector<std::vector<size_t>> segOfThread(num_threads);
+    {
+        std::vector<std::vector<Segment>> perThread(num_threads);
+        pool.forEach(num_threads, [&](size_t t) {
+            const ThreadColumns &cols = trace.threads[t];
+            const size_t n = cols.numRecords();
+            size_t numSegs = 1;
+            if (pool.jobs() > 1 && n >= 2 * kMinSegmentRecords) {
+                numSegs = std::min<size_t>(size_t{4} * pool.jobs(),
+                                           n / kMinSegmentRecords);
+            }
+            SweepState st;
+            for (size_t s = 0; s < numSegs; ++s) {
+                const size_t lo = n * s / numSegs;
+                const size_t hi = n * (s + 1) / numSegs;
+                perThread[t].push_back(
+                    Segment{static_cast<uint32_t>(t), lo, hi, st});
+                if (s + 1 < numSegs) {
+                    advanceSweepCursor(cols, sync_views[t], opts, st, lo,
+                                       hi);
+                }
+            }
+        });
+        for (uint32_t t = 0; t < num_threads; ++t) {
+            for (Segment &sg : perThread[t]) {
+                segOfThread[t].push_back(segments.size());
+                segments.push_back(std::move(sg));
             }
         }
     }
-    // rppm-lint: ordered-ok(distinct condVarClasses key per id)
-    for (const auto &[id, waiters] : cond_waiters) {
-        const auto rel_it = cond_releasers.find(id);
-        std::set<uint32_t> releasers =
-            rel_it == cond_releasers.end() ? std::set<uint32_t>{} :
-            rel_it->second;
-        const bool symmetric = !waiters.empty() && waiters == releasers;
-        profile.condVarClasses[id] = symmetric ?
-            CondVarClass::BarrierLike : CondVarClass::ProducerConsumer;
-    }
+
+    std::vector<SegmentSweep> sweeps(segments.size());
+    pool.forEach(segments.size(), [&](size_t i) {
+        const Segment &sg = segments[i];
+        const ThreadColumns &cols = trace.threads[sg.tid];
+        auto rd = [&](size_t memIdx,
+                      bool) -> std::pair<uint64_t, uint64_t> {
+            return {localRd[sg.tid][memIdx], globalRd[sg.tid][memIdx]};
+        };
+        sweeps[i] = runSweepSegment(cols, sync_views[sg.tid], opts,
+                                    sg.entry, rd, sg.lo, sg.hi);
+    });
+
+    // Stitch sequentially per thread (threads stitch concurrently):
+    // resolves cross-segment instruction reuse against the thread's
+    // carried line map and splices partial epochs.
+    pool.forEach(num_threads, [&](size_t t) {
+        InstrLineMap carried;
+        for (const size_t i : segOfThread[t]) {
+            stitchSweepSegment(profile.threads[t], carried,
+                               std::move(sweeps[i]));
+        }
+    });
+
+    // --- Phase F: synchronization aggregates (order-independent).
+    classifySyncProfile(profile, sync_views);
 
     return profile;
 }

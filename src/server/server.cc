@@ -12,7 +12,6 @@
 
 #include "arch/component_key.hh"
 #include "common/assert.hh"
-#include "trace/trace_io.hh"
 #include "workload/suite.hh"
 
 namespace rppm {
@@ -324,10 +323,13 @@ RppmServer::resolveWorkload(WorkloadRefKind kind, const std::string &name)
         return artifacts_.emplace(key, WorkloadSource(entry->spec))
             .first->second;
     }
-    // Trace path: mmap a zero-copy view once; every later request (from
-    // any client) shares the same image and the profiles it feeds.
-    return artifacts_
-        .emplace(key, WorkloadSource(loadTraceViewFromFile(name)))
+    // Trace path: register the file without loading it. The source
+    // indexes the container up front (structural defects fail the first
+    // request), streams large files out-of-core at profile time, and
+    // mmaps a zero-copy view only if an in-memory consumer asks; every
+    // later request (from any client) shares the same source and the
+    // profiles it feeds.
+    return artifacts_.emplace(key, WorkloadSource::fromTraceFile(name))
         .first->second;
 }
 
@@ -352,6 +354,8 @@ RppmServer::handleRequest(const std::shared_ptr<Connection> &conn,
             resolveWorkload(req.kind, req.workload);
         ProfilerOptions popts = req.profiler;
         popts.jobs = opts_.jobs;
+        if (opts_.streamChunkRecords > 0)
+            popts.streamChunkRecords = opts_.streamChunkRecords;
         // Heavy on a cold cache; the per-key future inside the cache
         // dedupes concurrent clients asking for the same profile.
         const auto profile = source.profile(popts, cache_);

@@ -90,6 +90,13 @@ struct ServerOptions
      *  hardware threads). */
     unsigned jobs = 1;
 
+    /** When > 0, file-backed workloads are profiled out-of-core with
+     *  this chunk size (records per thread per chunk) regardless of
+     *  file size; 0 keeps the automatic size-based routing. Execution
+     *  policy only — profile bytes and cache artifacts are identical
+     *  either way. */
+    uint64_t streamChunkRecords = 0;
+
     /** Invoked (from a reader thread) when a client sends Shutdown.
      *  The daemon main loop typically wakes itself here and calls
      *  stop(); the server never stops itself mid-callback. */

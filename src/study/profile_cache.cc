@@ -13,11 +13,13 @@ std::string
 profilerOptionsKey(const ProfilerOptions &opts)
 {
     // Only the options that shape profile *content* enter the key.
-    // opts.jobs is deliberately absent: the parallel profiler is
-    // bit-identical to the fused sweep for every job count, so a
-    // cached artifact must serve all of them — profiling with 8 workers
-    // and re-reading with 1 is the same profile, same key, same bytes
-    // (asserted by tests/test_profile_parallel.cc).
+    // opts.jobs and opts.streamChunkRecords are deliberately absent:
+    // the parallel and streaming engines are bit-identical to the fused
+    // sweep for every job count and chunk size, so a cached artifact
+    // must serve all of them — profiling with 8 workers and re-reading
+    // with 1, or streaming out-of-core and re-reading in-memory, is the
+    // same profile, same key, same bytes (asserted by
+    // tests/test_profile_parallel.cc and test_profile_streaming.cc).
     std::ostringstream key;
     key << "mtl" << opts.microTraceLength
         << "-mti" << opts.microTraceInterval

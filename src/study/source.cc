@@ -4,7 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "common/mmap.hh"
 #include "study/profile_cache.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stream.hh"
 #include "workload/workload.hh"
 
 namespace rppm {
@@ -32,6 +35,8 @@ struct WorkloadSource::State
     std::string name;
     std::optional<WorkloadSpec> spec;
     std::shared_ptr<const WorkloadProfile> fixedProfile;
+    std::string tracePath; ///< file-backed source; empty otherwise
+    uint64_t fileBytes = 0;
 
     std::once_flag traceOnce;
     std::once_flag columnarOnce;
@@ -68,6 +73,26 @@ WorkloadSource::WorkloadSource(WorkloadProfile profile)
         std::make_shared<const WorkloadProfile>(std::move(profile));
 }
 
+WorkloadSource::WorkloadSource(std::shared_ptr<State> state)
+    : state_(std::move(state))
+{
+}
+
+WorkloadSource
+WorkloadSource::fromTraceFile(const std::string &path)
+{
+    auto state = std::make_shared<State>();
+    // Index the container now: the workload name and file size come out
+    // of the header walk, and a truncated or corrupt file is rejected at
+    // registration instead of at first profile request.
+    FdFile file(path);
+    const TraceFileLayout layout = indexTraceFile(file);
+    state->name = layout.name;
+    state->tracePath = path;
+    state->fileBytes = layout.fileSize;
+    return WorkloadSource(std::move(state));
+}
+
 const std::string &
 WorkloadSource::name() const
 {
@@ -78,7 +103,7 @@ bool
 WorkloadSource::hasTrace() const
 {
     return state_->spec.has_value() || state_->trace.has_value() ||
-        state_->columnar.has_value();
+        state_->columnar.has_value() || !state_->tracePath.empty();
 }
 
 const WorkloadTrace &
@@ -90,10 +115,11 @@ WorkloadSource::trace(unsigned jobs) const
     std::call_once(s.traceOnce, [&] {
         if (s.trace)
             return; // trace-backed source: published at construction
-        if (s.columnar) {
-            // Columnar-backed source: reconstruct the AoS form (the
-            // conversion is lossless in both directions).
-            s.trace = s.columnar->toWorkload();
+        if (s.columnar || !s.tracePath.empty()) {
+            // Columnar- or file-backed source: reconstruct the AoS form
+            // from the columnar view (the conversion is lossless in
+            // both directions; columnar() maps the file if needed).
+            s.trace = columnar(jobs).toWorkload();
             return;
         }
         if (!s.spec) {
@@ -115,6 +141,13 @@ WorkloadSource::columnar(unsigned jobs) const
     std::call_once(s.columnarOnce, [&] {
         if (s.columnar)
             return; // columnar-backed source: published at construction
+        if (!s.tracePath.empty()) {
+            // File-backed source whose consumer needs the in-memory
+            // view: a zero-copy mmap view keeps the page cache as the
+            // backing store.
+            s.columnar = loadTraceViewFromFile(s.tracePath);
+            return;
+        }
         s.columnar = ColumnarTrace::fromWorkload(trace(jobs), jobs);
     });
     return *s.columnar;
@@ -127,6 +160,16 @@ WorkloadSource::profile(const ProfilerOptions &opts,
     if (state_->fixedProfile)
         return state_->fixedProfile;
     return cache.getOrCompute(name(), opts, [this, &opts] {
+        const State &s = *state_;
+        if (!s.tracePath.empty() &&
+            (opts.streamChunkRecords > 0 ||
+             s.fileBytes >= kStreamFileBytesThreshold)) {
+            // Big file, or an explicit chunk size: profile out-of-core
+            // straight from the container, never materializing the
+            // trace. Bit-identical to the in-memory engines, so cache
+            // artifacts are interchangeable either way.
+            return profileWorkloadStreamingFile(s.tracePath, opts);
+        }
         return profileWorkload(columnar(opts.jobs), opts);
     });
 }

@@ -32,6 +32,16 @@ namespace rppm {
 
 class ProfileCache;
 
+/**
+ * File-backed sources at or above this size are profiled out-of-core by
+ * default (profile() routes to the streaming engine with the default
+ * chunk size unless the caller pinned streamChunkRecords). 256 MiB of
+ * columns is where materializing the whole trace starts to contend with
+ * the profiler's own working set on small machines; below it the fused
+ * and parallel engines win on constant factors.
+ */
+constexpr uint64_t kStreamFileBytesThreshold = uint64_t{256} << 20;
+
 /** Shared immutable-after-creation handle on one workload. */
 class WorkloadSource
 {
@@ -53,6 +63,17 @@ class WorkloadSource
 
     /** Profile-only source: analytical evaluators only. */
     explicit WorkloadSource(WorkloadProfile profile);
+
+    /**
+     * Source backed by an RPPMTRC file that is *not* loaded up front:
+     * construction only indexes the container (so structural defects
+     * surface immediately) and records its size. profile() streams the
+     * file out-of-core when it is large (>= kStreamFileBytesThreshold)
+     * or when opts.streamChunkRecords asks for it; only consumers that
+     * need the in-memory views (trace()/columnar()) materialize the
+     * trace, lazily. Throws std::invalid_argument on a malformed file.
+     */
+    static WorkloadSource fromTraceFile(const std::string &path);
 
     /** The workload's name (grid axis label). */
     const std::string &name() const;
@@ -83,14 +104,19 @@ class WorkloadSource
      * The workload profile for @p opts, produced through @p cache.
      * opts.jobs drives both trace synthesis and the profiler's worker
      * pool (the profile content is identical for every job count).
-     * Profile-only sources return their fixed profile regardless of
-     * @p opts. Thread-safe.
+     * File-backed sources stream the file out-of-core when
+     * opts.streamChunkRecords > 0 or the file is at least
+     * kStreamFileBytesThreshold bytes; the resulting profile (and its
+     * cache artifact) is bit-identical to the in-memory engines', so
+     * the routing is invisible to the cache. Profile-only sources
+     * return their fixed profile regardless of @p opts. Thread-safe.
      */
     std::shared_ptr<const WorkloadProfile>
     profile(const ProfilerOptions &opts, ProfileCache &cache) const;
 
   private:
     struct State;
+    explicit WorkloadSource(std::shared_ptr<State> state);
     std::shared_ptr<State> state_;
 };
 

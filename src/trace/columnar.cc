@@ -160,7 +160,7 @@ ColumnarTrace::toWorkload() const
 void
 ColumnarTrace::validateColumnConsistency() const
 {
-    if (columnsValidated_)
+    if (columnsValidated_->load(std::memory_order_acquire))
         return;
     for (const ThreadColumns &cols : threads) {
         const size_t records = cols.op.size();
@@ -210,11 +210,23 @@ ColumnarTrace::validateColumnConsistency() const
         for (uint8_t t : cols.taken)
             RPPM_REQUIRE(t <= 1, "branch outcome out of range");
     }
-    columnsValidated_ = true;
+    columnsValidated_->store(true, std::memory_order_release);
 }
 
 std::unordered_map<uint32_t, uint32_t>
 ColumnarTrace::validateAndBarrierPopulations() const
+{
+    std::vector<SyncSpan> spans;
+    spans.reserve(threads.size());
+    for (const ThreadColumns &cols : threads) {
+        spans.push_back(SyncSpan{cols.syncType.data(), cols.syncArg.data(),
+                                 cols.syncType.size(), cols.numRecords()});
+    }
+    return validateSyncAndBarrierPopulations(spans);
+}
+
+std::unordered_map<uint32_t, uint32_t>
+validateSyncAndBarrierPopulations(const std::vector<SyncSpan> &threads)
 {
     // One sweep over the sparse sync columns replaces what used to be two
     // full passes over the AoS records (WorkloadTrace::validate() plus
@@ -231,11 +243,11 @@ ColumnarTrace::validateAndBarrierPopulations() const
     std::unordered_map<uint32_t, std::vector<bool>> users;
 
     for (size_t tid = 0; tid < threads.size(); ++tid) {
-        const ThreadColumns &cols = threads[tid];
+        const SyncSpan &cols = threads[tid];
         std::map<uint32_t, int> lock_depth;
-        for (size_t k = 0; k < cols.syncType.size(); ++k) {
-            const SyncType type = cols.syncType[k];
-            const uint32_t arg = cols.syncArg[k];
+        for (size_t k = 0; k < cols.count; ++k) {
+            const SyncType type = cols.type[k];
+            const uint32_t arg = cols.arg[k];
             switch (type) {
               case SyncType::ThreadCreate:
                 RPPM_REQUIRE(arg < threads.size(),
@@ -274,7 +286,7 @@ ColumnarTrace::validateAndBarrierPopulations() const
     }
 
     for (size_t tid = 1; tid < threads.size(); ++tid) {
-        if (threads[tid].numRecords() > 0) {
+        if (threads[tid].numRecords > 0) {
             RPPM_REQUIRE(created[tid] == 1,
                          "thread with records must be created exactly once");
         }

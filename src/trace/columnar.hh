@@ -30,6 +30,7 @@
 #ifndef RPPM_TRACE_COLUMNAR_HH
 #define RPPM_TRACE_COLUMNAR_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -222,8 +223,11 @@ struct ColumnarTrace
      *
      * Success is cached: repeated calls on the same trace (the simulator
      * dispatcher validates on every simulate() call) are O(1) after the
-     * first pass. Mutating `threads` after a successful validation is
-     * not detected.
+     * first pass. The cache lives behind a shared handle, so copies of a
+     * validated trace — the Study framework and the profile cache pass
+     * traces by value — inherit the cached success instead of re-walking
+     * the op column per copy. Mutating `threads` after a successful
+     * validation is not detected.
      */
     void validateColumnConsistency() const;
 
@@ -235,8 +239,32 @@ struct ColumnarTrace
     }
 
   private:
-    mutable bool columnsValidated_ = false;
+    /** Shared across copies (see validateColumnConsistency); atomic so
+     *  concurrent first validations of the same trace are a benign race
+     *  instead of a data race. */
+    std::shared_ptr<std::atomic<bool>> columnsValidated_ =
+        std::make_shared<std::atomic<bool>>(false);
 };
+
+/** One thread's sync columns plus its record count — the entire input of
+ *  structural workload validation (see validateSyncAndBarrierPopulations). */
+struct SyncSpan
+{
+    const SyncType *type = nullptr;
+    const uint32_t *arg = nullptr;
+    size_t count = 0;
+    uint64_t numRecords = 0;
+};
+
+/**
+ * The body of ColumnarTrace::validateAndBarrierPopulations() over raw
+ * sync-column spans: lets the out-of-core streaming profiler validate a
+ * trace file and size its barriers from the resident sync columns alone,
+ * without materializing a ColumnarTrace. Throws std::invalid_argument on
+ * violation.
+ */
+std::unordered_map<uint32_t, uint32_t>
+validateSyncAndBarrierPopulations(const std::vector<SyncSpan> &threads);
 
 } // namespace rppm
 

@@ -10,25 +10,8 @@
 
 namespace rppm {
 
-namespace {
-
-constexpr char kTraceMagic[8] = {'R', 'P', 'P', 'M', 'T', 'R', 'C', '\0'};
-
-// Column tags ("fourcc" style, stable across versions).
-enum ColumnTag : uint32_t
-{
-    kTagOp = 0x4f500000,      // 'OP'
-    kTagPc = 0x50430000,      // 'PC'
-    kTagDep1 = 0x44503100,    // 'DP1'
-    kTagDep2 = 0x44503200,    // 'DP2'
-    kTagAddr = 0x41445200,    // 'ADR'
-    kTagTaken = 0x544b4e00,   // 'TKN'
-    kTagSyncPos = 0x53504f00, // 'SPO'
-    kTagSyncTyp = 0x53545900, // 'STY'
-    kTagSyncArg = 0x53415200, // 'SAR'
-};
-
-} // namespace
+// kTraceMagic and the TraceColumnTag values live in trace_io.hh, shared
+// with the chunked out-of-core reader (trace_stream.hh).
 
 void
 saveTrace(const ColumnarTrace &trace, std::ostream &os)

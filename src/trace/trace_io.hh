@@ -30,6 +30,24 @@ namespace rppm {
 /** Current RPPMTRC format version. */
 constexpr uint32_t kTraceFormatVersion = 1;
 
+/** Container magic (first 8 bytes of every RPPMTRC file). */
+constexpr char kTraceMagic[8] = {'R', 'P', 'P', 'M', 'T', 'R', 'C', '\0'};
+
+/** Column tags ("fourcc" style, stable across versions). Shared by the
+ *  whole-file loaders here and the chunked reader (trace_stream.hh). */
+enum TraceColumnTag : uint32_t
+{
+    kTagOp = 0x4f500000,      // 'OP'
+    kTagPc = 0x50430000,      // 'PC'
+    kTagDep1 = 0x44503100,    // 'DP1'
+    kTagDep2 = 0x44503200,    // 'DP2'
+    kTagAddr = 0x41445200,    // 'ADR'
+    kTagTaken = 0x544b4e00,   // 'TKN'
+    kTagSyncPos = 0x53504f00, // 'SPO'
+    kTagSyncTyp = 0x53545900, // 'STY'
+    kTagSyncArg = 0x53415200, // 'SAR'
+};
+
 /** Serialize @p trace to @p os; throws std::runtime_error on I/O error. */
 void saveTrace(const ColumnarTrace &trace, std::ostream &os);
 

@@ -1,0 +1,265 @@
+#include "trace/trace_stream.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/assert.hh"
+#include "common/binio.hh"
+#include "trace/trace_io.hh"
+
+namespace rppm {
+
+namespace {
+
+[[noreturn]] void
+fail(const std::string &msg)
+{
+    // Same exception type and prefix as BinReader::fail, so structural
+    // defects are rejected identically whether a file is loaded whole
+    // (trace_io.cc) or indexed for streaming.
+    throw std::invalid_argument("binary container: " + msg);
+}
+
+/** pread-backed cursor mirroring BinReader's walk over an image. */
+class FileWalker
+{
+  public:
+    explicit FileWalker(const FdFile &file)
+        : file_(file), size_(file.size())
+    {
+    }
+
+    uint64_t offset() const { return off_; }
+    uint64_t remaining() const { return size_ - off_; }
+
+    void
+    bytes(void *out, size_t n, const char *what)
+    {
+        if (remaining() < n)
+            fail(std::string("truncated input reading ") + what);
+        file_.pread(out, n, off_);
+        off_ += n;
+    }
+
+    uint32_t
+    u32(const char *what)
+    {
+        uint32_t v;
+        bytes(&v, sizeof(v), what);
+        return v;
+    }
+
+    uint64_t
+    u64(const char *what)
+    {
+        uint64_t v;
+        bytes(&v, sizeof(v), what);
+        return v;
+    }
+
+    void
+    skip(uint64_t n, const char *what)
+    {
+        if (remaining() < n)
+            fail(std::string("truncated input reading ") + what);
+        off_ += n;
+    }
+
+    void
+    skipPad8()
+    {
+        const uint64_t pad = (8 - off_ % 8) % 8;
+        if (pad > remaining())
+            fail("truncated padding");
+        off_ += pad;
+    }
+
+  private:
+    const FdFile &file_;
+    uint64_t size_;
+    uint64_t off_ = 0;
+};
+
+/** Walk one column block header, record its extent, skip its payload. */
+ColumnExtent
+walkColumn(FileWalker &in, uint32_t tag, uint32_t elemSize,
+           const char *what)
+{
+    in.skipPad8();
+    if (in.u32(what) != tag)
+        fail(std::string("unexpected block tag for ") + what);
+    if (in.u32(what) != elemSize)
+        fail(std::string("element size mismatch in ") + what);
+    const uint64_t count = in.u64(what);
+    if (count > in.remaining() / elemSize)
+        fail(std::string("truncated column: ") + what);
+    ColumnExtent ext;
+    ext.offset = in.offset();
+    ext.count = count;
+    in.skip(count * elemSize, what);
+    in.skipPad8();
+    return ext;
+}
+
+} // namespace
+
+TraceFileLayout
+indexTraceFile(const FdFile &file)
+{
+    TraceFileLayout layout;
+    layout.fileSize = file.size();
+
+    FileWalker in(file);
+    char magic[8];
+    in.bytes(magic, 8, "magic");
+    if (std::memcmp(magic, kTraceMagic, 8) != 0)
+        fail("bad magic (not this container format)");
+    if (in.u32("endianness") != kBinEndianMarker)
+        fail("foreign byte order");
+    const uint32_t version = in.u32("version");
+    if (version != kTraceFormatVersion) {
+        fail("unsupported format version " + std::to_string(version) +
+             " (expected " + std::to_string(kTraceFormatVersion) + ")");
+    }
+
+    const uint64_t nameLen = in.u64("name");
+    if (nameLen > in.remaining())
+        fail("truncated string: name");
+    layout.name.resize(nameLen);
+    if (nameLen > 0)
+        in.bytes(layout.name.data(), nameLen, "name");
+    in.skipPad8();
+
+    const uint64_t threads = in.u64("thread count");
+    // An absurd thread count means corruption; fail before allocating.
+    if (threads > layout.fileSize)
+        fail("thread count exceeds file size");
+    layout.threads.resize(threads);
+    for (uint64_t t = 0; t < threads; ++t) {
+        ThreadLayout &th = layout.threads[t];
+        th.records = in.u64("record count");
+        th.op = walkColumn(in, kTagOp, 1, "op column");
+        th.pc = walkColumn(in, kTagPc, 4, "pc column");
+        th.dep1 = walkColumn(in, kTagDep1, 2, "dep1 column");
+        th.dep2 = walkColumn(in, kTagDep2, 2, "dep2 column");
+        th.addr = walkColumn(in, kTagAddr, 8, "addr column");
+        th.taken = walkColumn(in, kTagTaken, 1, "taken column");
+        th.syncPos = walkColumn(in, kTagSyncPos, 8, "syncPos column");
+        th.syncType = walkColumn(in, kTagSyncTyp, 1, "syncType column");
+        th.syncArg = walkColumn(in, kTagSyncArg, 4, "syncArg column");
+        if (th.op.count != th.records)
+            fail("record count does not match op column");
+        if (th.pc.count != th.records || th.dep1.count != th.records ||
+            th.dep2.count != th.records) {
+            fail("dense column lengths differ");
+        }
+        if (th.addr.count > th.records || th.taken.count > th.records)
+            fail("sparse column longer than record count");
+        if (th.syncType.count != th.syncPos.count ||
+            th.syncArg.count != th.syncPos.count) {
+            fail("sync column lengths differ");
+        }
+    }
+    if (in.remaining() != 0)
+        fail("trailing bytes after last thread");
+    return layout;
+}
+
+std::vector<ResidentSync>
+loadSyncColumns(const FdFile &file, const TraceFileLayout &layout)
+{
+    std::vector<ResidentSync> sync(layout.threads.size());
+    for (size_t t = 0; t < layout.threads.size(); ++t) {
+        const ThreadLayout &th = layout.threads[t];
+        ResidentSync &s = sync[t];
+        const size_t n = static_cast<size_t>(th.syncPos.count);
+        s.pos.resize(n);
+        s.type.resize(n);
+        s.arg.resize(n);
+        if (n > 0) {
+            file.pread(s.pos.data(), n * sizeof(uint64_t),
+                       th.syncPos.offset);
+            file.pread(s.type.data(), n * sizeof(SyncType),
+                       th.syncType.offset);
+            file.pread(s.arg.data(), n * sizeof(uint32_t),
+                       th.syncArg.offset);
+        }
+        uint64_t prev = 0;
+        for (size_t k = 0; k < n; ++k) {
+            if (s.pos[k] >= th.records)
+                fail("sync position out of range");
+            if (k > 0 && s.pos[k] <= prev)
+                fail("sync positions not strictly ascending");
+            prev = s.pos[k];
+            if (static_cast<uint8_t>(s.type[k]) >=
+                static_cast<uint8_t>(SyncType::NumTypes)) {
+                fail("sync type out of range");
+            }
+        }
+    }
+    return sync;
+}
+
+TraceChunk
+TraceChunkReader::read(uint32_t t, size_t recLo, size_t recHi,
+                       uint64_t memLo, uint64_t memHi, uint64_t brLo,
+                       uint64_t brHi) const
+{
+    const ThreadLayout &th = layout_.threads[t];
+    RPPM_REQUIRE(recLo <= recHi && recHi <= th.records &&
+                     memLo <= memHi && memHi <= th.addr.count &&
+                     brLo <= brHi && brHi <= th.taken.count,
+                 "trace chunk range out of bounds");
+
+    TraceChunk chunk;
+    chunk.recLo = recLo;
+    chunk.recHi = recHi;
+    chunk.memLo = memLo;
+    chunk.memHi = memHi;
+    chunk.brLo = brLo;
+    chunk.brHi = brHi;
+    chunk.windows.reserve(6);
+
+    // One mapping per column slice. Payload offsets are 8-byte aligned
+    // by the container discipline, and every element size divides 8, so
+    // each window's data pointer is correctly aligned for its type.
+    auto mapSlice = [&](const ColumnExtent &ext, uint64_t lo, uint64_t hi,
+                        size_t elem) -> const char * {
+        if (lo == hi)
+            return nullptr;
+        MappedWindow w;
+        w.map(file_, ext.offset + lo * elem,
+              static_cast<size_t>((hi - lo) * elem));
+        chunk.windows.push_back(std::move(w));
+        return chunk.windows.back().data();
+    };
+
+    chunk.op = reinterpret_cast<const OpClass *>(
+        mapSlice(th.op, recLo, recHi, 1));
+    chunk.pc = reinterpret_cast<const uint32_t *>(
+        mapSlice(th.pc, recLo, recHi, 4));
+    chunk.dep1 = reinterpret_cast<const uint16_t *>(
+        mapSlice(th.dep1, recLo, recHi, 2));
+    chunk.dep2 = reinterpret_cast<const uint16_t *>(
+        mapSlice(th.dep2, recLo, recHi, 2));
+    chunk.addr = reinterpret_cast<const uint64_t *>(
+        mapSlice(th.addr, memLo, memHi, 8));
+    chunk.taken = reinterpret_cast<const uint8_t *>(
+        mapSlice(th.taken, brLo, brHi, 1));
+    return chunk;
+}
+
+void
+OpColumnScanner::slide(size_t i)
+{
+    RPPM_REQUIRE(i >= winLo_ || winHi_ == 0,
+                 "op scanner is forward-only");
+    RPPM_REQUIRE(i < thread_.records, "op scan past end of thread");
+    winLo_ = i;
+    winHi_ = std::min(i + kSpanRecords,
+                      static_cast<size_t>(thread_.records));
+    win_.map(file_, thread_.op.offset + winLo_, winHi_ - winLo_);
+}
+
+} // namespace rppm

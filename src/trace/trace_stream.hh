@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Out-of-core access to RPPMTRC containers: layout index, resident sync
+ * columns, and windowed chunk views.
+ *
+ * The whole-file loaders (trace_io.hh) either copy every column into
+ * memory or mmap the entire file — both charge O(file) against the
+ * process's address-space limit, which is exactly what the streaming
+ * profiler must avoid. This reader decomposes access instead:
+ *
+ *  - indexTraceFile() walks the container structure with pread (a few
+ *    dozen small reads, no mapping at all) and returns the byte extent
+ *    of every column of every thread, validating the same structural
+ *    properties the whole-file loaders validate: magic, byte order,
+ *    version, block tags, element sizes, bounds, trailing bytes. A
+ *    truncated or corrupt file is rejected here, before any profiling
+ *    work starts.
+ *  - loadSyncColumns() reads only the sparse sync columns resident
+ *    (O(#sync events) memory) and validates them: positions strictly
+ *    ascending and in range, types in range, equal lengths.
+ *  - TraceChunkReader::read() maps just the byte ranges one chunk of
+ *    one thread needs — dense records [recLo, recHi), the matching
+ *    addr/taken slices — through small MappedWindow mappings that die
+ *    with the returned TraceChunk. Peak address-space charge is
+ *    O(chunks in flight), independent of file size.
+ *
+ * What the per-record loop of validateColumnConsistency() used to check
+ * (sync-slot neutrality, op/taken ranges) is re-checked incrementally by
+ * the streaming consumers as they touch each window, so nothing ever
+ * walks the whole file.
+ */
+
+#ifndef RPPM_TRACE_TRACE_STREAM_HH
+#define RPPM_TRACE_TRACE_STREAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/mmap.hh"
+#include "trace/trace.hh"
+
+namespace rppm {
+
+/** Byte extent of one column payload inside the container. */
+struct ColumnExtent
+{
+    uint64_t offset = 0; ///< absolute byte offset of the first element
+    uint64_t count = 0;  ///< element count
+};
+
+/** Extents of one thread's nine columns. */
+struct ThreadLayout
+{
+    uint64_t records = 0;
+    ColumnExtent op, pc, dep1, dep2, addr, taken;
+    ColumnExtent syncPos, syncType, syncArg;
+};
+
+/** The structural index of an RPPMTRC file: everything needed to read
+ *  any record range of any thread without parsing the container again. */
+struct TraceFileLayout
+{
+    std::string name;
+    uint64_t fileSize = 0;
+    std::vector<ThreadLayout> threads;
+};
+
+/**
+ * Walk the container structure of @p file and return its layout.
+ * Throws std::invalid_argument (same type and "binary container: "
+ * prefix as the whole-file loaders) on any structural defect, including
+ * truncation anywhere in the file.
+ */
+TraceFileLayout indexTraceFile(const FdFile &file);
+
+/** One thread's sparse sync columns, resident. */
+struct ResidentSync
+{
+    std::vector<uint64_t> pos;
+    std::vector<SyncType> type;
+    std::vector<uint32_t> arg;
+};
+
+/**
+ * Read every thread's sync columns resident and validate them
+ * (positions strictly ascending and < records, types in range).
+ * Memory: O(total sync events), which is tiny by construction — sync
+ * delimits epochs, not records.
+ */
+std::vector<ResidentSync> loadSyncColumns(const FdFile &file,
+                                          const TraceFileLayout &layout);
+
+/**
+ * One chunk's worth of column data for one thread. Pointers are
+ * absolute-base: op points at record recLo, addr at memory ordinal
+ * memLo, taken at branch ordinal brLo — callers index them relative to
+ * those bases (or wrap them in OffsetSpan). The windows member owns the
+ * mappings; the pointers die with the struct.
+ */
+struct TraceChunk
+{
+    size_t recLo = 0, recHi = 0;
+    uint64_t memLo = 0, memHi = 0;
+    uint64_t brLo = 0, brHi = 0;
+    const OpClass *op = nullptr;
+    const uint32_t *pc = nullptr;
+    const uint16_t *dep1 = nullptr;
+    const uint16_t *dep2 = nullptr;
+    const uint64_t *addr = nullptr;
+    const uint8_t *taken = nullptr;
+    std::vector<MappedWindow> windows;
+};
+
+/** Maps per-chunk column windows out of an indexed trace file. */
+class TraceChunkReader
+{
+  public:
+    /** @p file and @p layout must outlive the reader and its chunks. */
+    TraceChunkReader(const FdFile &file, const TraceFileLayout &layout)
+        : file_(file), layout_(layout)
+    {
+    }
+
+    /**
+     * Map thread @p t's dense columns for records [recLo, recHi) plus
+     * the addr slice [memLo, memHi) and taken slice [brLo, brHi) (the
+     * caller knows these from its rolling scan). Range-checks against
+     * the layout.
+     */
+    TraceChunk read(uint32_t t, size_t recLo, size_t recHi,
+                    uint64_t memLo, uint64_t memHi, uint64_t brLo,
+                    uint64_t brHi) const;
+
+  private:
+    const FdFile &file_;
+    const TraceFileLayout &layout_;
+};
+
+/**
+ * Forward-only reader of one thread's op column through a small rolling
+ * window — the streaming scheduler's record-scan frontier. at(i) must be
+ * called with non-decreasing i; the window slides forward in fixed-size
+ * spans so the address-space charge stays constant.
+ */
+class OpColumnScanner
+{
+  public:
+    /** Records per mapped span (1 byte each). */
+    static constexpr size_t kSpanRecords = size_t{1} << 20;
+
+    OpColumnScanner(const FdFile &file, const ThreadLayout &thread)
+        : file_(file), thread_(thread)
+    {
+    }
+
+    OpClass
+    at(size_t i)
+    {
+        if (i < winLo_ || i >= winHi_)
+            slide(i);
+        return reinterpret_cast<const OpClass *>(win_.data())[i - winLo_];
+    }
+
+  private:
+    void slide(size_t i);
+
+    const FdFile &file_;
+    const ThreadLayout &thread_;
+    MappedWindow win_;
+    size_t winLo_ = 0;
+    size_t winHi_ = 0; ///< empty window until the first at()
+};
+
+} // namespace rppm
+
+#endif // RPPM_TRACE_TRACE_STREAM_HH

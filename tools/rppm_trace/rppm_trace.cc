@@ -1,0 +1,371 @@
+/**
+ * @file
+ * rppm_trace — RPPMTRC container inspector and test-trace generator.
+ *
+ * Subcommands:
+ *
+ *   info FILE
+ *     Index the container (no column data is read beyond the sparse
+ *     sync columns' extents) and print the header, per-thread record /
+ *     memory / branch / sync counts, and per-column payload sizes.
+ *     Exits non-zero on a malformed file, so it doubles as a cheap
+ *     structural validator in CI.
+ *
+ *   synth FILE --records N [--name NAME] [--sync-period P]
+ *     Write a synthetic single-thread trace of N records with O(1)
+ *     memory: columns stream through a small buffer, never resident.
+ *     Exists so CI can manufacture a trace far larger than the memory
+ *     cap it then profiles under (the out-of-core smoke test) without
+ *     shipping multi-GiB fixtures. Every P-th record is a sync event
+ *     (alternating MutexLock/MutexUnlock on mutex 0); all others are
+ *     loads walking a 64 MiB window.
+ *
+ *   profile FILE [--engine fused|streaming] [--stream-chunk N]
+ *           [--jobs N] [--mti N]
+ *     Profile the trace with the chosen engine and print a short
+ *     summary. The fused engine materializes the whole file (mmap);
+ *     the streaming engine reads it in chunks — under `ulimit -v` the
+ *     former dies where the latter succeeds, which is exactly what the
+ *     CI memory-cap job asserts.
+ */
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/binio.hh"
+#include "common/mmap.hh"
+#include "profile/profiler.hh"
+#include "trace/trace_io.hh"
+#include "trace/trace_stream.hh"
+
+namespace {
+
+using namespace rppm;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: rppm_trace info FILE\n"
+        "       rppm_trace synth FILE --records N [--name NAME]\n"
+        "                  [--sync-period P]\n"
+        "       rppm_trace profile FILE [--engine fused|streaming]\n"
+        "                  [--stream-chunk N] [--jobs N] [--mti N]\n");
+    return 2;
+}
+
+// ------------------------------------------------------------------ info ---
+
+int
+cmdInfo(const std::string &path)
+{
+    const FdFile file(path);
+    const TraceFileLayout layout = indexTraceFile(file);
+
+    std::printf("file:    %s\n", path.c_str());
+    std::printf("bytes:   %" PRIu64 "\n", layout.fileSize);
+    std::printf("name:    %s\n", layout.name.c_str());
+    std::printf("threads: %zu\n", layout.threads.size());
+
+    uint64_t records = 0, mems = 0, branches = 0, syncs = 0;
+    for (const ThreadLayout &th : layout.threads) {
+        records += th.records;
+        mems += th.addr.count;
+        branches += th.taken.count;
+        syncs += th.syncPos.count;
+    }
+    std::printf("records: %" PRIu64 "  (mem %" PRIu64 ", branch %" PRIu64
+                ", sync %" PRIu64 ")\n",
+                records, mems, branches, syncs);
+
+    for (size_t t = 0; t < layout.threads.size(); ++t) {
+        const ThreadLayout &th = layout.threads[t];
+        std::printf("thread %zu: %" PRIu64 " records\n", t, th.records);
+        const struct
+        {
+            const char *name;
+            const ColumnExtent *ext;
+            uint32_t elem;
+        } cols[] = {
+            {"op", &th.op, 1},          {"pc", &th.pc, 4},
+            {"dep1", &th.dep1, 2},      {"dep2", &th.dep2, 2},
+            {"addr", &th.addr, 8},      {"taken", &th.taken, 1},
+            {"syncPos", &th.syncPos, 8}, {"syncType", &th.syncType, 1},
+            {"syncArg", &th.syncArg, 4},
+        };
+        for (const auto &c : cols) {
+            std::printf("  %-8s %12" PRIu64 " x %u = %12" PRIu64
+                        " bytes @ %" PRIu64 "\n",
+                        c.name, c.ext->count, c.elem,
+                        c.ext->count * c.elem, c.ext->offset);
+        }
+    }
+    return 0;
+}
+
+// ----------------------------------------------------------------- synth ---
+
+/** Buffered container writer mirroring BinWriter's layout discipline
+ *  (common/binio.hh) against a file stream, so column payloads can be
+ *  generated on the fly instead of built in memory. */
+class StreamWriter
+{
+  public:
+    explicit StreamWriter(const std::string &path)
+        : os_(path, std::ios::binary | std::ios::trunc)
+    {
+        if (!os_)
+            throw std::runtime_error("cannot open " + path +
+                                     " for writing");
+        buf_.reserve(kBufBytes);
+    }
+
+    void
+    raw(const void *p, size_t n)
+    {
+        const char *c = static_cast<const char *>(p);
+        buf_.insert(buf_.end(), c, c + n);
+        off_ += n;
+        if (buf_.size() >= kBufBytes)
+            flush();
+    }
+
+    void u32(uint32_t v) { raw(&v, sizeof(v)); }
+    void u64(uint64_t v) { raw(&v, sizeof(v)); }
+
+    void
+    pad8()
+    {
+        static const char zeros[8] = {};
+        raw(zeros, (8 - off_ % 8) % 8);
+    }
+
+    /** Block header for a column whose payload follows via raw(). The
+     *  caller must write exactly count*elemSize payload bytes, then
+     *  call pad8(). */
+    void
+    blockHeader(uint32_t tag, uint32_t elemSize, uint64_t count)
+    {
+        pad8();
+        u32(tag);
+        u32(elemSize);
+        u64(count);
+    }
+
+    void
+    finish()
+    {
+        flush();
+        os_.flush();
+        if (!os_)
+            throw std::runtime_error("trace write failed");
+    }
+
+  private:
+    static constexpr size_t kBufBytes = size_t{1} << 20;
+
+    void
+    flush()
+    {
+        os_.write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+        buf_.clear();
+    }
+
+    std::ofstream os_;
+    std::vector<char> buf_;
+    uint64_t off_ = 0;
+};
+
+int
+cmdSynth(const std::string &path, uint64_t records,
+         const std::string &name, uint64_t syncPeriod)
+{
+    if (records == 0 || syncPeriod < 2) {
+        std::fprintf(stderr,
+                     "rppm_trace: need --records >= 1, --sync-period "
+                     ">= 2\n");
+        return 2;
+    }
+
+    // Sync events at records P, 2P, 3P, ... — strictly ascending, never
+    // record 0 — alternating MutexLock/MutexUnlock on mutex 0. Truncate
+    // to an even count so the mutex ends released.
+    uint64_t numSync = (records - 1) / syncPeriod;
+    numSync &= ~uint64_t{1};
+    const uint64_t numMems = records - numSync; // every other record loads
+
+    const auto isSyncPos = [&](uint64_t i) {
+        return i > 0 && i % syncPeriod == 0 &&
+            i / syncPeriod <= numSync;
+    };
+
+    StreamWriter out(path);
+    out.raw(kTraceMagic, 8);
+    out.u32(kBinEndianMarker);
+    out.u32(kTraceFormatVersion);
+    out.u64(name.size());
+    out.raw(name.data(), name.size());
+    out.pad8();
+    out.u64(1); // one thread
+    out.u64(records);
+
+    // op: Load everywhere, IntAlu in sync slots.
+    out.blockHeader(kTagOp, 1, records);
+    for (uint64_t i = 0; i < records; ++i) {
+        const uint8_t op = static_cast<uint8_t>(
+            isSyncPos(i) ? OpClass::IntAlu : OpClass::Load);
+        out.raw(&op, 1);
+    }
+    out.pad8();
+
+    // pc: a small rotating text segment; 0 in sync slots.
+    out.blockHeader(kTagPc, 4, records);
+    for (uint64_t i = 0; i < records; ++i) {
+        const uint32_t pc =
+            isSyncPos(i) ? 0 : 0x1000 + (static_cast<uint32_t>(i) & 0xfff);
+        out.raw(&pc, 4);
+    }
+    out.pad8();
+
+    // dep1/dep2: all zero (no register dependences).
+    for (const uint32_t tag : {kTagDep1, kTagDep2}) {
+        out.blockHeader(tag, 2, records);
+        const uint16_t zero = 0;
+        for (uint64_t i = 0; i < records; ++i)
+            out.raw(&zero, 2);
+        out.pad8();
+    }
+
+    // addr: a stride-64 walk over a 64 MiB window, one entry per load.
+    out.blockHeader(kTagAddr, 8, numMems);
+    for (uint64_t i = 0, m = 0; i < records; ++i) {
+        if (isSyncPos(i))
+            continue;
+        const uint64_t addr = (m++ * 64) & ((uint64_t{64} << 20) - 1);
+        out.raw(&addr, 8);
+    }
+    out.pad8();
+
+    // taken: no branches.
+    out.blockHeader(kTagTaken, 1, 0);
+    out.pad8();
+
+    out.blockHeader(kTagSyncPos, 8, numSync);
+    for (uint64_t k = 1; k <= numSync; ++k)
+        out.u64(k * syncPeriod);
+    out.pad8();
+
+    out.blockHeader(kTagSyncTyp, 1, numSync);
+    for (uint64_t k = 1; k <= numSync; ++k) {
+        const uint8_t type = static_cast<uint8_t>(
+            k % 2 == 1 ? SyncType::MutexLock : SyncType::MutexUnlock);
+        out.raw(&type, 1);
+    }
+    out.pad8();
+
+    out.blockHeader(kTagSyncArg, 4, numSync);
+    const uint32_t mutex0 = 0;
+    for (uint64_t k = 0; k < numSync; ++k)
+        out.raw(&mutex0, 4);
+    out.pad8();
+
+    out.finish();
+    std::printf("wrote %s: %" PRIu64 " records (%" PRIu64 " loads, %"
+                PRIu64 " sync events)\n",
+                path.c_str(), records, numMems, numSync);
+    return 0;
+}
+
+// --------------------------------------------------------------- profile ---
+
+int
+cmdProfile(const std::string &path, const std::string &engine,
+           const ProfilerOptions &opts)
+{
+    WorkloadProfile profile;
+    if (engine == "fused") {
+        profile = profileWorkloadFused(loadTraceViewFromFile(path), opts);
+    } else if (engine == "streaming") {
+        profile = profileWorkloadStreamingFile(path, opts);
+    } else {
+        std::fprintf(stderr, "rppm_trace: unknown engine '%s'\n",
+                     engine.c_str());
+        return 2;
+    }
+
+    uint64_t epochs = 0;
+    for (const auto &t : profile.threads)
+        epochs += t.epochs.size();
+    std::printf("profiled %s [%s]: %u threads, %" PRIu64 " epochs, %"
+                PRIu64 " ops\n",
+                profile.name.c_str(), engine.c_str(), profile.numThreads,
+                epochs, profile.totalOps());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    const std::string path = argv[2];
+
+    // Shared option scan for the flag-taking subcommands.
+    uint64_t records = 0;
+    uint64_t syncPeriod = uint64_t{1} << 20;
+    std::string name = "synthetic";
+    std::string engine = "streaming";
+    ProfilerOptions opts;
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "rppm_trace: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--records")
+            records = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--sync-period")
+            syncPeriod = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--name")
+            name = value();
+        else if (arg == "--engine")
+            engine = value();
+        else if (arg == "--stream-chunk")
+            opts.streamChunkRecords = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--jobs")
+            opts.jobs =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--mti")
+            opts.microTraceInterval = std::strtoull(value(), nullptr, 10);
+        else
+            return usage();
+    }
+
+    try {
+        if (cmd == "info")
+            return cmdInfo(path);
+        if (cmd == "synth")
+            return cmdSynth(path, records, name, syncPeriod);
+        if (cmd == "profile")
+            return cmdProfile(path, engine, opts);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rppm_trace: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,20 @@
+# Round-trip smoke for rppm_trace: synth -> info -> profile with both
+# engines. Invoked by CTest (see CMakeLists.txt).
+set(trace "${WORK_DIR}/smoke.rppmtrc")
+
+function(run)
+    execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+    if(NOT rc EQUAL 0)
+        list(JOIN ARGV " " cmdline)
+        message(FATAL_ERROR "command failed (${rc}): ${cmdline}")
+    endif()
+endfunction()
+
+run(${RPPM_TRACE} synth ${trace} --records 300000 --sync-period 10000
+    --name smoke)
+run(${RPPM_TRACE} info ${trace})
+run(${RPPM_TRACE} profile ${trace} --engine fused)
+run(${RPPM_TRACE} profile ${trace} --engine streaming
+    --stream-chunk 4096 --jobs 2)
+
+file(REMOVE ${trace})

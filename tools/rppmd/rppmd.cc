@@ -9,7 +9,7 @@
  * Usage:
  *   rppmd --socket /tmp/rppmd.sock [--profile-dir DIR]
  *         [--max-profile-bytes N] [--max-memo-bytes N]
- *         [--workers N] [--jobs N]
+ *         [--workers N] [--jobs N] [--stream-chunk N]
  */
 
 #include <poll.h>
@@ -50,7 +50,9 @@ usage(const char *argv0)
         "  --max-profile-bytes N    in-memory profile budget (0=unlimited)\n"
         "  --max-memo-bytes N       prediction-memo budget (0=unlimited)\n"
         "  --workers N              prediction workers (0=all cores)\n"
-        "  --jobs N                 profiling jobs (0=all cores)\n",
+        "  --jobs N                 profiling jobs (0=all cores)\n"
+        "  --stream-chunk N         stream file-backed workloads in\n"
+        "                           N-record chunks (0=auto by size)\n",
         argv0);
 }
 
@@ -84,6 +86,8 @@ main(int argc, char **argv)
         else if (arg == "--jobs")
             opts.jobs =
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--stream-chunk")
+            opts.streamChunkRecords = std::strtoull(value(), nullptr, 10);
         else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
