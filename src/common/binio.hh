@@ -8,7 +8,14 @@
  *    version — readers reject anything they do not understand;
  *  - after the header, a sequence of *blocks*: a 16-byte block header
  *    (u32 tag, u32 element size, u64 element count) followed by the raw
- *    element data, padded to 8-byte alignment.
+ *    element data, padded to 8-byte alignment;
+ *  - when the writer emits checksums (the default for every current
+ *    format version), each block additionally carries an 8-byte trailer
+ *    after the payload padding: u32 CRC32C of the payload bytes
+ *    (common/crc32c.hh) plus u32 reserved-zero, so blocks stay 8-byte
+ *    aligned on both ends. Readers opt in per format version via
+ *    setBlockCrcVerify(); a mismatch means a torn write or bit-flip and
+ *    is rejected like any other structural defect.
  *
  * Because every block states its size up front and data is 8-byte
  * aligned, a consumer can mmap the file and point straight into the
@@ -32,6 +39,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/crc32c.hh"
+
 namespace rppm {
 
 /** Marker written after the magic; a mismatch means a foreign-endian
@@ -42,8 +51,14 @@ constexpr uint32_t kBinEndianMarker = 0x01020304u;
 class BinWriter
 {
   public:
-    /** Start a container: magic (exactly 8 bytes), endianness, version. */
-    BinWriter(const char magic[8], uint32_t version)
+    /**
+     * Start a container: magic (exactly 8 bytes), endianness, version.
+     * @p block_crcs controls whether column blocks carry the CRC32C
+     * trailer; pass false only to craft legacy (pre-checksum) images,
+     * e.g. version-1 fixtures in tests.
+     */
+    BinWriter(const char magic[8], uint32_t version, bool block_crcs = true)
+        : blockCrcs_(block_crcs)
     {
         buf_.append(magic, 8);
         u32(kBinEndianMarker);
@@ -83,6 +98,10 @@ class BinWriter
         u64(data.size());
         raw(data.data(), data.size() * sizeof(T));
         pad8();
+        if (blockCrcs_) {
+            u32(crc32c(data.data(), data.size() * sizeof(T)));
+            u32(0); // reserved; keeps the trailer 8 bytes
+        }
     }
 
     const std::string &data() const { return buf_; }
@@ -102,6 +121,7 @@ class BinWriter
     }
 
     std::string buf_;
+    bool blockCrcs_;
 };
 
 /** Bounds-checked reader over an in-memory container image. */
@@ -118,6 +138,19 @@ class BinReader
      */
     BinReader(std::string_view data, const char magic[8],
               uint32_t expect_version)
+        : BinReader(data, magic, expect_version, expect_version)
+    {
+    }
+
+    /**
+     * Version-range overload for formats that still load older images
+     * (e.g. pre-checksum v1 containers): accepts any version in
+     * [min_version, max_version] and exposes the one seen via
+     * version(), so the caller can adapt (typically
+     * setBlockCrcVerify(version() >= first-checksummed-version)).
+     */
+    BinReader(std::string_view data, const char magic[8],
+              uint32_t min_version, uint32_t max_version)
         : p_(data.data()), end_(data.data() + data.size()), base_(p_)
     {
         char seen[8];
@@ -126,12 +159,25 @@ class BinReader
             fail("bad magic (not this container format)");
         if (u32("endianness") != kBinEndianMarker)
             fail("foreign byte order");
-        const uint32_t version = u32("version");
-        if (version != expect_version) {
-            fail("unsupported format version " + std::to_string(version) +
-                 " (expected " + std::to_string(expect_version) + ")");
+        version_ = u32("version");
+        if (version_ < min_version || version_ > max_version) {
+            fail("unsupported format version " + std::to_string(version_) +
+                 " (expected " + std::to_string(min_version) +
+                 (max_version != min_version
+                      ? ".." + std::to_string(max_version)
+                      : "") +
+                 ")");
         }
     }
+
+    /** The container version seen in the header. */
+    uint32_t version() const { return version_; }
+
+    /** Enable (or disable) verification of per-block CRC32C trailers.
+     *  The caller decides from version(): formats grew trailers at a
+     *  specific version, and reading a trailer that is not there would
+     *  misparse the stream. */
+    void setBlockCrcVerify(bool verify) { blockCrcs_ = verify; }
 
     void
     bytes(void *out, size_t n, const char *what)
@@ -179,8 +225,10 @@ class BinReader
         std::vector<T> data(count);
         if (count > 0)
             std::memcpy(data.data(), p_, count * sizeof(T));
+        const char *payload = p_;
         p_ += count * sizeof(T);
         skipPad8();
+        checkBlockCrc(payload, count * sizeof(T), what);
         return data;
     }
 
@@ -214,6 +262,8 @@ class BinReader
         const T *view = reinterpret_cast<const T *>(p_);
         p_ += count * sizeof(T);
         skipPad8();
+        checkBlockCrc(reinterpret_cast<const char *>(view),
+                      count * sizeof(T), what);
         return {view, static_cast<size_t>(count)};
     }
 
@@ -255,9 +305,25 @@ class BinReader
         p_ += pad;
     }
 
+    /** Consume and verify a block's CRC trailer (no-op unless
+     *  setBlockCrcVerify(true)); called after the payload padding. */
+    void
+    checkBlockCrc(const char *payload, size_t n, const char *what)
+    {
+        if (!blockCrcs_)
+            return;
+        const uint32_t stored = u32(what);
+        u32(what); // reserved
+        if (stored != crc32c(payload, n))
+            fail(std::string("checksum mismatch in ") + what +
+                 " (torn write or corruption)");
+    }
+
     const char *p_;
     const char *end_;
     const char *base_;
+    uint32_t version_ = 0;
+    bool blockCrcs_ = false;
 };
 
 } // namespace rppm

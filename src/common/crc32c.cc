@@ -1,0 +1,38 @@
+#include "common/crc32c.hh"
+
+#include <array>
+
+namespace rppm {
+
+namespace {
+
+/** The 256-entry lookup table for reflected CRC32C, built at static
+ *  initialization from the reversed polynomial 0x82F63B78. */
+std::array<uint32_t, 256>
+buildTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> kTable = buildTable();
+
+} // namespace
+
+uint32_t
+crc32cExtend(uint32_t crc, const void *data, size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < n; ++i)
+        c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace rppm

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte ranges.
+ *
+ * The integrity checksum of the RPPM binary containers: every column
+ * block of a version >= 2 RPPMTRC/RPPMPRF file carries a CRC32C trailer
+ * over its payload bytes, so a torn write or bit-flip is detected at
+ * load time instead of surfacing as a silently wrong prediction.
+ *
+ * The implementation is a portable slice-by-one table walk — no
+ * hardware CRC instructions, so the checksum of a given byte sequence
+ * is identical on every platform (the same property the containers'
+ * explicit endianness marker protects). Throughput is far above what
+ * the artifact read/write paths need.
+ *
+ * Checksums compose incrementally: crc32c(b, crc32c(a)) over
+ * consecutive ranges a, b equals crc32c(a+b), which is what lets the
+ * streaming trace reader verify a column as its windows are mapped
+ * without ever holding the column resident (trace/trace_stream.hh).
+ */
+
+#ifndef RPPM_COMMON_CRC32C_HH
+#define RPPM_COMMON_CRC32C_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rppm {
+
+/** Initial rolling state (also the checksum of the empty range). */
+constexpr uint32_t kCrc32cInit = 0;
+
+/** Extend @p crc with @p n bytes at @p data; fold consecutive ranges by
+ *  passing the previous return value back in. */
+uint32_t crc32cExtend(uint32_t crc, const void *data, size_t n);
+
+/** One-shot checksum of a byte range. */
+inline uint32_t
+crc32c(const void *data, size_t n)
+{
+    return crc32cExtend(kCrc32cInit, data, n);
+}
+
+} // namespace rppm
+
+#endif // RPPM_COMMON_CRC32C_HH

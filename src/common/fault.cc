@@ -1,0 +1,366 @@
+#include "common/fault.hh"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.hh"
+#include "common/thread_annotations.hh"
+
+namespace rppm {
+namespace fault {
+
+namespace {
+
+/** The registry: every injection point in the tree. Parse rejects
+ *  names outside this list so a typo in a plan fails loudly instead of
+ *  arming nothing. */
+constexpr const char *kRegistry[] = {
+    kPreadShort, kWriteEnospc, kRenameTorn, kRecvEintr, kSendPartial,
+};
+
+enum class TriggerKind : uint8_t
+{
+    Once,  ///< fire on hit N only
+    First, ///< fire on hits 1..N
+    Every, ///< fire on hits N, 2N, ...
+    Prob,  ///< fire with probability pct% per hit (seeded stream)
+};
+
+struct PointState
+{
+    std::string name;
+    TriggerKind kind = TriggerKind::Once;
+    uint64_t n = 1;       ///< once/first/every parameter
+    uint64_t pct = 0;     ///< prob parameter
+    mutable Mutex rngMutex;
+    mutable Rng rng RPPM_GUARDED_BY(rngMutex) {0};
+    mutable std::atomic<uint64_t> hits{0};
+    mutable std::atomic<uint64_t> fires{0};
+
+    bool
+    evaluate() const RPPM_EXCLUDES(rngMutex)
+    {
+        const uint64_t hit = hits.fetch_add(1, std::memory_order_relaxed) + 1;
+        bool fired = false;
+        switch (kind) {
+        case TriggerKind::Once:
+            fired = hit == n;
+            break;
+        case TriggerKind::First:
+            fired = hit <= n;
+            break;
+        case TriggerKind::Every:
+            fired = hit % n == 0;
+            break;
+        case TriggerKind::Prob: {
+            MutexLock lock(rngMutex);
+            fired = rng.nextBounded(100) < pct;
+            break;
+        }
+        }
+        if (fired)
+            fires.fetch_add(1, std::memory_order_relaxed);
+        return fired;
+    }
+};
+
+struct Plan
+{
+    // Few points, looked up only while a plan is armed: linear scan.
+    std::vector<std::unique_ptr<PointState>> points;
+
+    const PointState *
+    find(const char *name) const
+    {
+        for (const auto &p : points)
+            if (p->name == name)
+                return p.get();
+        return nullptr;
+    }
+};
+
+Mutex g_planMutex;
+std::shared_ptr<const Plan> g_plan RPPM_GUARDED_BY(g_planMutex);
+
+std::shared_ptr<const Plan>
+currentPlan() RPPM_EXCLUDES(g_planMutex)
+{
+    MutexLock lock(g_planMutex);
+    return g_plan;
+}
+
+[[noreturn]] void
+badSpec(const std::string &spec, const std::string &why)
+{
+    throw std::invalid_argument("fault plan '" + spec + "': " + why);
+}
+
+uint64_t
+parseCount(const std::string &spec, const std::string &text)
+{
+    if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+        badSpec(spec, "bad number '" + text + "'");
+    return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+std::unique_ptr<PointState>
+parseEntry(const std::string &spec, const std::string &entry)
+{
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos)
+        badSpec(spec, "entry '" + entry + "' is not point=trigger");
+    auto state = std::make_unique<PointState>();
+    state->name = entry.substr(0, eq);
+
+    bool known = false;
+    for (const char *p : kRegistry)
+        known = known || state->name == p;
+    if (!known)
+        badSpec(spec, "unknown injection point '" + state->name + "'");
+
+    const std::string trigger = entry.substr(eq + 1);
+    const size_t colon = trigger.find(':');
+    if (colon == std::string::npos)
+        badSpec(spec, "trigger '" + trigger + "' has no parameter");
+    const std::string kind = trigger.substr(0, colon);
+    const std::string args = trigger.substr(colon + 1);
+
+    if (kind == "once" || kind == "first" || kind == "every") {
+        state->kind = kind == "once"    ? TriggerKind::Once
+                      : kind == "first" ? TriggerKind::First
+                                        : TriggerKind::Every;
+        state->n = parseCount(spec, args);
+        if (state->n == 0)
+            badSpec(spec, "trigger parameter must be >= 1");
+    } else if (kind == "prob") {
+        const size_t sep = args.find(':');
+        if (sep == std::string::npos)
+            badSpec(spec, "prob trigger needs prob:PCT:SEED");
+        state->kind = TriggerKind::Prob;
+        state->pct = parseCount(spec, args.substr(0, sep));
+        if (state->pct > 100)
+            badSpec(spec, "probability must be 0..100");
+        state->rng = Rng(parseCount(spec, args.substr(sep + 1)));
+    } else {
+        badSpec(spec, "unknown trigger kind '" + kind + "'");
+    }
+    return state;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<uint32_t> armedPoints{0};
+
+bool
+fireSlow(const char *point)
+{
+    const std::shared_ptr<const Plan> plan = currentPlan();
+    if (!plan)
+        return false;
+    const PointState *state = plan->find(point);
+    return state != nullptr && state->evaluate();
+}
+
+} // namespace detail
+
+std::vector<std::string>
+knownPoints()
+{
+    return {std::begin(kRegistry), std::end(kRegistry)};
+}
+
+void
+installPlan(const std::string &spec)
+{
+    auto plan = std::make_shared<Plan>();
+    size_t at = 0;
+    while (at < spec.size()) {
+        size_t comma = spec.find(',', at);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(at, comma - at);
+        if (!entry.empty())
+            plan->points.push_back(parseEntry(spec, entry));
+        at = comma + 1;
+    }
+    MutexLock lock(g_planMutex);
+    if (plan->points.empty()) {
+        g_plan.reset();
+        detail::armedPoints.store(0, std::memory_order_relaxed);
+    } else {
+        const uint32_t n = static_cast<uint32_t>(plan->points.size());
+        g_plan = std::move(plan);
+        detail::armedPoints.store(n, std::memory_order_relaxed);
+    }
+}
+
+void
+clearPlan()
+{
+    MutexLock lock(g_planMutex);
+    g_plan.reset();
+    detail::armedPoints.store(0, std::memory_order_relaxed);
+}
+
+bool
+installPlanFromEnv()
+{
+    // Chaos plans are explicit opt-in test state: the variable arms
+    // failure injection and never alters fault-free results.
+    // rppm-lint: rng-ok(fault plans only inject failures, never results)
+    const char *spec = std::getenv("RPPM_FAULT_PLAN");
+    if (spec == nullptr || spec[0] == '\0')
+        return false;
+    installPlan(spec);
+    return true;
+}
+
+PointStats
+pointStats(const std::string &point)
+{
+    PointStats out;
+    const std::shared_ptr<const Plan> plan = currentPlan();
+    if (!plan)
+        return out;
+    const PointState *state = plan->find(point.c_str());
+    if (state != nullptr) {
+        out.hits = state->hits.load(std::memory_order_relaxed);
+        out.fires = state->fires.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+} // namespace fault
+
+namespace io {
+
+XferResult
+sendFull(int fd, const void *data, size_t n) noexcept
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        size_t len = n;
+        // Injected partial write: cap this send() so the resumption
+        // path runs; the transfer still completes byte-for-byte.
+        if (fault::fire(fault::kSendPartial))
+            len = (n + 1) / 2;
+        const ssize_t w = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return {XferResult::Err, errno};
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    return {};
+}
+
+XferResult
+recvFull(int fd, void *data, size_t n) noexcept
+{
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    while (got < n) {
+        // Injected EINTR: behave exactly as if a signal interrupted the
+        // syscall before any bytes moved — loop and retry.
+        if (fault::fire(fault::kRecvEintr))
+            continue;
+        const ssize_t r = ::recv(fd, p + got, n - got, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return {XferResult::Err, errno};
+        }
+        if (r == 0)
+            return got == 0 ? XferResult{XferResult::Eof, 0}
+                            : XferResult{XferResult::Err, ECONNRESET};
+        got += static_cast<size_t>(r);
+    }
+    return {};
+}
+
+void
+writeFileAtomic(const std::string &path, std::string_view bytes)
+{
+    const auto fail = [&](const char *op) {
+        throw std::runtime_error("write " + path + ": " + op + ": " +
+                                 std::strerror(errno));
+    };
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<unsigned long>(::getpid()));
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0)
+        fail("open temp");
+
+    const char *p = bytes.data();
+    size_t n = bytes.size();
+    bool enospc = false;
+    while (n > 0) {
+        // Injected ENOSPC: the filesystem fills mid-write. Stop short —
+        // the torn temp file stays behind, exactly like a real crash —
+        // and report the error the real syscall would.
+        if (fault::fire(fault::kWriteEnospc)) {
+            enospc = true;
+            break;
+        }
+        const ssize_t w = ::write(fd, p, n);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            const int saved = errno;
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            errno = saved;
+            fail("write");
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+    if (enospc) {
+        ::close(fd);
+        errno = ENOSPC;
+        fail("write");
+    }
+    // fsync *before* rename: without it, a crash after the rename can
+    // leave the new name pointing at un-persisted data — the classic
+    // torn-rename window the fs.rename.torn injection simulates.
+    if (::fsync(fd) != 0) {
+        const int saved = errno;
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        errno = saved;
+        fail("fsync");
+    }
+    if (::close(fd) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        fail("close");
+    }
+    // Injected torn rename: drop the artifact's tail as an un-fsynced
+    // rename plus a power cut would, then let the rename "succeed" —
+    // the caller believes the write completed, and only the next
+    // reader's checksum verification can catch the damage.
+    if (fault::fire(fault::kRenameTorn))
+        (void)::truncate(tmp.c_str(), static_cast<off_t>(bytes.size() / 2));
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int saved = errno;
+        ::unlink(tmp.c_str());
+        errno = saved;
+        fail("rename");
+    }
+}
+
+} // namespace io
+} // namespace rppm

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic fault injection for the syscall-wrapper layer, plus the
+ * fault-aware I/O helpers built on top of it.
+ *
+ * The serving and artifact layers must survive the failure modes real
+ * deployments hit — short reads, EINTR storms, partial socket writes,
+ * ENOSPC mid-write, torn renames — but none of those occur naturally
+ * under test. This layer lets tests (and CI's chaos-smoke job) apply
+ * them *deterministically*: a FaultPlan names injection points and
+ * arms each with a trigger, and every syscall wrapper in the tree asks
+ * `fault::fire("point.name")` before the real call.
+ *
+ * Zero overhead when off: with no plan installed, fire() is a single
+ * relaxed atomic load. Plans are explicit opt-in chaos-testing state —
+ * installed from a test, from `rppmd --fault-plan`, or from the
+ * RPPM_FAULT_PLAN environment variable — and never affect fault-free
+ * results (benign faults like a simulated EINTR perturb the syscall
+ * pattern, not the bytes; hard faults like ENOSPC fail the operation
+ * the way the real errno would).
+ *
+ * Plan syntax (comma-separated, `point=trigger`):
+ *
+ *     io.pread.short=every:3,net.recv.eintr=first:5
+ *     fs.rename.torn=once:1
+ *     net.send.partial=prob:25:42
+ *
+ * Triggers:
+ *   once:N       fire on the Nth hit of the point only (1-based)
+ *   first:N      fire on hits 1..N
+ *   every:N      fire on every Nth hit (N, 2N, ...)
+ *   prob:P:SEED  fire with probability P% per hit, drawn from a
+ *                deterministic seeded rppm::Rng stream (fuzz plans)
+ *
+ * Unknown point names are rejected at parse time (a typo must not arm
+ * nothing silently); the registry lives in fault.cc and every new
+ * syscall wrapper must add its point there (see CONTRIBUTING.md).
+ *
+ * The rppm::io helpers bundled here are the canonical retry loops the
+ * wrappers share: full-transfer send/recv over stream sockets (EINTR
+ * and partial transfers retried, never surfaced) and the durable
+ * atomic file write (temp file + fsync + rename) the ProfileCache's
+ * serialized tier uses. They host the net.* and io.write/fs.rename
+ * injection points.
+ */
+
+#ifndef RPPM_COMMON_FAULT_HH
+#define RPPM_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rppm {
+namespace fault {
+
+// --- Injection point names (the registry; parse rejects others).
+inline constexpr const char *kPreadShort = "io.pread.short";
+inline constexpr const char *kWriteEnospc = "io.write.enospc";
+inline constexpr const char *kRenameTorn = "fs.rename.torn";
+inline constexpr const char *kRecvEintr = "net.recv.eintr";
+inline constexpr const char *kSendPartial = "net.send.partial";
+
+/** Every registered injection point name. */
+std::vector<std::string> knownPoints();
+
+/**
+ * Parse @p spec (syntax above) and install it as the process-wide
+ * plan, replacing any previous one. Throws std::invalid_argument on a
+ * malformed spec or an unregistered point name. An empty spec clears
+ * the plan.
+ */
+void installPlan(const std::string &spec);
+
+/** Disarm all points (idempotent). */
+void clearPlan();
+
+/** Install the plan named by the RPPM_FAULT_PLAN environment variable,
+ *  if set and non-empty; returns true when a plan was installed. Only
+ *  entry points (daemon main, tests) should call this — library code
+ *  never reads the environment. */
+bool installPlanFromEnv();
+
+/** Per-point trigger counters, for tests asserting coverage. */
+struct PointStats
+{
+    uint64_t hits = 0;  ///< fire() evaluations while the plan was live
+    uint64_t fires = 0; ///< times the trigger actually fired
+};
+
+/** Counters of @p point under the current plan (zeros when the point
+ *  is not armed or no plan is installed). */
+PointStats pointStats(const std::string &point);
+
+namespace detail {
+extern std::atomic<uint32_t> armedPoints;
+bool fireSlow(const char *point);
+} // namespace detail
+
+/** True when any injection point is armed. */
+inline bool
+armed()
+{
+    return detail::armedPoints.load(std::memory_order_relaxed) != 0;
+}
+
+/**
+ * Evaluate injection point @p point: true when the caller must inject
+ * its fault now. The fast path (no plan) is one relaxed atomic load.
+ */
+inline bool
+fire(const char *point)
+{
+    return armed() && detail::fireSlow(point);
+}
+
+} // namespace fault
+
+namespace io {
+
+/** Outcome of a full-transfer socket operation. */
+struct XferResult
+{
+    enum Status
+    {
+        Ok,  ///< all n bytes transferred
+        Eof, ///< recv only: peer closed before the first byte
+        Err, ///< syscall failed; `error` holds errno
+    };
+    Status status = Ok;
+    int error = 0;
+};
+
+/**
+ * Send exactly @p n bytes on stream socket @p fd (MSG_NOSIGNAL).
+ * Retries EINTR and partial transfers internally; never throws, never
+ * raises SIGPIPE. Injection point: net.send.partial (caps individual
+ * send() calls so the retry loop is exercised; the transfer still
+ * completes).
+ */
+XferResult sendFull(int fd, const void *data, size_t n) noexcept;
+
+/**
+ * Receive exactly @p n bytes from stream socket @p fd. Returns Eof
+ * when the peer closes before the first byte; a close mid-transfer is
+ * Err with error == ECONNRESET. Retries EINTR and short reads.
+ * Injection point: net.recv.eintr (simulates an interrupted syscall;
+ * the transfer still completes).
+ */
+XferResult recvFull(int fd, void *data, size_t n) noexcept;
+
+/**
+ * Durably replace the file at @p path with @p bytes: write to
+ * `path + ".tmp.<pid>"`, fsync, rename over @p path. Concurrent
+ * readers never observe a torn artifact and a crash before the rename
+ * leaves @p path untouched. Throws std::runtime_error on failure (the
+ * temp file is removed). Injection points: io.write.enospc (fails the
+ * write mid-way the way a full filesystem would, leaving a stale temp
+ * file behind like a real crash) and fs.rename.torn (simulates a
+ * power cut after an un-fsynced rename: the rename happens but the
+ * artifact's tail is lost — the caller believes the write succeeded
+ * and the *next reader's* checksum verification must catch it).
+ */
+void writeFileAtomic(const std::string &path, std::string_view bytes);
+
+} // namespace io
+} // namespace rppm
+
+#endif // RPPM_COMMON_FAULT_HH

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/fault.hh"
+
 namespace rppm {
 
 namespace {
@@ -89,8 +91,14 @@ FdFile::pread(void *dst, size_t n, uint64_t offset) const
 {
     char *out = static_cast<char *>(dst);
     while (n > 0) {
+        size_t len = n;
+        // Injected short read: cap this pread() so the resumption path
+        // runs; the overall read still returns every byte (a kernel may
+        // legitimately return fewer bytes than asked at any time).
+        if (fault::fire(fault::kPreadShort))
+            len = (n + 1) / 2;
         const ssize_t got =
-            ::pread(fd_, out, n, static_cast<off_t>(offset));
+            ::pread(fd_, out, len, static_cast<off_t>(offset));
         if (got < 0) {
             if (errno == EINTR)
                 continue;

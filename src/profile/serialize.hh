@@ -46,8 +46,16 @@ void saveProfileToFile(const WorkloadProfile &profile,
                        const std::string &path);
 WorkloadProfile loadProfileFromFile(const std::string &path);
 
-/** Current RPPMPRF binary format version. */
-constexpr uint32_t kProfileFormatVersion = 1;
+/** Current RPPMPRF binary format version. Version 2 added CRC32C
+ *  trailers to every column block (common/binio.hh); version 1 files
+ *  (no trailers) still load, just without integrity verification. */
+constexpr uint32_t kProfileFormatVersion = 2;
+
+/** Oldest RPPMPRF version the loader accepts. */
+constexpr uint32_t kProfileFormatVersionMin = 1;
+
+/** First version whose column blocks carry CRC32C trailers. */
+constexpr uint32_t kProfileFormatVersionCrc = 2;
 
 /** Write @p profile in the binary container format; throws
  *  std::runtime_error on I/O error. */

@@ -250,7 +250,9 @@ loadProfileBinary(std::istream &is)
     buf << is.rdbuf();
     const std::string data = buf.str();
 
-    BinReader in(data, kProfileMagic, kProfileFormatVersion);
+    BinReader in(data, kProfileMagic, kProfileFormatVersionMin,
+                 kProfileFormatVersion);
+    in.setBlockCrcVerify(in.version() >= kProfileFormatVersionCrc);
     WorkloadProfile profile;
     profile.name = in.str("name");
     profile.numThreads = in.u32("thread count");

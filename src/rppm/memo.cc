@@ -238,6 +238,19 @@ PredictionMemoPool::setMaxResidentBytes(uint64_t bytes)
     enforceBudget();
 }
 
+uint64_t
+PredictionMemoPool::shedBytes(uint64_t bytes)
+{
+    MutexLock lock(mutex_);
+    const uint64_t before = lru_.bytes();
+    const uint64_t target = before > bytes ? before - bytes : 0;
+    for (const WorkloadProfile *victim : lru_.shrinkTo(target)) {
+        engines_.erase(victim);
+        ++evictions_;
+    }
+    return before - lru_.bytes();
+}
+
 void
 PredictionMemoPool::enforceBudget()
 {

@@ -134,6 +134,16 @@ class PredictionMemoPool
      */
     void setMaxResidentBytes(uint64_t bytes) RPPM_EXCLUDES(mutex_);
 
+    /**
+     * Shed roughly @p bytes of least-recently-used engines right now,
+     * independent of the configured budget — the server's graceful-
+     * degradation hook (memory pressure relief on demand). Returns the
+     * bytes actually freed (possibly less when the pool is smaller than
+     * the ask). Semantics match budget eviction: outstanding shared_ptr
+     * holders are unaffected, the next forProfile rebuilds.
+     */
+    uint64_t shedBytes(uint64_t bytes) RPPM_EXCLUDES(mutex_);
+
     /** Budget-tier counters (lastMemoStats-style snapshot). */
     struct PoolStats
     {

@@ -6,8 +6,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 
 namespace rppm {
 namespace server {
@@ -87,64 +89,104 @@ RppmClient::evaluate(const Query &query,
     if (fd_ < 0)
         throw std::logic_error("rppm client: not connected");
 
-    RequestMsg req;
-    req.id = nextId_++;
-    if (nextId_ == 0) // id 0 is reserved for connection-level errors
-        nextId_ = 1;
-    req.kind = query.kind;
-    req.workload = query.workload;
-    req.profiler = query.profiler;
-    req.rppm = query.rppm;
-    req.configs = query.configs;
-    writeFrame(fd_, MsgType::Request, encodeRequest(req));
+    const unsigned maxAttempts =
+        backoff_.maxAttempts == 0 ? 1 : backoff_.maxAttempts;
+    for (unsigned attempt = 0;; ++attempt) {
+        RequestMsg req;
+        req.id = nextId_++;
+        if (nextId_ == 0) // id 0 is reserved for connection-level errors
+            nextId_ = 1;
+        req.kind = query.kind;
+        req.workload = query.workload;
+        req.profiler = query.profiler;
+        req.rppm = query.rppm;
+        req.deadlineMs = query.deadlineMs;
+        req.configs = query.configs;
+        writeFrame(fd_, MsgType::Request, encodeRequest(req));
 
-    std::vector<CellResult> results;
-    results.reserve(query.configs.size());
-    Frame frame;
-    for (;;) {
-        if (!readFrame(fd_, frame))
-            throw ProtocolError("server closed mid-request");
-        switch (frame.type) {
-        case MsgType::Result: {
-            const ResultMsg res = decodeResult(frame.payload);
-            if (res.id != req.id)
-                throw ProtocolError("Result for unknown request id");
-            if (res.cell >= query.configs.size())
-                throw ProtocolError("Result cell out of range");
-            CellResult cell;
-            cell.cell = res.cell;
-            cell.config = res.config;
-            cell.cycles = res.cycles;
-            cell.seconds = res.seconds;
-            cell.threadSeconds = res.threadSeconds;
-            if (onResult)
-                onResult(cell);
-            results.push_back(std::move(cell));
-            break;
+        std::vector<CellResult> results;
+        results.reserve(query.configs.size());
+        uint32_t retryAfterMs = 0;
+        bool busy = false;
+        Frame frame;
+        while (!busy) {
+            if (!readFrame(fd_, frame))
+                throw ProtocolError("server closed mid-request");
+            // Frames for other ids are leftovers of an earlier aborted
+            // request on this connection (the server may still have had
+            // cells in flight when we gave up on it). Discard them —
+            // they must not poison this request.
+            switch (frame.type) {
+            case MsgType::Result: {
+                const ResultMsg res = decodeResult(frame.payload);
+                if (res.id != req.id)
+                    break; // stale
+                if (res.cell >= query.configs.size())
+                    throw ProtocolError("Result cell out of range");
+                CellResult cell;
+                cell.cell = res.cell;
+                cell.config = res.config;
+                cell.cycles = res.cycles;
+                cell.seconds = res.seconds;
+                cell.threadSeconds = res.threadSeconds;
+                if (onResult)
+                    onResult(cell);
+                results.push_back(std::move(cell));
+                break;
+            }
+            case MsgType::Done: {
+                const DoneMsg done = decodeDone(frame.payload);
+                if (done.id != req.id)
+                    break; // stale
+                if (done.cells != results.size() ||
+                    results.size() != query.configs.size())
+                    throw ProtocolError(
+                        "request completed with missing cells");
+                std::sort(results.begin(), results.end(),
+                          [](const CellResult &a, const CellResult &b) {
+                              return a.cell < b.cell;
+                          });
+                for (size_t i = 0; i < results.size(); ++i)
+                    if (results[i].cell != i)
+                        throw ProtocolError(
+                            "duplicate or missing result cell");
+                return results;
+            }
+            case MsgType::Busy: {
+                const BusyMsg b = decodeBusy(frame.payload);
+                if (b.id != req.id)
+                    break; // stale
+                retryAfterMs = b.retryAfterMs;
+                busy = true;
+                break;
+            }
+            case MsgType::Error: {
+                const ErrorMsg err = decodeError(frame.payload);
+                if (err.id != 0 && err.id != req.id)
+                    break; // stale abort of an earlier request
+                throw std::runtime_error("rppm server error: " +
+                                         err.message);
+            }
+            default:
+                throw ProtocolError("unexpected message type from server");
+            }
         }
-        case MsgType::Done: {
-            const DoneMsg done = decodeDone(frame.payload);
-            if (done.id != req.id)
-                throw ProtocolError("Done for unknown request id");
-            if (done.cells != results.size() ||
-                results.size() != query.configs.size())
-                throw ProtocolError("request completed with missing cells");
-            std::sort(results.begin(), results.end(),
-                      [](const CellResult &a, const CellResult &b) {
-                          return a.cell < b.cell;
-                      });
-            for (size_t i = 0; i < results.size(); ++i)
-                if (results[i].cell != i)
-                    throw ProtocolError("duplicate or missing result cell");
-            return results;
-        }
-        case MsgType::Error: {
-            const ErrorMsg err = decodeError(frame.payload);
-            throw std::runtime_error("rppm server error: " + err.message);
-        }
-        default:
-            throw ProtocolError("unexpected message type from server");
-        }
+
+        // Shed by the server: back off and retry. Capped exponential
+        // schedule on the server's hint, with deterministic seeded
+        // jitter (half the delay) so a herd of shed clients spreads out
+        // instead of re-stampeding in lockstep.
+        if (attempt + 1 >= maxAttempts)
+            throw std::runtime_error(
+                "rppm server busy: gave up after " +
+                std::to_string(maxAttempts) + " attempts");
+        uint64_t delayMs = retryAfterMs == 0 ? 1 : retryAfterMs;
+        delayMs = std::min<uint64_t>(backoff_.capMs, delayMs << attempt);
+        if (delayMs == 0)
+            delayMs = 1;
+        const uint64_t half = delayMs / 2;
+        delayMs = delayMs - half + jitter_.nextBounded(half + 1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delayMs));
     }
 }
 

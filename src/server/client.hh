@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "server/protocol.hh"
 
 namespace rppm {
@@ -47,7 +48,20 @@ struct Query
     std::string workload;
     ProfilerOptions profiler;
     RppmOptions rppm;
+    /** Per-request deadline forwarded to the server (0 = none). An
+     *  expired deadline fails this query with std::runtime_error; the
+     *  connection stays usable for the next evaluate(). */
+    uint32_t deadlineMs = 0;
     std::vector<MulticoreConfig> configs;
+};
+
+/** Retry policy for Busy (load-shed) replies: capped exponential
+ *  backoff seeded deterministically, so test runs are reproducible. */
+struct BackoffOptions
+{
+    unsigned maxAttempts = 8; ///< total tries before giving up
+    uint32_t capMs = 2000;    ///< upper bound on one backoff sleep
+    uint64_t seed = 0x52d7a11e; ///< jitter RNG seed (deterministic)
 };
 
 class RppmClient
@@ -76,12 +90,26 @@ class RppmClient
      * Submit @p query and block until the daemon delivers every cell.
      * Returns one CellResult per config, sorted into config-grid order
      * (the daemon streams them in completion order). @p onResult, when
-     * set, observes each result as it arrives. Throws std::runtime_error
-     * on a server-reported Error and ProtocolError on a broken stream.
+     * set, observes each result as it arrives. A Busy (load-shed) reply
+     * is retried under the configured backoff policy before giving up.
+     * Throws std::runtime_error on a server-reported Error (including a
+     * missed deadline or backoff exhaustion) and ProtocolError on a
+     * broken stream. Frames belonging to an earlier aborted request on
+     * this connection are discarded silently — an abandoned query never
+     * poisons the next one.
      */
     std::vector<CellResult>
     evaluate(const Query &query,
              const std::function<void(const CellResult &)> &onResult = {});
+
+    /** Replace the Busy retry policy (applies to later evaluate calls);
+     *  reseeds the jitter RNG for reproducible retry schedules. */
+    void
+    setBackoff(const BackoffOptions &opts)
+    {
+        backoff_ = opts;
+        jitter_ = Rng(opts.seed);
+    }
 
     /** Ask the daemon to drain and exit (connection stays usable until
      *  the daemon closes it). */
@@ -93,6 +121,8 @@ class RppmClient
     int fd_ = -1;
     uint32_t nextId_ = 1;
     std::string serverName_;
+    BackoffOptions backoff_;
+    Rng jitter_{BackoffOptions{}.seed};
 };
 
 } // namespace server

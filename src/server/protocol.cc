@@ -1,33 +1,25 @@
 #include "server/protocol.hh"
 
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <cerrno>
 #include <cstring>
+
+#include "common/fault.hh"
 
 namespace rppm {
 namespace server {
 
 namespace {
 
-/** Write all of @p n bytes (stream sockets may accept partial writes).
- *  MSG_NOSIGNAL turns a dead peer into an error instead of SIGPIPE. */
+/** Write all of @p n bytes via the fault-aware transfer helper
+ *  (common/fault.hh: EINTR retry, partial-write resumption,
+ *  MSG_NOSIGNAL, net.send.partial injection point). */
 void
 writeAll(int fd, const void *data, size_t n)
 {
-    const char *p = static_cast<const char *>(data);
-    while (n > 0) {
-        const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
-        if (w < 0) {
-            if (errno == EINTR)
-                continue;
-            throw ProtocolError(std::string("write failed: ") +
-                                std::strerror(errno));
-        }
-        p += w;
-        n -= static_cast<size_t>(w);
-    }
+    const io::XferResult r = io::sendFull(fd, data, n);
+    if (r.status != io::XferResult::Ok)
+        throw ProtocolError(std::string("write failed: ") +
+                            std::strerror(r.error));
 }
 
 /** Read exactly @p n bytes. Returns false on EOF before the first byte
@@ -35,24 +27,21 @@ writeAll(int fd, const void *data, size_t n)
 bool
 readAll(int fd, void *out, size_t n, bool eof_ok)
 {
-    char *p = static_cast<char *>(out);
-    size_t got = 0;
-    while (got < n) {
-        const ssize_t r = ::recv(fd, p + got, n - got, 0);
-        if (r < 0) {
-            if (errno == EINTR)
-                continue;
-            throw ProtocolError(std::string("read failed: ") +
-                                std::strerror(errno));
-        }
-        if (r == 0) {
-            if (got == 0 && eof_ok)
-                return false;
+    const io::XferResult r = io::recvFull(fd, out, n);
+    switch (r.status) {
+    case io::XferResult::Ok:
+        return true;
+    case io::XferResult::Eof:
+        if (eof_ok)
+            return false;
+        throw ProtocolError("connection closed mid-frame (short read)");
+    case io::XferResult::Err:
+        if (r.error == ECONNRESET)
             throw ProtocolError("connection closed mid-frame (short read)");
-        }
-        got += static_cast<size_t>(r);
+        throw ProtocolError(std::string("read failed: ") +
+                            std::strerror(r.error));
     }
-    return true;
+    throw ProtocolError("unreachable");
 }
 
 /** Begin a message payload container. */
@@ -291,6 +280,7 @@ encodeRequest(const RequestMsg &msg)
     out.u8(msg.profiler.detectInvalidation ? 1 : 0);
     out.f64(msg.rppm.sync.syncOpCost);
     out.u8(static_cast<uint8_t>(packEq1(msg.rppm.eq1)));
+    out.u32(msg.deadlineMs); // v2
     out.u64(msg.configs.size());
     for (const MulticoreConfig &cfg : msg.configs)
         encodeConfig(out, cfg);
@@ -316,6 +306,7 @@ decodeRequest(std::string_view payload)
     msg.profiler.detectInvalidation = in.u8("detect invalidation") != 0;
     msg.rppm.sync.syncOpCost = in.f64("sync op cost");
     msg.rppm.eq1 = unpackEq1(in.u8("eq1 bits"));
+    msg.deadlineMs = in.u32("deadline ms"); // v2
     const uint64_t configs = in.u64("config count");
     if (configs > in.remainingBytes())
         in.fail("config count exceeds payload size");
@@ -397,6 +388,26 @@ decodeError(std::string_view payload)
     ErrorMsg msg;
     msg.id = in.u32("request id");
     msg.message = in.str("error message");
+    expectEnd(in);
+    return msg;
+}
+
+std::string
+encodeBusy(const BusyMsg &msg)
+{
+    BinWriter out = payloadWriter();
+    out.u32(msg.id);
+    out.u32(msg.retryAfterMs);
+    return out.data();
+}
+
+BusyMsg
+decodeBusy(std::string_view payload)
+{
+    BinReader in = payloadReader(payload);
+    BusyMsg msg;
+    msg.id = in.u32("request id");
+    msg.retryAfterMs = in.u32("retry-after ms");
     expectEnd(in);
     return msg;
 }

@@ -60,8 +60,10 @@ constexpr uint32_t kFrameMagic = 0x464d5052u;
 constexpr char kWireMagic[8] = {'R', 'P', 'P', 'M', 'N', 'E', 'T', '\0'};
 
 /** Protocol version; negotiated via the Hello payload's container
- *  header. Bump on any incompatible payload change. */
-constexpr uint32_t kWireVersion = 1;
+ *  header. Bump on any incompatible payload change.
+ *  Version 2: Request carries a per-request deadline (deadlineMs) and
+ *  the server may answer with Busy (load shedding). */
+constexpr uint32_t kWireVersion = 2;
 
 /** Upper bound on a frame payload; larger lengths are rejected before
  *  allocation (a corrupt or hostile header must not OOM the daemon). */
@@ -76,6 +78,7 @@ enum class MsgType : uint32_t
     Done = 5,     ///< server → client: all cells of a request delivered
     Error = 6,    ///< server → client: request- or connection-level error
     Shutdown = 7, ///< client → server: drain and exit
+    Busy = 8,     ///< server → client: request shed, retry after hint
 };
 
 /** Malformed frame or payload (the wire analogue of
@@ -138,6 +141,11 @@ struct RequestMsg
     std::string evaluator = "rppm"; ///< reserved for future backends
     ProfilerOptions profiler;
     RppmOptions rppm;
+    /** Per-request deadline in milliseconds, measured from the moment
+     *  the server admits the request; 0 = none. Cells still queued when
+     *  it expires are abandoned and the request fails with a
+     *  request-level Error — the connection stays usable. */
+    uint32_t deadlineMs = 0;
     std::vector<MulticoreConfig> configs;
 };
 
@@ -163,6 +171,14 @@ struct ErrorMsg
     std::string message;
 };
 
+/** Load-shed reply: the request was NOT admitted (no cells will
+ *  arrive); the client should back off and retry. */
+struct BusyMsg
+{
+    uint32_t id = 0;
+    uint32_t retryAfterMs = 0; ///< server's backoff hint
+};
+
 std::string encodeHello(const HelloMsg &msg);
 HelloMsg decodeHello(std::string_view payload);
 
@@ -183,6 +199,9 @@ ErrorMsg decodeError(std::string_view payload);
 
 std::string encodeShutdown();
 void decodeShutdown(std::string_view payload);
+
+std::string encodeBusy(const BusyMsg &msg);
+BusyMsg decodeBusy(std::string_view payload);
 
 /** Config codec shared by Request encode/decode (exposed for tests). */
 void encodeConfig(BinWriter &out, const MulticoreConfig &cfg);

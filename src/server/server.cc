@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -27,6 +28,10 @@ struct RppmServer::Connection
     int fd = -1;
     std::mutex writeMutex;
     std::atomic<bool> dead{false};
+    /** Admitted requests whose Done/Error has not been delivered yet.
+     *  The idle reaper only closes a connection when this is zero, so
+     *  in-flight results are never orphaned by an idle timeout. */
+    std::atomic<uint64_t> outstanding{0};
 
     ~Connection()
     {
@@ -60,6 +65,15 @@ struct RppmServer::RequestState
     RppmOptions opts;
     std::vector<MulticoreConfig> configs;
     std::atomic<uint64_t> remaining{0};
+    /** Deadline (steady clock) after which queued cells are abandoned;
+     *  meaningful only when hasDeadline. */
+    std::chrono::steady_clock::time_point deadline{};
+    bool hasDeadline = false;
+    /** Set by the first cell that fails (deadline or predict error);
+     *  exactly one Error frame is sent, later cells are skipped, and no
+     *  Done follows. The shared memo/cache state is untouched — only
+     *  this request's delivery is abandoned. */
+    std::atomic<bool> failed{false};
 };
 
 namespace {
@@ -219,6 +233,9 @@ RppmServer::stats() const
     out.requests = requests_.load();
     out.cells = cells_.load();
     out.batches = batches_.load();
+    out.shed = shed_.load();
+    out.deadlineExpired = deadlineExpired_.load();
+    out.idleReaped = idleReaped_.load();
     out.profile = cache_.stats();
     out.memo = pool_.poolStats();
     return out;
@@ -226,29 +243,32 @@ RppmServer::stats() const
 
 // ------------------------------------------------------------ accept/read ---
 
-/** Block until @p fd is readable or stop is signalled; false = stop. */
-bool
-RppmServer::waitReadable(int fd) const
+/** Block until @p fd is readable, stop is signalled, or @p timeoutMs
+ *  elapses (-1 = no timeout). */
+RppmServer::Wait
+RppmServer::waitReadable(int fd, int timeoutMs) const
 {
     for (;;) {
         pollfd fds[2] = {{fd, POLLIN, 0}, {stopPipe_[0], POLLIN, 0}};
-        const int rc = ::poll(fds, 2, -1);
+        const int rc = ::poll(fds, 2, timeoutMs);
         if (rc < 0) {
             if (errno == EINTR)
                 continue;
-            return false;
+            return Wait::Stop;
         }
+        if (rc == 0)
+            return Wait::Timeout;
         if (fds[1].revents != 0)
-            return false;
+            return Wait::Stop;
         if (fds[0].revents != 0)
-            return true;
+            return Wait::Readable;
     }
 }
 
 void
 RppmServer::acceptLoop()
 {
-    while (waitReadable(listenFd_)) {
+    while (waitReadable(listenFd_, -1) == Wait::Readable) {
         const int fd =
             ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
         if (fd < 0)
@@ -265,11 +285,40 @@ RppmServer::acceptLoop()
 void
 RppmServer::serveConnection(const std::shared_ptr<Connection> &conn)
 {
+    // Idle policy: poll with a bounded timeout instead of forever. A
+    // connection with nothing readable for idleTimeoutSec and no
+    // outstanding requests is reaped — abandoned clients must not pin
+    // reader threads and fds for the life of the daemon. While results
+    // are still being delivered the timer just re-arms.
+    const int idleMs = opts_.idleTimeoutSec == 0
+                           ? -1
+                           : static_cast<int>(opts_.idleTimeoutSec) * 1000;
+    const auto waitOrReap = [&]() -> bool {
+        for (;;) {
+            switch (waitReadable(conn->fd, idleMs)) {
+            case Wait::Readable:
+                return true;
+            case Wait::Stop:
+                return false;
+            case Wait::Timeout:
+                if (conn->outstanding.load(std::memory_order_acquire) ==
+                    0) {
+                    ++idleReaped_;
+                    conn->send(MsgType::Error,
+                               encodeError({0, "idle timeout"}));
+                    conn->dead = true;
+                    return false;
+                }
+                break; // results in flight; keep waiting
+            }
+        }
+    };
+
     try {
         // Handshake: the first frame must be a Hello whose payload
         // container carries a version we understand.
         Frame frame;
-        if (!waitReadable(conn->fd) || !readFrame(conn->fd, frame))
+        if (!waitOrReap() || !readFrame(conn->fd, frame))
             return;
         if (frame.type != MsgType::Hello) {
             conn->send(MsgType::Error,
@@ -280,7 +329,7 @@ RppmServer::serveConnection(const std::shared_ptr<Connection> &conn)
         conn->send(MsgType::HelloOk,
                    encodeHelloOk({opts_.serverName, kWireVersion}));
 
-        while (waitReadable(conn->fd) && readFrame(conn->fd, frame)) {
+        while (waitOrReap() && readFrame(conn->fd, frame)) {
             switch (frame.type) {
             case MsgType::Request:
                 handleRequest(conn, frame.payload);
@@ -341,6 +390,21 @@ RppmServer::handleRequest(const std::shared_ptr<Connection> &conn,
     // may not even know the request id) and propagates to the caller.
     const RequestMsg req = decodeRequest(payload);
 
+    // Load shedding: admission control happens before the expensive
+    // profile step, against the bound on enqueued-but-unfinished cells.
+    // A shed request costs the server almost nothing and tells the
+    // client exactly how to behave (Busy + retry hint) instead of
+    // letting the queue — and every client's latency — grow unbounded.
+    if (opts_.maxQueuedCells > 0) {
+        std::lock_guard<std::mutex> lock(qMutex_);
+        if (pendingCells_ + req.configs.size() > opts_.maxQueuedCells) {
+            ++shed_;
+            conn->send(MsgType::Busy,
+                       encodeBusy({req.id, opts_.busyRetryMs}));
+            return;
+        }
+    }
+
     // From here on, failures are request-level: report them under the
     // request's id and keep the connection serving.
     try {
@@ -373,7 +437,14 @@ RppmServer::handleRequest(const std::shared_ptr<Connection> &conn,
         state->opts = req.rppm;
         state->configs = req.configs;
         state->remaining = req.configs.size();
+        if (req.deadlineMs > 0) {
+            state->hasDeadline = true;
+            state->deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(req.deadlineMs);
+        }
+        conn->outstanding.fetch_add(1, std::memory_order_acq_rel);
         enqueue(state);
+        enforceResidentBudget();
     } catch (const std::exception &e) {
         conn->send(MsgType::Error, encodeError({req.id, e.what()}));
     }
@@ -426,7 +497,29 @@ RppmServer::workerLoop()
             if (pendingCells_ == 0)
                 drainCv_.notify_all();
         }
+        enforceResidentBudget();
     }
+}
+
+void
+RppmServer::enforceResidentBudget()
+{
+    if (opts_.maxResidentBytes == 0)
+        return;
+    const uint64_t profile = cache_.stats().residentBytes;
+    const uint64_t memo = pool_.poolStats().residentBytes;
+    const uint64_t total = profile + memo;
+    if (total <= opts_.maxResidentBytes)
+        return;
+    // Graceful degradation order: shed the profile tier first — a
+    // profile reloads from its serialized artifact (or recomputes via
+    // the self-healing miss path), while a dropped memo engine forfeits
+    // every phase-1/phase-2 reuse it had accumulated. Only if profiles
+    // alone cannot cover the overshoot does the memo tier shrink.
+    uint64_t want = total - opts_.maxResidentBytes;
+    const uint64_t freed = cache_.shedBytes(want);
+    if (freed < want)
+        pool_.shedBytes(want - freed);
 }
 
 void
@@ -434,25 +527,53 @@ RppmServer::runCell(const Cell &cell)
 {
     RequestState &req = *cell.req;
     const MulticoreConfig &cfg = req.configs[cell.index];
-    try {
-        const RppmPrediction pred = req.engine->predict(cfg, req.opts);
-        ResultMsg res;
-        res.id = req.id;
-        res.cell = cell.index;
-        res.config = cfg.name;
-        res.cycles = pred.totalCycles;
-        res.seconds = pred.totalSeconds;
-        res.threadSeconds = pred.threadSeconds;
-        req.conn->send(MsgType::Result, encodeResult(res));
-    } catch (const std::exception &e) {
-        // Configs were validated at admission, so this is exceptional;
-        // the client aborts the request on the Error frame.
-        req.conn->send(MsgType::Error, encodeError({req.id, e.what()}));
+    // A failed request's remaining cells are skipped, not evaluated:
+    // exactly one Error frame is delivered (the exchange below ensures
+    // that) and no Result/Done follows it, so the client never sees
+    // frames for a request it already aborted. Crucially nothing here
+    // touches the shared memo pool or profile cache on failure — an
+    // expired deadline abandons delivery, never state.
+    if (!req.failed.load(std::memory_order_acquire)) {
+        const bool expired =
+            req.hasDeadline &&
+            std::chrono::steady_clock::now() >= req.deadline;
+        if (expired) {
+            if (!req.failed.exchange(true, std::memory_order_acq_rel)) {
+                ++deadlineExpired_;
+                req.conn->send(
+                    MsgType::Error,
+                    encodeError({req.id, "deadline exceeded"}));
+            }
+        } else {
+            try {
+                const RppmPrediction pred =
+                    req.engine->predict(cfg, req.opts);
+                ResultMsg res;
+                res.id = req.id;
+                res.cell = cell.index;
+                res.config = cfg.name;
+                res.cycles = pred.totalCycles;
+                res.seconds = pred.totalSeconds;
+                res.threadSeconds = pred.threadSeconds;
+                ++cells_;
+                if (!req.failed.load(std::memory_order_acquire))
+                    req.conn->send(MsgType::Result, encodeResult(res));
+            } catch (const std::exception &e) {
+                // Configs were validated at admission, so this is
+                // exceptional; the client aborts on the Error frame.
+                if (!req.failed.exchange(true,
+                                         std::memory_order_acq_rel))
+                    req.conn->send(MsgType::Error,
+                                   encodeError({req.id, e.what()}));
+            }
+        }
     }
-    ++cells_;
-    if (req.remaining.fetch_sub(1) == 1)
-        req.conn->send(MsgType::Done,
-                       encodeDone({req.id, req.configs.size()}));
+    if (req.remaining.fetch_sub(1) == 1) {
+        if (!req.failed.load(std::memory_order_acquire))
+            req.conn->send(MsgType::Done,
+                           encodeDone({req.id, req.configs.size()}));
+        req.conn->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    }
 }
 
 } // namespace server

@@ -97,6 +97,27 @@ struct ServerOptions
      *  either way. */
     uint64_t streamChunkRecords = 0;
 
+    /** Reap a connection after this many seconds with no readable data
+     *  and no outstanding requests (0 = never). Keeps abandoned clients
+     *  from pinning reader threads and fds forever. */
+    unsigned idleTimeoutSec = 300;
+
+    /** Admission bound on enqueued-but-unfinished grid cells. A Request
+     *  that would push the queue beyond this is refused with Busy
+     *  (carrying busyRetryMs) instead of being admitted — bounded queue,
+     *  bounded latency. 0 = unbounded. */
+    uint64_t maxQueuedCells = 0;
+
+    /** Retry hint carried in Busy replies. */
+    uint32_t busyRetryMs = 50;
+
+    /** Combined byte budget over the profile cache and the memo pool
+     *  (0 = none). When exceeded, the server degrades gracefully:
+     *  profile-cache residency is shed first (profiles reload from the
+     *  serialized tier or recompute), then memo residency — dropping
+     *  speed, never results. */
+    uint64_t maxResidentBytes = 0;
+
     /** Invoked (from a reader thread) when a client sends Shutdown.
      *  The daemon main loop typically wakes itself here and calls
      *  stop(); the server never stops itself mid-callback. */
@@ -137,6 +158,9 @@ class RppmServer
         uint64_t requests = 0;    ///< Request messages admitted
         uint64_t cells = 0;       ///< grid cells evaluated
         uint64_t batches = 0;     ///< component-key batches executed
+        uint64_t shed = 0;        ///< requests refused with Busy
+        uint64_t deadlineExpired = 0; ///< requests failed on deadline
+        uint64_t idleReaped = 0;  ///< connections closed for idleness
         ProfileCache::Stats profile;
         PredictionMemoPool::PoolStats memo;
     };
@@ -151,6 +175,14 @@ class RppmServer
         uint64_t index = 0; ///< into RequestState::configs
     };
 
+    /** Outcome of waiting for socket readability. */
+    enum class Wait
+    {
+        Readable,
+        Stop,
+        Timeout,
+    };
+
     void acceptLoop();
     void serveConnection(const std::shared_ptr<Connection> &conn);
     void handleRequest(const std::shared_ptr<Connection> &conn,
@@ -160,7 +192,8 @@ class RppmServer
     void enqueue(const std::shared_ptr<RequestState> &req);
     void workerLoop();
     void runCell(const Cell &cell);
-    bool waitReadable(int fd) const;
+    Wait waitReadable(int fd, int timeoutMs) const;
+    void enforceResidentBudget();
 
     ServerOptions opts_;
     ProfileCache cache_;
@@ -197,6 +230,9 @@ class RppmServer
     std::atomic<uint64_t> requests_{0};
     std::atomic<uint64_t> cells_{0};
     std::atomic<uint64_t> batches_{0};
+    std::atomic<uint64_t> shed_{0};
+    std::atomic<uint64_t> deadlineExpired_{0};
+    std::atomic<uint64_t> idleReaped_{0};
 };
 
 } // namespace server

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "common/fault.hh"
 #include "profile/serialize.hh"
 
 namespace rppm {
@@ -140,7 +141,17 @@ ProfileCache::getOrCompute(const std::string &workload,
                 }
             } catch (const std::exception &) {
                 // Corrupt, old-version or legacy text-format artifact:
-                // treat as a miss and overwrite it below (self-healing).
+                // treat as a miss and recompute (self-healing). Set the
+                // bad bytes aside as *.corrupt rather than overwriting
+                // blind — a checksum failure is evidence of storage
+                // trouble worth post-morteming, and the quarantine also
+                // guarantees the rewrite below starts from a clean slate.
+                std::error_code ec;
+                std::filesystem::rename(path, path + ".corrupt", ec);
+                if (!ec) {
+                    MutexLock lock(mutex_);
+                    ++stats_.quarantined;
+                }
             }
         }
         if (!profile) {
@@ -149,14 +160,14 @@ ProfileCache::getOrCompute(const std::string &workload,
             if (!path.empty()) {
                 try {
                     std::filesystem::create_directories(dir);
-                    // Write-then-rename so concurrent processes sharing
-                    // the directory never observe a torn artifact.
-                    const std::string tmp =
-                        path + ".tmp." +
-                        std::to_string(
-                            static_cast<unsigned long>(::getpid()));
-                    saveProfileBinaryToFile(*profile, tmp);
-                    std::filesystem::rename(tmp, path);
+                    // Crash-safe publication: serialize to memory, then
+                    // write-tmp + fsync + rename (common/fault.hh). The
+                    // fsync closes the rename-before-data crash window;
+                    // concurrent processes sharing the directory never
+                    // observe a torn artifact.
+                    std::ostringstream bytes;
+                    saveProfileBinary(*profile, bytes);
+                    io::writeFileAtomic(path, bytes.str());
                 } catch (const std::exception &) {
                     // The disk tier is an optimization: a write failure
                     // (read-only or full filesystem) must not poison a
@@ -196,6 +207,19 @@ ProfileCache::getOrCompute(const std::string &workload,
         promise.set_exception(std::current_exception());
         throw;
     }
+}
+
+uint64_t
+ProfileCache::shedBytes(uint64_t bytes)
+{
+    MutexLock lock(mutex_);
+    const uint64_t before = lru_.bytes();
+    const uint64_t target = before > bytes ? before - bytes : 0;
+    for (const std::string &victim : lru_.shrinkTo(target)) {
+        entries_.erase(victim);
+        ++stats_.evictions;
+    }
+    return before - lru_.bytes();
 }
 
 void

@@ -109,8 +109,19 @@ class ProfileCache
         uint64_t misses = 0;
         uint64_t evictions = 0;     ///< entries dropped by the budget
         uint64_t residentBytes = 0; ///< approx bytes currently resident
+        uint64_t quarantined = 0;   ///< corrupt artifacts set aside
     };
     Stats stats() const RPPM_EXCLUDES(mutex_);
+
+    /**
+     * Shed roughly @p bytes of least-recently-used *completed* entries
+     * right now, independent of the configured budget — the server's
+     * graceful-degradation hook. Returns the bytes actually freed.
+     * In-flight computations are never shed, outstanding shared_ptr
+     * holders keep their profiles, and serialized artifacts stay on
+     * disk, so a shed profile reloads cheaply on its next request.
+     */
+    uint64_t shedBytes(uint64_t bytes) RPPM_EXCLUDES(mutex_);
 
     /** Path the serialized tier uses for a key (for tests/tools). */
     std::string pathFor(const std::string &workload,

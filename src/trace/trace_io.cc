@@ -123,14 +123,18 @@ loadTrace(std::istream &is)
     buf << is.rdbuf();
     const std::string data = buf.str();
 
-    BinReader in(data, kTraceMagic, kTraceFormatVersion);
+    BinReader in(data, kTraceMagic, kTraceFormatVersionMin,
+                 kTraceFormatVersion);
+    in.setBlockCrcVerify(in.version() >= kTraceFormatVersionCrc);
     return parseTrace(in, data.size(), CopyColumns{in});
 }
 
 ColumnarTrace
 loadTraceView(std::shared_ptr<const MappedFile> image)
 {
-    BinReader in(image->view(), kTraceMagic, kTraceFormatVersion);
+    BinReader in(image->view(), kTraceMagic, kTraceFormatVersionMin,
+                 kTraceFormatVersion);
+    in.setBlockCrcVerify(in.version() >= kTraceFormatVersionCrc);
     ColumnarTrace trace = parseTrace(in, image->size(), ViewColumns{in});
     // The columns alias the mapped bytes; the trace keeps the image
     // alive (and marks itself borrowed) by holding it.

@@ -10,8 +10,10 @@
  * column payloads directly.
  *
  * Loading validates everything the sequential consumers rely on: magic,
- * byte order and version (old or future versions are rejected, never
- * half-decoded), per-column tags and element sizes, sync positions
+ * byte order and version (unknown versions are rejected, never
+ * half-decoded; version-1 pre-checksum files still load), per-column
+ * CRC32C trailers (version >= 2), per-column tags and element sizes,
+ * sync positions
  * strictly ascending and in range, enum values in range, and sparse
  * column lengths consistent with the dense op column. Malformed input
  * throws std::invalid_argument; I/O failures throw std::runtime_error.
@@ -27,8 +29,16 @@
 
 namespace rppm {
 
-/** Current RPPMTRC format version. */
-constexpr uint32_t kTraceFormatVersion = 1;
+/** Current RPPMTRC format version. Version 2 added CRC32C trailers to
+ *  every column block (common/binio.hh); version 1 files (no trailers)
+ *  still load, just without integrity verification. */
+constexpr uint32_t kTraceFormatVersion = 2;
+
+/** Oldest RPPMTRC version the loaders accept. */
+constexpr uint32_t kTraceFormatVersionMin = 1;
+
+/** First version whose column blocks carry CRC32C trailers. */
+constexpr uint32_t kTraceFormatVersionCrc = 2;
 
 /** Container magic (first 8 bytes of every RPPMTRC file). */
 constexpr char kTraceMagic[8] = {'R', 'P', 'P', 'M', 'T', 'R', 'C', '\0'};

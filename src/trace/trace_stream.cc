@@ -6,6 +6,7 @@
 
 #include "common/assert.hh"
 #include "common/binio.hh"
+#include "common/crc32c.hh"
 #include "trace/trace_io.hh"
 
 namespace rppm {
@@ -81,10 +82,12 @@ class FileWalker
     uint64_t off_ = 0;
 };
 
-/** Walk one column block header, record its extent, skip its payload. */
+/** Walk one column block header, record its extent, skip its payload.
+ *  For checksummed (version >= 2) files, consume the 8-byte trailer and
+ *  record the stored CRC so readers can verify payloads later. */
 ColumnExtent
 walkColumn(FileWalker &in, uint32_t tag, uint32_t elemSize,
-           const char *what)
+           const char *what, bool hasCrc)
 {
     in.skipPad8();
     if (in.u32(what) != tag)
@@ -99,6 +102,10 @@ walkColumn(FileWalker &in, uint32_t tag, uint32_t elemSize,
     ext.count = count;
     in.skip(count * elemSize, what);
     in.skipPad8();
+    if (hasCrc) {
+        ext.crc = in.u32(what);
+        in.u32(what); // reserved
+    }
     return ext;
 }
 
@@ -118,10 +125,13 @@ indexTraceFile(const FdFile &file)
     if (in.u32("endianness") != kBinEndianMarker)
         fail("foreign byte order");
     const uint32_t version = in.u32("version");
-    if (version != kTraceFormatVersion) {
+    if (version < kTraceFormatVersionMin || version > kTraceFormatVersion) {
         fail("unsupported format version " + std::to_string(version) +
-             " (expected " + std::to_string(kTraceFormatVersion) + ")");
+             " (expected " + std::to_string(kTraceFormatVersionMin) +
+             ".." + std::to_string(kTraceFormatVersion) + ")");
     }
+    layout.version = version;
+    layout.hasBlockCrcs = version >= kTraceFormatVersionCrc;
 
     const uint64_t nameLen = in.u64("name");
     if (nameLen > in.remaining())
@@ -136,18 +146,20 @@ indexTraceFile(const FdFile &file)
     if (threads > layout.fileSize)
         fail("thread count exceeds file size");
     layout.threads.resize(threads);
+    const bool crcs = layout.hasBlockCrcs;
     for (uint64_t t = 0; t < threads; ++t) {
         ThreadLayout &th = layout.threads[t];
         th.records = in.u64("record count");
-        th.op = walkColumn(in, kTagOp, 1, "op column");
-        th.pc = walkColumn(in, kTagPc, 4, "pc column");
-        th.dep1 = walkColumn(in, kTagDep1, 2, "dep1 column");
-        th.dep2 = walkColumn(in, kTagDep2, 2, "dep2 column");
-        th.addr = walkColumn(in, kTagAddr, 8, "addr column");
-        th.taken = walkColumn(in, kTagTaken, 1, "taken column");
-        th.syncPos = walkColumn(in, kTagSyncPos, 8, "syncPos column");
-        th.syncType = walkColumn(in, kTagSyncTyp, 1, "syncType column");
-        th.syncArg = walkColumn(in, kTagSyncArg, 4, "syncArg column");
+        th.op = walkColumn(in, kTagOp, 1, "op column", crcs);
+        th.pc = walkColumn(in, kTagPc, 4, "pc column", crcs);
+        th.dep1 = walkColumn(in, kTagDep1, 2, "dep1 column", crcs);
+        th.dep2 = walkColumn(in, kTagDep2, 2, "dep2 column", crcs);
+        th.addr = walkColumn(in, kTagAddr, 8, "addr column", crcs);
+        th.taken = walkColumn(in, kTagTaken, 1, "taken column", crcs);
+        th.syncPos = walkColumn(in, kTagSyncPos, 8, "syncPos column", crcs);
+        th.syncType =
+            walkColumn(in, kTagSyncTyp, 1, "syncType column", crcs);
+        th.syncArg = walkColumn(in, kTagSyncArg, 4, "syncArg column", crcs);
         if (th.op.count != th.records)
             fail("record count does not match op column");
         if (th.pc.count != th.records || th.dep1.count != th.records ||
@@ -185,6 +197,20 @@ loadSyncColumns(const FdFile &file, const TraceFileLayout &layout)
             file.pread(s.arg.data(), n * sizeof(uint32_t),
                        th.syncArg.offset);
         }
+        if (layout.hasBlockCrcs) {
+            // Sync columns are resident anyway, so verify them here in
+            // one shot; the dense columns are verified incrementally as
+            // the chunk reader maps them.
+            if (crc32c(s.pos.data(), n * sizeof(uint64_t)) !=
+                    th.syncPos.crc ||
+                crc32c(s.type.data(), n * sizeof(SyncType)) !=
+                    th.syncType.crc ||
+                crc32c(s.arg.data(), n * sizeof(uint32_t)) !=
+                    th.syncArg.crc) {
+                fail("checksum mismatch in sync columns "
+                     "(torn write or corruption)");
+            }
+        }
         uint64_t prev = 0;
         for (size_t k = 0; k < n; ++k) {
             if (s.pos[k] >= th.records)
@@ -199,6 +225,64 @@ loadSyncColumns(const FdFile &file, const TraceFileLayout &layout)
         }
     }
     return sync;
+}
+
+StreamCrcVerifier::StreamCrcVerifier(const TraceFileLayout &layout)
+{
+    MutexLock lock(mutex_);
+    states_.resize(layout.threads.size() * kNumColumns);
+    for (size_t t = 0; t < layout.threads.size(); ++t) {
+        const ThreadLayout &th = layout.threads[t];
+        const ColumnExtent *exts[kNumColumns] = {&th.op,   &th.pc,
+                                                 &th.dep1, &th.dep2,
+                                                 &th.addr, &th.taken};
+        for (uint32_t c = 0; c < kNumColumns; ++c) {
+            State &s = states_[t * kNumColumns + c];
+            s.count = exts[c]->count;
+            s.expect = exts[c]->crc;
+            if (s.count == 0) {
+                // Empty columns have nothing to fold; check now.
+                if (s.expect != kCrc32cInit)
+                    fail("checksum mismatch in empty column "
+                         "(torn write or corruption)");
+                s.frontier = kRetired;
+                ++verified_;
+            }
+        }
+    }
+}
+
+void
+StreamCrcVerifier::fold(uint32_t t, Column col, uint64_t lo, uint64_t hi,
+                        const void *data, size_t elemSize)
+{
+    MutexLock lock(mutex_);
+    State &s = states_[t * kNumColumns + col];
+    if (s.frontier == kRetired)
+        return;
+    if (lo != s.frontier) {
+        // Out-of-order access: the running CRC can no longer cover the
+        // column contiguously. Retire it from verification — missing a
+        // check is acceptable, a false mismatch is not.
+        s.frontier = kRetired;
+        return;
+    }
+    s.crc = crc32cExtend(s.crc, data, (hi - lo) * elemSize);
+    s.frontier = hi;
+    if (s.frontier == s.count) {
+        if (s.crc != s.expect)
+            fail("checksum mismatch in streamed column "
+                 "(torn write or corruption)");
+        s.frontier = kRetired;
+        ++verified_;
+    }
+}
+
+uint64_t
+StreamCrcVerifier::columnsVerified() const
+{
+    MutexLock lock(mutex_);
+    return verified_;
 }
 
 TraceChunk
@@ -225,29 +309,75 @@ TraceChunkReader::read(uint32_t t, size_t recLo, size_t recHi,
     // by the container discipline, and every element size divides 8, so
     // each window's data pointer is correctly aligned for its type.
     auto mapSlice = [&](const ColumnExtent &ext, uint64_t lo, uint64_t hi,
-                        size_t elem) -> const char * {
+                        size_t elem,
+                        StreamCrcVerifier::Column col) -> const char * {
         if (lo == hi)
             return nullptr;
         MappedWindow w;
         w.map(file_, ext.offset + lo * elem,
               static_cast<size_t>((hi - lo) * elem));
         chunk.windows.push_back(std::move(w));
-        return chunk.windows.back().data();
+        const char *data = chunk.windows.back().data();
+        if (verifier_)
+            verifier_->fold(t, col, lo, hi, data, elem);
+        return data;
     };
 
     chunk.op = reinterpret_cast<const OpClass *>(
-        mapSlice(th.op, recLo, recHi, 1));
+        mapSlice(th.op, recLo, recHi, 1, StreamCrcVerifier::kColOp));
     chunk.pc = reinterpret_cast<const uint32_t *>(
-        mapSlice(th.pc, recLo, recHi, 4));
+        mapSlice(th.pc, recLo, recHi, 4, StreamCrcVerifier::kColPc));
     chunk.dep1 = reinterpret_cast<const uint16_t *>(
-        mapSlice(th.dep1, recLo, recHi, 2));
+        mapSlice(th.dep1, recLo, recHi, 2, StreamCrcVerifier::kColDep1));
     chunk.dep2 = reinterpret_cast<const uint16_t *>(
-        mapSlice(th.dep2, recLo, recHi, 2));
+        mapSlice(th.dep2, recLo, recHi, 2, StreamCrcVerifier::kColDep2));
     chunk.addr = reinterpret_cast<const uint64_t *>(
-        mapSlice(th.addr, memLo, memHi, 8));
+        mapSlice(th.addr, memLo, memHi, 8, StreamCrcVerifier::kColAddr));
     chunk.taken = reinterpret_cast<const uint8_t *>(
-        mapSlice(th.taken, brLo, brHi, 1));
+        mapSlice(th.taken, brLo, brHi, 1, StreamCrcVerifier::kColTaken));
     return chunk;
+}
+
+uint64_t
+verifyTraceFileCrcs(const FdFile &file, const TraceFileLayout &layout)
+{
+    if (!layout.hasBlockCrcs)
+        return 0;
+    // Bounded scratch: big enough to amortize syscalls, small enough to
+    // stay out-of-core friendly.
+    constexpr size_t kSpanBytes = size_t{1} << 20;
+    std::vector<char> buf(kSpanBytes);
+    uint64_t checked = 0;
+    auto verify = [&](const ColumnExtent &ext, size_t elem,
+                      const char *what) {
+        uint32_t crc = kCrc32cInit;
+        uint64_t bytes = ext.count * elem;
+        uint64_t off = ext.offset;
+        while (bytes > 0) {
+            const size_t n =
+                static_cast<size_t>(std::min<uint64_t>(bytes, kSpanBytes));
+            file.pread(buf.data(), n, off);
+            crc = crc32cExtend(crc, buf.data(), n);
+            off += n;
+            bytes -= n;
+        }
+        if (crc != ext.crc)
+            fail(std::string("checksum mismatch in ") + what +
+                 " (torn write or corruption)");
+        ++checked;
+    };
+    for (const ThreadLayout &th : layout.threads) {
+        verify(th.op, 1, "op column");
+        verify(th.pc, 4, "pc column");
+        verify(th.dep1, 2, "dep1 column");
+        verify(th.dep2, 2, "dep2 column");
+        verify(th.addr, 8, "addr column");
+        verify(th.taken, 1, "taken column");
+        verify(th.syncPos, 8, "syncPos column");
+        verify(th.syncType, 1, "syncType column");
+        verify(th.syncArg, 4, "syncArg column");
+    }
+    return checked;
 }
 
 void

@@ -35,10 +35,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/mmap.hh"
+#include "common/thread_annotations.hh"
 #include "trace/trace.hh"
 
 namespace rppm {
@@ -48,6 +50,8 @@ struct ColumnExtent
 {
     uint64_t offset = 0; ///< absolute byte offset of the first element
     uint64_t count = 0;  ///< element count
+    uint32_t crc = 0;    ///< CRC32C trailer (valid when the layout's
+                         ///< hasBlockCrcs is set, i.e. version >= 2)
 };
 
 /** Extents of one thread's nine columns. */
@@ -64,6 +68,8 @@ struct TraceFileLayout
 {
     std::string name;
     uint64_t fileSize = 0;
+    uint32_t version = 0;
+    bool hasBlockCrcs = false; ///< version >= kTraceFormatVersionCrc
     std::vector<ThreadLayout> threads;
 };
 
@@ -113,13 +119,87 @@ struct TraceChunk
     std::vector<MappedWindow> windows;
 };
 
+/**
+ * Rolling CRC32C verification of a trace file's column payloads as the
+ * chunked reader maps them — the streaming analogue of the whole-file
+ * loaders' per-block trailer check, without ever holding a whole column.
+ *
+ * Each verified column keeps a frontier: the element ordinal up to which
+ * its CRC has been folded. A mapped slice starting exactly at the
+ * frontier extends the running CRC (crc32cExtend composes); when the
+ * frontier reaches the column's end the accumulated CRC is compared
+ * against the stored trailer and a mismatch throws std::invalid_argument
+ * with the same "binary container: " prefix as every other integrity
+ * failure. Chunked profiling tiles each column front to back, so in
+ * practice every column completes; a consumer that ever maps a slice out
+ * of order (re-reads or skips) silently retires that column from
+ * verification rather than raising a false alarm — verification is
+ * best-effort by design, corruption detection must never reject a good
+ * file. Zero-length columns are checked at construction.
+ *
+ * Thread-safe: chunks of different threads fold concurrently under an
+ * internal mutex (the fold itself is a cheap table walk).
+ */
+class StreamCrcVerifier
+{
+  public:
+    /** Column ordinals within a thread, for fold(). */
+    enum Column : uint32_t
+    {
+        kColOp = 0,
+        kColPc,
+        kColDep1,
+        kColDep2,
+        kColAddr,
+        kColTaken,
+        kNumColumns,
+    };
+
+    /** @p layout must describe a file with hasBlockCrcs == true. */
+    explicit StreamCrcVerifier(const TraceFileLayout &layout);
+
+    /**
+     * Fold the payload bytes of thread @p t's column @p col covering
+     * element ordinals [lo, hi) into its running CRC. Throws on a
+     * mismatch once the column completes.
+     */
+    void fold(uint32_t t, Column col, uint64_t lo, uint64_t hi,
+              const void *data, size_t elemSize);
+
+    /** Columns fully verified so far (monotone; for tests/tools). */
+    uint64_t columnsVerified() const RPPM_EXCLUDES(mutex_);
+
+  private:
+    struct State
+    {
+        uint64_t count = 0;    ///< total elements in the column
+        uint64_t frontier = 0; ///< elements folded so far (kRetired: off)
+        uint32_t expect = 0;   ///< stored trailer CRC
+        uint32_t crc = 0;      ///< running CRC over [0, frontier)
+    };
+
+    static constexpr uint64_t kRetired = ~uint64_t{0};
+
+    mutable Mutex mutex_;
+    std::vector<State> states_ RPPM_GUARDED_BY(mutex_); // t*kNumColumns+col
+    uint64_t verified_ RPPM_GUARDED_BY(mutex_) = 0;
+};
+
 /** Maps per-chunk column windows out of an indexed trace file. */
 class TraceChunkReader
 {
   public:
-    /** @p file and @p layout must outlive the reader and its chunks. */
+    /**
+     * @p file and @p layout must outlive the reader and its chunks.
+     * When @p layout has block CRCs, every mapped slice is folded into a
+     * rolling per-column checksum and each column is verified against
+     * its trailer as its last slice is read (see StreamCrcVerifier).
+     */
     TraceChunkReader(const FdFile &file, const TraceFileLayout &layout)
-        : file_(file), layout_(layout)
+        : file_(file), layout_(layout),
+          verifier_(layout.hasBlockCrcs
+                        ? std::make_unique<StreamCrcVerifier>(layout)
+                        : nullptr)
     {
     }
 
@@ -133,10 +213,32 @@ class TraceChunkReader
                     uint64_t memLo, uint64_t memHi, uint64_t brLo,
                     uint64_t brHi) const;
 
+    /** Columns fully CRC-verified so far (0 for pre-checksum files). */
+    uint64_t
+    columnsVerified() const
+    {
+        return verifier_ ? verifier_->columnsVerified() : 0;
+    }
+
   private:
     const FdFile &file_;
     const TraceFileLayout &layout_;
+    // Verification state mutates as a side effect of read() const —
+    // logically the reader stays const (results are unchanged), so the
+    // verifier is the classic mutable-cache shape. It locks internally.
+    mutable std::unique_ptr<StreamCrcVerifier> verifier_;
 };
+
+/**
+ * Verify every column trailer of an indexed trace file by pread'ing the
+ * payloads in bounded spans (O(1) memory). Returns the number of columns
+ * checked — 0 for pre-checksum (version 1) files, 9 * threads otherwise.
+ * Throws std::invalid_argument on any mismatch. Used by `rppm_trace
+ * info` and available to any tool that wants an explicit integrity pass
+ * without loading the trace.
+ */
+uint64_t verifyTraceFileCrcs(const FdFile &file,
+                             const TraceFileLayout &layout);
 
 /**
  * Forward-only reader of one thread's op column through a small rolling

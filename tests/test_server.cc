@@ -25,6 +25,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -91,6 +92,7 @@ TEST(Protocol, RequestRoundTripsEveryField)
     req.rppm.sync.syncOpCost = 17.5;
     req.rppm.eq1.mlpOverlap = false;
     req.rppm.eq1.branch = false;
+    req.deadlineMs = 1500; // v2 field
     req.configs = tableIvConfigs();
     const auto hetero = heterogeneousConfigs();
     req.configs.push_back(hetero.front()); // heterogeneous cores + mapping
@@ -109,6 +111,7 @@ TEST(Protocol, RequestRoundTripsEveryField)
     EXPECT_EQ(out.rppm.eq1.mlpOverlap, req.rppm.eq1.mlpOverlap);
     EXPECT_EQ(out.rppm.eq1.branch, req.rppm.eq1.branch);
     EXPECT_EQ(out.rppm.eq1.ilpReplay, req.rppm.eq1.ilpReplay);
+    EXPECT_EQ(out.deadlineMs, req.deadlineMs);
     ASSERT_EQ(out.configs.size(), req.configs.size());
     for (size_t i = 0; i < req.configs.size(); ++i)
         EXPECT_TRUE(out.configs[i] == req.configs[i]) << i;
@@ -142,6 +145,9 @@ TEST(Protocol, ResultAndControlRoundTrips)
     const ErrorMsg err = decodeError(encodeError({3, "no such workload"}));
     EXPECT_EQ(err.id, 3u);
     EXPECT_EQ(err.message, "no such workload");
+    const BusyMsg busy = decodeBusy(encodeBusy({11, 250}));
+    EXPECT_EQ(busy.id, 11u);
+    EXPECT_EQ(busy.retryAfterMs, 250u);
     decodeShutdown(encodeShutdown()); // must not throw
 }
 
@@ -496,6 +502,39 @@ TEST(Server, ShutdownMessageInvokesCallback)
     client.close();
     server.stop();
     EXPECT_TRUE(requested.load());
+}
+
+TEST(Server, IdleConnectionsAreReaped)
+{
+    ServerOptions opts;
+    opts.socketPath = socketPathFor("idle");
+    opts.idleTimeoutSec = 1;
+    RppmServer server(opts);
+    server.start();
+
+    RppmClient client;
+    client.connect(opts.socketPath);
+
+    // Sit quiet past the timeout: the reader reaps the connection
+    // (Error id 0, then close) instead of pinning a thread and an fd
+    // for an abandoned client forever.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1600));
+    Query query;
+    query.workload = "backprop";
+    query.profiler = lightProfiler();
+    query.configs = {baseConfig()};
+    EXPECT_THROW(client.evaluate(query), std::exception);
+    client.close();
+
+    // An active connection is untouched by the same timeout.
+    RppmClient busy;
+    busy.connect(opts.socketPath);
+    const auto results = busy.evaluate(query);
+    EXPECT_EQ(results.size(), 1u);
+    busy.close();
+
+    server.stop();
+    EXPECT_EQ(server.stats().idleReaped, 1u);
 }
 
 TEST(Server, StopDrainsAdmittedRequests)

@@ -14,9 +14,11 @@
  *
  * Usage:
  *   rppm_client --socket PATH [--workload NAME]... [--trace FILE]...
- *               [--configs table4|hetero|base] [--local] [--shutdown]
+ *               [--configs table4|hetero|base] [--deadline-ms MS]
+ *               [--local] [--shutdown]
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -38,6 +40,7 @@ struct Options
     std::string socket;
     std::vector<std::pair<WorkloadRefKind, std::string>> workloads;
     std::string configSet = "table4";
+    uint32_t deadlineMs = 0;
     bool local = false;
     bool shutdown = false;
 };
@@ -52,6 +55,7 @@ usage(const char *argv0)
         "  --trace FILE      RPPMTRC file to evaluate (repeatable;\n"
         "                    the path is resolved on the *server*)\n"
         "  --configs SET     table4 | hetero | base (default table4)\n"
+        "  --deadline-ms MS  per-request server-side deadline (0=none)\n"
         "  --local           evaluate in-process instead (identity check)\n"
         "  --shutdown        ask the daemon to drain and exit\n",
         argv0);
@@ -119,6 +123,7 @@ runRemote(const Options &opts)
         rppm::server::Query query;
         query.kind = kind;
         query.workload = ref;
+        query.deadlineMs = opts.deadlineMs;
         query.configs = configs;
         const auto results = client.evaluate(query);
         for (const rppm::server::CellResult &cell : results)
@@ -155,6 +160,9 @@ main(int argc, char **argv)
                                         value());
         else if (arg == "--configs")
             opts.configSet = value();
+        else if (arg == "--deadline-ms")
+            opts.deadlineMs =
+                static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
         else if (arg == "--local")
             opts.local = true;
         else if (arg == "--shutdown")

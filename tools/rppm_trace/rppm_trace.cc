@@ -5,20 +5,24 @@
  * Subcommands:
  *
  *   info FILE
- *     Index the container (no column data is read beyond the sparse
- *     sync columns' extents) and print the header, per-thread record /
- *     memory / branch / sync counts, and per-column payload sizes.
- *     Exits non-zero on a malformed file, so it doubles as a cheap
- *     structural validator in CI.
+ *     Index the container and print the header, per-thread record /
+ *     memory / branch / sync counts, and per-column payload sizes. For
+ *     checksummed (version >= 2) files every column's CRC32C trailer is
+ *     printed and verified against the payload bytes (read in bounded
+ *     spans, O(1) memory). Exits non-zero on a malformed or corrupt
+ *     file, so it doubles as a cheap integrity validator in CI.
  *
  *   synth FILE --records N [--name NAME] [--sync-period P]
+ *         [--corrupt-at OFF]
  *     Write a synthetic single-thread trace of N records with O(1)
  *     memory: columns stream through a small buffer, never resident.
  *     Exists so CI can manufacture a trace far larger than the memory
  *     cap it then profiles under (the out-of-core smoke test) without
  *     shipping multi-GiB fixtures. Every P-th record is a sync event
  *     (alternating MutexLock/MutexUnlock on mutex 0); all others are
- *     loads walking a 64 MiB window.
+ *     loads walking a 64 MiB window. --corrupt-at flips one bit at byte
+ *     OFF after writing — a deliberate corruption for checksum tests
+ *     and chaos CI.
  *
  *   profile FILE [--engine fused|streaming] [--stream-chunk N]
  *           [--jobs N] [--mti N]
@@ -40,6 +44,7 @@
 #include <vector>
 
 #include "common/binio.hh"
+#include "common/crc32c.hh"
 #include "common/mmap.hh"
 #include "profile/profiler.hh"
 #include "trace/trace_io.hh"
@@ -56,7 +61,7 @@ usage()
         stderr,
         "usage: rppm_trace info FILE\n"
         "       rppm_trace synth FILE --records N [--name NAME]\n"
-        "                  [--sync-period P]\n"
+        "                  [--sync-period P] [--corrupt-at OFF]\n"
         "       rppm_trace profile FILE [--engine fused|streaming]\n"
         "                  [--stream-chunk N] [--jobs N] [--mti N]\n");
     return 2;
@@ -72,6 +77,8 @@ cmdInfo(const std::string &path)
 
     std::printf("file:    %s\n", path.c_str());
     std::printf("bytes:   %" PRIu64 "\n", layout.fileSize);
+    std::printf("version: %" PRIu32 "%s\n", layout.version,
+                layout.hasBlockCrcs ? " (checksummed)" : "");
     std::printf("name:    %s\n", layout.name.c_str());
     std::printf("threads: %zu\n", layout.threads.size());
 
@@ -103,11 +110,24 @@ cmdInfo(const std::string &path)
         };
         for (const auto &c : cols) {
             std::printf("  %-8s %12" PRIu64 " x %u = %12" PRIu64
-                        " bytes @ %" PRIu64 "\n",
+                        " bytes @ %" PRIu64,
                         c.name, c.ext->count, c.elem,
                         c.ext->count * c.elem, c.ext->offset);
+            if (layout.hasBlockCrcs)
+                std::printf("  crc32c %08" PRIx32, c.ext->crc);
+            std::printf("\n");
         }
     }
+
+    // Verify every trailer against the actual payload bytes; throws
+    // (→ exit 1) on a mismatch, so `info` doubles as an integrity check.
+    const uint64_t checked = verifyTraceFileCrcs(file, layout);
+    if (checked > 0)
+        std::printf("checksums: %" PRIu64 " columns verified\n", checked);
+    else
+        std::printf("checksums: none (pre-checksum version %" PRIu32
+                    " file)\n",
+                    layout.version);
     return 0;
 }
 
@@ -132,6 +152,10 @@ class StreamWriter
     raw(const void *p, size_t n)
     {
         const char *c = static_cast<const char *>(p);
+        // Payload bytes written between beginBlock()/endBlock() fold
+        // into the block's rolling CRC, mirroring BinWriter's trailer.
+        if (inBlock_)
+            crc_ = crc32cExtend(crc_, p, n);
         buf_.insert(buf_.end(), c, c + n);
         off_ += n;
         if (buf_.size() >= kBufBytes)
@@ -150,14 +174,26 @@ class StreamWriter
 
     /** Block header for a column whose payload follows via raw(). The
      *  caller must write exactly count*elemSize payload bytes, then
-     *  call pad8(). */
+     *  call endBlock(). */
     void
-    blockHeader(uint32_t tag, uint32_t elemSize, uint64_t count)
+    beginBlock(uint32_t tag, uint32_t elemSize, uint64_t count)
     {
         pad8();
         u32(tag);
         u32(elemSize);
         u64(count);
+        inBlock_ = true;
+        crc_ = kCrc32cInit;
+    }
+
+    /** Pad the payload and emit the 8-byte CRC32C trailer. */
+    void
+    endBlock()
+    {
+        inBlock_ = false; // padding and trailer are not payload
+        pad8();
+        u32(crc_);
+        u32(0); // reserved; keeps the trailer 8 bytes
     }
 
     void
@@ -182,11 +218,37 @@ class StreamWriter
     std::ofstream os_;
     std::vector<char> buf_;
     uint64_t off_ = 0;
+    uint32_t crc_ = kCrc32cInit;
+    bool inBlock_ = false;
 };
+
+/** Flip one bit at byte @p offset of @p path — deliberate corruption
+ *  for checksum tests. */
+void
+corruptByteAt(const std::string &path, uint64_t offset)
+{
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    if (!f)
+        throw std::runtime_error("cannot reopen " + path);
+    f.seekg(0, std::ios::end);
+    const uint64_t size = static_cast<uint64_t>(f.tellg());
+    if (offset >= size)
+        throw std::runtime_error("--corrupt-at offset past end of file");
+    f.seekg(static_cast<std::streamoff>(offset));
+    char b;
+    f.read(&b, 1);
+    b = static_cast<char>(b ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&b, 1);
+    f.flush();
+    if (!f)
+        throw std::runtime_error("corrupting " + path + " failed");
+    std::printf("corrupted byte at offset %" PRIu64 "\n", offset);
+}
 
 int
 cmdSynth(const std::string &path, uint64_t records,
-         const std::string &name, uint64_t syncPeriod)
+         const std::string &name, uint64_t syncPeriod, int64_t corruptAt)
 {
     if (records == 0 || syncPeriod < 2) {
         std::fprintf(stderr,
@@ -218,69 +280,71 @@ cmdSynth(const std::string &path, uint64_t records,
     out.u64(records);
 
     // op: Load everywhere, IntAlu in sync slots.
-    out.blockHeader(kTagOp, 1, records);
+    out.beginBlock(kTagOp, 1, records);
     for (uint64_t i = 0; i < records; ++i) {
         const uint8_t op = static_cast<uint8_t>(
             isSyncPos(i) ? OpClass::IntAlu : OpClass::Load);
         out.raw(&op, 1);
     }
-    out.pad8();
+    out.endBlock();
 
     // pc: a small rotating text segment; 0 in sync slots.
-    out.blockHeader(kTagPc, 4, records);
+    out.beginBlock(kTagPc, 4, records);
     for (uint64_t i = 0; i < records; ++i) {
         const uint32_t pc =
             isSyncPos(i) ? 0 : 0x1000 + (static_cast<uint32_t>(i) & 0xfff);
         out.raw(&pc, 4);
     }
-    out.pad8();
+    out.endBlock();
 
     // dep1/dep2: all zero (no register dependences).
     for (const uint32_t tag : {kTagDep1, kTagDep2}) {
-        out.blockHeader(tag, 2, records);
+        out.beginBlock(tag, 2, records);
         const uint16_t zero = 0;
         for (uint64_t i = 0; i < records; ++i)
             out.raw(&zero, 2);
-        out.pad8();
+        out.endBlock();
     }
 
     // addr: a stride-64 walk over a 64 MiB window, one entry per load.
-    out.blockHeader(kTagAddr, 8, numMems);
+    out.beginBlock(kTagAddr, 8, numMems);
     for (uint64_t i = 0, m = 0; i < records; ++i) {
         if (isSyncPos(i))
             continue;
         const uint64_t addr = (m++ * 64) & ((uint64_t{64} << 20) - 1);
         out.raw(&addr, 8);
     }
-    out.pad8();
+    out.endBlock();
 
     // taken: no branches.
-    out.blockHeader(kTagTaken, 1, 0);
-    out.pad8();
+    out.beginBlock(kTagTaken, 1, 0);
+    out.endBlock();
 
-    out.blockHeader(kTagSyncPos, 8, numSync);
+    out.beginBlock(kTagSyncPos, 8, numSync);
     for (uint64_t k = 1; k <= numSync; ++k)
         out.u64(k * syncPeriod);
-    out.pad8();
+    out.endBlock();
 
-    out.blockHeader(kTagSyncTyp, 1, numSync);
+    out.beginBlock(kTagSyncTyp, 1, numSync);
     for (uint64_t k = 1; k <= numSync; ++k) {
         const uint8_t type = static_cast<uint8_t>(
             k % 2 == 1 ? SyncType::MutexLock : SyncType::MutexUnlock);
         out.raw(&type, 1);
     }
-    out.pad8();
+    out.endBlock();
 
-    out.blockHeader(kTagSyncArg, 4, numSync);
+    out.beginBlock(kTagSyncArg, 4, numSync);
     const uint32_t mutex0 = 0;
     for (uint64_t k = 0; k < numSync; ++k)
         out.raw(&mutex0, 4);
-    out.pad8();
+    out.endBlock();
 
     out.finish();
     std::printf("wrote %s: %" PRIu64 " records (%" PRIu64 " loads, %"
                 PRIu64 " sync events)\n",
                 path.c_str(), records, numMems, numSync);
+    if (corruptAt >= 0)
+        corruptByteAt(path, static_cast<uint64_t>(corruptAt));
     return 0;
 }
 
@@ -326,6 +390,7 @@ main(int argc, char **argv)
     uint64_t syncPeriod = uint64_t{1} << 20;
     std::string name = "synthetic";
     std::string engine = "streaming";
+    int64_t corruptAt = -1;
     ProfilerOptions opts;
     for (int i = 3; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -352,6 +417,9 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
         else if (arg == "--mti")
             opts.microTraceInterval = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--corrupt-at")
+            corruptAt = static_cast<int64_t>(
+                std::strtoll(value(), nullptr, 10));
         else
             return usage();
     }
@@ -360,7 +428,7 @@ main(int argc, char **argv)
         if (cmd == "info")
             return cmdInfo(path);
         if (cmd == "synth")
-            return cmdSynth(path, records, name, syncPeriod);
+            return cmdSynth(path, records, name, syncPeriod, corruptAt);
         if (cmd == "profile")
             return cmdProfile(path, engine, opts);
     } catch (const std::exception &e) {

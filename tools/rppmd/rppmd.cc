@@ -10,6 +10,9 @@
  *   rppmd --socket /tmp/rppmd.sock [--profile-dir DIR]
  *         [--max-profile-bytes N] [--max-memo-bytes N]
  *         [--workers N] [--jobs N] [--stream-chunk N]
+ *         [--idle-timeout SEC] [--max-queued-cells N]
+ *         [--busy-retry-ms MS] [--max-resident-bytes N]
+ *         [--fault-plan PLAN]
  */
 
 #include <poll.h>
@@ -22,6 +25,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/fault.hh"
 #include "server/server.hh"
 
 namespace {
@@ -52,7 +56,17 @@ usage(const char *argv0)
         "  --workers N              prediction workers (0=all cores)\n"
         "  --jobs N                 profiling jobs (0=all cores)\n"
         "  --stream-chunk N         stream file-backed workloads in\n"
-        "                           N-record chunks (0=auto by size)\n",
+        "                           N-record chunks (0=auto by size)\n"
+        "  --idle-timeout SEC       reap idle connections after SEC\n"
+        "                           seconds (0=never; default 300)\n"
+        "  --max-queued-cells N     shed requests that would push the\n"
+        "                           queue past N cells (0=unlimited)\n"
+        "  --busy-retry-ms MS       retry hint sent with Busy replies\n"
+        "  --max-resident-bytes N   combined profile+memo ceiling; over\n"
+        "                           it, profiles shed before memos\n"
+        "                           (0=unlimited)\n"
+        "  --fault-plan PLAN        arm fault injection (testing only),\n"
+        "                           e.g. io.pread.short=every:100\n",
         argv0);
 }
 
@@ -61,6 +75,15 @@ usage(const char *argv0)
 int
 main(int argc, char **argv)
 {
+    // Env plan first so an explicit --fault-plan can override it.
+    try {
+        if (rppm::fault::installPlanFromEnv())
+            std::fprintf(stderr, "rppmd: fault plan armed from env\n");
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "rppmd: bad RPPM_FAULT_PLAN: %s\n", e.what());
+        return 2;
+    }
+
     rppm::server::ServerOptions opts;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -88,7 +111,25 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
         else if (arg == "--stream-chunk")
             opts.streamChunkRecords = std::strtoull(value(), nullptr, 10);
-        else if (arg == "--help" || arg == "-h") {
+        else if (arg == "--idle-timeout")
+            opts.idleTimeoutSec =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--max-queued-cells")
+            opts.maxQueuedCells = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--busy-retry-ms")
+            opts.busyRetryMs =
+                static_cast<uint32_t>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--max-resident-bytes")
+            opts.maxResidentBytes = std::strtoull(value(), nullptr, 10);
+        else if (arg == "--fault-plan") {
+            try {
+                rppm::fault::installPlan(value());
+            } catch (const std::exception &e) {
+                std::fprintf(stderr, "rppmd: bad --fault-plan: %s\n",
+                             e.what());
+                return 2;
+            }
+        } else if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
             return 0;
         } else {
